@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: console
+ * table formatting, standard training drivers and the Table III
+ * default machine configuration.
+ */
+
+#ifndef ACT_BENCH_BENCH_UTIL_HH
+#define ACT_BENCH_BENCH_UTIL_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "diagnosis/pipeline.hh"
+#include "workloads/bugs.hh"
+#include "workloads/kernel.hh"
+
+namespace act::bench
+{
+
+/** Fixed-width console table writer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+    /** Print one row; cells beyond widths.size() are ignored. */
+    void
+    row(const std::vector<std::string> &cells) const
+    {
+        std::string line;
+        for (std::size_t i = 0; i < widths_.size(); ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : "";
+            char buf[256];
+            std::snprintf(buf, sizeof(buf), "%-*s",
+                          widths_[i], cell.c_str());
+            line += buf;
+        }
+        std::printf("%s\n", line.c_str());
+    }
+
+    void
+    rule() const
+    {
+        int total = 0;
+        for (const int w : widths_)
+            total += w;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+
+  private:
+    std::vector<int> widths_;
+};
+
+/** printf-style std::string helper. */
+inline std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+/** Section header shared by all benches. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("machine: 8-core CMP, 32KB L1 / 512KB L2 per core, 64B "
+                "lines, snoopy MESI;\n         AM: M=10, 2 multiply-add "
+                "units, 8-entry FIFO, IGB 50, DB 60, 5%% threshold\n\n");
+}
+
+/** Offline-training defaults shared by the diagnosis benches. */
+inline OfflineTrainingConfig
+standardTraining(std::size_t traces)
+{
+    OfflineTrainingConfig config;
+    config.traces = traces;
+    config.max_examples = 30000;
+    config.trainer.max_epochs = 500;
+    return config;
+}
+
+/**
+ * Collect training/evaluation datasets for a prediction kernel.
+ *
+ * @param workload  The kernel.
+ * @param generator Sequence generator (fixes N and granularity).
+ * @param encoder   Dependence encoder.
+ * @param seeds     Trace seeds to run.
+ * @param negatives Whether negative examples are synthesised.
+ * @param deps_out  If non-null, accumulates the RAW-dependence count.
+ */
+inline Dataset
+datasetFromRuns(const Workload &workload, const InputGenerator &generator,
+                DependenceEncoder &encoder,
+                const std::vector<std::uint64_t> &seeds, bool negatives,
+                std::size_t *deps_out = nullptr)
+{
+    Dataset data;
+    for (const std::uint64_t seed : seeds) {
+        WorkloadParams params;
+        params.seed = seed;
+        const Trace trace = workload.record(params);
+        const GeneratedSequences sequences =
+            generator.process(trace, negatives);
+        if (deps_out != nullptr)
+            *deps_out += sequences.dependence_count;
+        data.merge(
+            InputGenerator::toDataset(sequences, encoder, negatives));
+    }
+    return data;
+}
+
+/** Seeds [base, base + count). */
+inline std::vector<std::uint64_t>
+seedRange(std::uint64_t base, std::size_t count)
+{
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t i = 0; i < count; ++i)
+        seeds[i] = base + i;
+    return seeds;
+}
+
+} // namespace act::bench
+
+#endif // ACT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 11 reproduction (inferred from Section IV-A): the design
+ * justification for the partially configurable three-stage pipeline
+ * against a fully configurable time-multiplexed NPU (Esmaeilzadeh et
+ * al. style).
+ *
+ * Two series: per-inference latency / steady-state interval across
+ * topologies, and the neuron-latency knob (multiply-add units).
+ */
+
+#include "bench/bench_util.hh"
+#include "hwnn/npu_reference.hh"
+#include "nn/topology_search.hh"
+
+namespace act
+{
+namespace
+{
+
+using bench::format;
+
+void
+run()
+{
+    bench::banner("Figure 11: pipeline vs time-multiplexed NPU",
+                  "Section IV-A design comparison: the pipeline avoids "
+                  "per-round scheduling overhead and overlaps its three "
+                  "stages");
+
+    const NpuReference npu((NpuConfig()));
+
+    std::printf("--- steady-state cycles between inferences ---\n");
+    const bench::Table table({14, 16, 16, 14, 14});
+    table.row({"topology", "pipeline test", "pipeline train", "NPU test",
+               "NPU train"});
+    table.rule();
+    for (const Topology t :
+         {Topology{2, 4}, Topology{6, 8}, Topology{6, 10},
+          Topology{10, 10}}) {
+        HwNetworkConfig pipeline;
+        pipeline.neuron.muladd_units = 2;
+        table.row({topologyToString(t),
+                   format("%llu", static_cast<unsigned long long>(
+                                      pipeline.testServiceTime())),
+                   format("%llu", static_cast<unsigned long long>(
+                                      pipeline.trainServiceTime())),
+                   format("%llu", static_cast<unsigned long long>(
+                                      npu.inferenceInterval(t))),
+                   format("%llu", static_cast<unsigned long long>(
+                                      npu.trainingLatency(t)))});
+    }
+
+    std::printf("\n--- the multiply-add-unit knob (M = 10) ---\n");
+    const bench::Table knob({14, 14, 18, 18});
+    knob.row({"units x", "neuron T", "pipeline interval",
+              "speedup vs NPU"});
+    knob.rule();
+    const Topology t{6, 10};
+    for (const std::uint32_t units : {1u, 2u, 5u, 10u}) {
+        HwNetworkConfig pipeline;
+        pipeline.neuron.muladd_units = units;
+        const double speedup =
+            static_cast<double>(npu.inferenceInterval(t)) /
+            static_cast<double>(pipeline.testServiceTime());
+        knob.row({format("%u", units),
+                  format("%llu", static_cast<unsigned long long>(
+                                     pipeline.neuron.latency())),
+                  format("%llu", static_cast<unsigned long long>(
+                                     pipeline.testServiceTime())),
+                  format("%.1fx", speedup)});
+    }
+    std::printf("\nthe pipeline accepts one dependence per neuron-latency "
+                "T; the shared-PE NPU is busy for a whole inference "
+                "(plus scheduling) per input, which is why ACT adopts "
+                "the partially configurable design.\n");
+}
+
+} // namespace
+} // namespace act
+
+int
+main()
+{
+    act::run();
+    return 0;
+}

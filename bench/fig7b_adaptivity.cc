@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 7(b) reproduction: adaptivity to new code.
+ *
+ * Following Section VI-D, all RAW dependences of one (deterministically
+ * "randomly" chosen) function are removed from the training data; the
+ * trained network then classifies the excluded function's dependences.
+ * The paper reports the percentage of *unique* new dependences
+ * predicted incorrectly (average ~6.2%, i.e. ~94% accuracy), using the
+ * concurrent programs because they are the hardest to predict.
+ */
+
+#include <set>
+
+#include "bench/bench_util.hh"
+
+namespace act
+{
+namespace
+{
+
+using bench::format;
+
+void
+run()
+{
+    bench::banner("Figure 7(b): prediction accuracy on new code",
+                  "Fig. 7(b) (one function's dependences withheld from "
+                  "training; paper: ~6.2% of unique dependences "
+                  "mispredicted)");
+
+    const bench::Table table({16, 22, 12, 14, 16});
+    table.row({"program", "excluded function", "#unique", "#mispred",
+               "%incorrect"});
+    table.rule();
+
+    OnlineStats incorrect_rate;
+    for (const auto &name : concurrentKernelNames()) {
+        const KernelWorkload workload(kernelSpecFor(name));
+        // Deterministic "random" choice of the excluded function.
+        const auto chain = static_cast<std::uint32_t>(
+            mix64(hashCombine(0xf17b, mix64(workload.spec().threads +
+                                            name.size()))) %
+            workload.spec().chains.size());
+        const std::string function =
+            workload.spec().chains[chain].function;
+        const std::vector<Pc> excluded_pcs = workload.chainLoadPcs(chain);
+        const std::set<Pc> excluded(excluded_pcs.begin(),
+                                    excluded_pcs.end());
+
+        auto touches_excluded = [&](const DependenceSequence &seq) {
+            for (const auto &dep : seq.deps) {
+                if (excluded.count(dep.load_pc))
+                    return true;
+            }
+            return false;
+        };
+
+        PairEncoder encoder;
+        const InputGenerator generator(3);
+        Dataset train;
+        std::vector<DependenceSequence> test_sequences;
+        for (const std::uint64_t seed : bench::seedRange(100, 10)) {
+            WorkloadParams params;
+            params.seed = seed;
+            const Trace trace = workload.record(params);
+            const GeneratedSequences sequences =
+                generator.process(trace, true);
+            for (std::size_t i = 0; i < sequences.positives.size(); ++i) {
+                const auto &seq = sequences.positives[i];
+                if (touches_excluded(seq)) {
+                    if (excluded.count(seq.deps.back().load_pc))
+                        test_sequences.push_back(seq);
+                    continue;
+                }
+                train.add(Example{encoder.encodeSequence(seq), 1.0});
+            }
+            for (const auto &seq : sequences.negatives) {
+                if (!touches_excluded(seq))
+                    train.add(Example{encoder.encodeSequence(seq), 0.0});
+            }
+        }
+
+        Rng rng(0x7b);
+        train.shuffle(rng);
+        if (train.size() > 24000) {
+            Dataset capped;
+            for (std::size_t i = 0; i < 24000; ++i)
+                capped.add(train[i]);
+            train = std::move(capped);
+        }
+        MlpNetwork network(Topology{3 * encoder.width(), 10}, rng);
+        TrainerConfig trainer;
+        trainer.max_epochs = 400;
+        trainNetwork(network, train, trainer, rng);
+
+        // Unique new dependences predicted incorrectly (they are all
+        // valid, so "incorrect" = flagged invalid).
+        std::set<std::uint64_t> unique;
+        std::set<std::uint64_t> wrong;
+        for (const auto &seq : test_sequences) {
+            const std::uint64_t key = seq.deps.back().key();
+            unique.insert(key);
+            if (!network.predictValid(encoder.encodeSequence(seq)))
+                wrong.insert(key);
+        }
+        const double rate =
+            unique.empty() ? 0.0
+                           : static_cast<double>(wrong.size()) /
+                                 static_cast<double>(unique.size());
+        incorrect_rate.add(rate);
+        table.row({name, function, format("%zu", unique.size()),
+                   format("%zu", wrong.size()),
+                   format("%.1f%%", rate * 100.0)});
+    }
+    table.rule();
+    table.row({"average", "", "", "",
+               format("%.1f%%", incorrect_rate.mean() * 100.0)});
+    std::printf("\naccuracy on never-seen code: %.1f%% (paper: 93.8%%)\n",
+                (1.0 - incorrect_rate.mean()) * 100.0);
+}
+
+} // namespace
+} // namespace act
+
+int
+main()
+{
+    act::registerAllWorkloads();
+    act::run();
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 8 reproduction (inferred from the abstract and Section VI's
+ * goals): production-run execution overhead of ACT with the default
+ * configuration — 2 multiply-add units per neuron, 8-entry input FIFO.
+ * The paper's headline number is an average overhead of 8.2%.
+ *
+ * Overhead sources in the model: retire stalls when the AM's input
+ * FIFO back-pressures completed loads (4x service time while the
+ * module is in online-training mode), plus the ldwt/stwt weight
+ * transfers at thread start/exit and context switches.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace act
+{
+namespace
+{
+
+using bench::format;
+
+struct OverheadResult
+{
+    double overhead = 0.0;
+    Cycle base_cycles = 0;
+    Cycle act_cycles = 0;
+    std::uint64_t dependences = 0;
+    std::uint64_t mode_switches = 0;
+    Cycle stall_cycles = 0;
+};
+
+OverheadResult
+measure(const Workload &workload, const SystemConfig &base_config)
+{
+    // Offline-train so the production run starts in testing mode.
+    PairEncoder encoder;
+    OfflineTrainingConfig training = bench::standardTraining(6);
+    training.trainer.max_epochs = 300;
+    const TrainedModel model = offlineTrain(workload, encoder, training);
+
+    WorkloadParams params;
+    params.seed = 300;
+    const Trace trace = workload.record(params);
+
+    SystemConfig config = base_config;
+    config.act_enabled = false;
+    System baseline(config);
+    baseline.run(trace);
+
+    config.act_enabled = true;
+    config.act.topology = model.topology;
+    WeightStore store(model.topology);
+    store.setAll(workload.threadCount(), model.weights);
+    System with_act(config, encoder, store);
+    with_act.run(trace);
+
+    OverheadResult result;
+    result.base_cycles = baseline.stats().cycles;
+    result.act_cycles = with_act.stats().cycles;
+    result.overhead =
+        result.base_cycles
+            ? static_cast<double>(result.act_cycles -
+                                  result.base_cycles) /
+                  static_cast<double>(result.base_cycles)
+            : 0.0;
+    result.dependences = with_act.stats().act.dependences;
+    result.mode_switches = with_act.stats().act.mode_switches;
+    result.stall_cycles = with_act.stats().act.stall_cycles;
+    return result;
+}
+
+void
+run()
+{
+    bench::banner("Figure 8: execution overhead (default config)",
+                  "abstract / Section VI goal (iii): average overhead "
+                  "8.2% with 2 multiply-add units and an 8-entry FIFO");
+
+    const bench::Table table({16, 14, 14, 12, 12, 10});
+    table.row({"program", "base cycles", "ACT cycles", "stalls",
+               "mode sw.", "overhead"});
+    table.rule();
+
+    OnlineStats overhead;
+    for (const auto &name : predictionKernelNames()) {
+        const auto workload = makeWorkload(name);
+        const OverheadResult r = measure(*workload, SystemConfig{});
+        overhead.add(r.overhead);
+        table.row({name,
+                   format("%llu",
+                          static_cast<unsigned long long>(r.base_cycles)),
+                   format("%llu",
+                          static_cast<unsigned long long>(r.act_cycles)),
+                   format("%llu",
+                          static_cast<unsigned long long>(r.stall_cycles)),
+                   format("%llu",
+                          static_cast<unsigned long long>(r.mode_switches)),
+                   format("%.1f%%", r.overhead * 100.0)});
+    }
+    table.rule();
+    table.row({"average", "", "", "", "",
+               format("%.1f%%", overhead.mean() * 100.0)});
+    std::printf("\npaper: 8.2%% average execution overhead for the "
+                "default configuration.\n");
+}
+
+} // namespace
+} // namespace act
+
+int
+main()
+{
+    act::registerAllWorkloads();
+    act::run();
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: NN
+ * inference (software double and hardware fixed point), on-line
+ * back-propagation, dependence encoding/tracking, the MESI cache
+ * access path and Debug Buffer postprocessing.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "act/act_module.hh"
+#include "deps/input_generator.hh"
+#include "diagnosis/postprocess.hh"
+#include "sim/memsys.hh"
+
+namespace act
+{
+namespace
+{
+
+std::vector<double>
+randomInputs(std::size_t n, Rng &rng)
+{
+    std::vector<double> in;
+    for (std::size_t i = 0; i < n; ++i)
+        in.push_back(rng.uniform(-2, 2));
+    return in;
+}
+
+void
+BM_SoftwareInference(benchmark::State &state)
+{
+    Rng rng(1);
+    MlpNetwork net(Topology{6, 10}, rng);
+    const auto in = randomInputs(6, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.infer(in));
+}
+BENCHMARK(BM_SoftwareInference);
+
+void
+BM_HardwareInference(benchmark::State &state)
+{
+    Rng rng(1);
+    MlpNetwork proto(Topology{6, 10}, rng);
+    HwNeuralNetwork hw(HwNetworkConfig{}, Topology{6, 10});
+    hw.loadWeights(proto.weights());
+    const auto in = randomInputs(6, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw.infer(in));
+}
+BENCHMARK(BM_HardwareInference);
+
+void
+BM_Backpropagation(benchmark::State &state)
+{
+    Rng rng(1);
+    MlpNetwork net(Topology{6, 10}, rng);
+    const auto in = randomInputs(6, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.train(in, 1.0, 0.2));
+}
+BENCHMARK(BM_Backpropagation);
+
+void
+BM_EncodeDependence(benchmark::State &state)
+{
+    PairEncoder encoder;
+    const RawDependence dep{0x401000, 0x401004, false};
+    std::vector<double> out;
+    for (auto _ : state) {
+        out.clear();
+        encoder.encode(dep, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_EncodeDependence);
+
+void
+BM_TrackerObserve(benchmark::State &state)
+{
+    DependenceTracker tracker;
+    Rng rng(2);
+    TraceEvent store;
+    store.kind = EventKind::kStore;
+    TraceEvent load;
+    load.kind = EventKind::kLoad;
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + rng.next(1024) * 4;
+        store.addr = addr;
+        store.pc = 0x100 + (addr & 0xff);
+        tracker.observe(store);
+        load.addr = addr;
+        load.pc = store.pc + 4;
+        benchmark::DoNotOptimize(tracker.observe(load));
+    }
+}
+BENCHMARK(BM_TrackerObserve);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemorySystem mem((MemSystemConfig()));
+    Rng rng(3);
+    TraceEvent event;
+    event.kind = EventKind::kLoad;
+    for (auto _ : state) {
+        event.tid = static_cast<ThreadId>(rng.next(4));
+        event.addr = 0x1000 + rng.next(4096) * 4;
+        event.kind = rng.chance(0.3) ? EventKind::kStore
+                                     : EventKind::kLoad;
+        benchmark::DoNotOptimize(
+            mem.access(event.tid % 8, event));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_ActModuleOnDependence(benchmark::State &state)
+{
+    ActConfig config;
+    config.sequence_length = 3;
+    config.topology = Topology{6, 10};
+    PairEncoder encoder;
+    ActModule module(config, encoder);
+    WeightStore store(config.topology);
+    store.set(0, std::vector<double>(store.weightCount(), 0.1));
+    module.initThread(0, store);
+    Rng rng(4);
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        const Pc load = 0x401004 + rng.next(64) * 8;
+        benchmark::DoNotOptimize(module.onDependence(
+            RawDependence{load - 4, load, false}, 0, cycle += 50));
+    }
+}
+BENCHMARK(BM_ActModuleOnDependence);
+
+void
+BM_Postprocess(benchmark::State &state)
+{
+    Rng rng(5);
+    CorrectSet correct;
+    std::vector<DebugEntry> entries;
+    for (int i = 0; i < 200; ++i) {
+        DependenceSequence seq;
+        for (int j = 0; j < 3; ++j) {
+            const Pc load = 0x401000 + rng.next(256) * 8;
+            seq.deps.push_back(RawDependence{load - 4, load, false});
+        }
+        if (i % 2 == 0)
+            correct.addSequence(seq);
+        DebugEntry entry;
+        entry.sequence = seq;
+        entry.output = rng.nextDouble() * 0.5;
+        entries.push_back(entry);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(postprocess(entries, correct));
+}
+BENCHMARK(BM_Postprocess);
+
+} // namespace
+} // namespace act
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Table V reproduction: diagnosis of the 11 real-world bugs, comparing
+ * ACT against the Aviso-style constraint learner and the PBI-style
+ * sampling diagnoser.
+ *
+ * Per bug: ACT trains offline on correct traces, runs the failing
+ * execution once on the simulated machine, and postprocesses the Debug
+ * Buffer (position, filter rate, final rank). Aviso receives failing
+ * runs one at a time until the root constraint surfaces (or 10 runs
+ * pass). PBI receives 15 correct runs plus the single failing run with
+ * every instruction sampled.
+ *
+ * MySQL#1's silent corruption floods the Debug Buffer: with the
+ * default 60 entries the root cause is evicted, so (as in the paper)
+ * its row is produced with an enlarged buffer and the position column
+ * reports where the entry sat.
+ */
+
+#include "baselines/aviso.hh"
+#include "baselines/pbi.hh"
+#include "bench/bench_util.hh"
+
+namespace act
+{
+namespace
+{
+
+using bench::format;
+
+const char *
+bugClassName(BugClass c)
+{
+    switch (c) {
+      case BugClass::kOrderViolation: return "order vio.";
+      case BugClass::kAtomicityViolation: return "atom. vio.";
+      case BugClass::kSemantic: return "semantic";
+      case BugClass::kBufferOverflow: return "buf. overflow";
+      default: return "-";
+    }
+}
+
+/** Run the Aviso baseline; returns (rank, failures) or misses. */
+std::string
+runAviso(const Workload &workload)
+{
+    if (!workload.concurrent())
+        return "n/a (seq.)";
+    AvisoDiagnoser aviso((AvisoConfig()));
+    for (const std::uint64_t seed : bench::seedRange(500, 15)) {
+        WorkloadParams params;
+        params.seed = seed;
+        aviso.addCorrectTrace(workload.record(params));
+    }
+    const RawDependence root = workload.buggyDependence();
+    for (std::uint32_t failure = 1; failure <= 10; ++failure) {
+        WorkloadParams params;
+        params.seed = 900 + failure;
+        params.trigger_failure = true;
+        aviso.addFailureTrace(workload.record(params));
+        const AvisoResult result =
+            aviso.diagnose(root.store_pc, root.load_pc);
+        if (result.found)
+            return format("%zu (%u)", *result.rank, failure);
+    }
+    return "- (10)";
+}
+
+/** Run the PBI baseline; returns "rank (total)" or "- (total)". */
+std::string
+runPbi(const Workload &workload, const std::vector<Pc> &root_pcs)
+{
+    PbiConfig config;
+    PbiDiagnoser pbi(config);
+    for (const std::uint64_t seed : bench::seedRange(500, 15)) {
+        WorkloadParams params;
+        params.seed = seed;
+        pbi.addCorrectTrace(workload.record(params));
+    }
+    WorkloadParams params;
+    params.seed = 999;
+    params.trigger_failure = true;
+    pbi.addFailureTrace(workload.record(params));
+    const PbiResult result = pbi.diagnose(root_pcs);
+    if (result.rank)
+        return format("%zu (%zu)", *result.rank, result.total_predicates);
+    return format("- (%zu)", result.total_predicates);
+}
+
+void
+run()
+{
+    bench::banner("Table V: diagnosis of real bugs",
+                  "Table V (11 real-world bugs; ACT vs Aviso vs PBI)");
+
+    const bench::Table table({11, 15, 7, 8, 9, 8, 6, 11, 12});
+    table.row({"bug", "class", "status", "#train", "dbg.pos", "filter",
+               "ACT", "Aviso(#f)", "PBI(total)"});
+    table.rule();
+
+    std::size_t diagnosed = 0;
+    for (const auto &name : realBugNames()) {
+        const auto workload = makeWorkload(name);
+
+        DiagnosisSetup setup;
+        setup.training = bench::standardTraining(10);
+        if (name == "mysql1") {
+            // The paper: the buggy sequence is not in the default
+            // 60-entry buffer; a larger one is needed.
+            setup.system.act.debug_buffer_entries = 400;
+        }
+        const DiagnosisResult act = diagnoseFailure(*workload, setup);
+        if (act.rank)
+            ++diagnosed;
+
+        std::vector<Pc> pbi_roots{workload->buggyDependence().load_pc};
+        if (name == "pbzip2") {
+            // The consumer's emptiness check also implicates the bug.
+            pbi_roots.push_back(AddressMap(26).pc(12, 4));
+        }
+
+        table.row(
+            {name, bugClassName(workload->bugClass()),
+             workload->failureKind() == FailureKind::kCrash ? "crash"
+                                                            : "comp.",
+             "10",
+             act.debug_position ? format("%zu", *act.debug_position)
+                                : "evicted",
+             format("%.0f%%", act.report.filterFraction() * 100.0),
+             act.rank ? format("%zu", *act.rank) : "-",
+             runAviso(*workload), runPbi(*workload, pbi_roots)});
+    }
+    table.rule();
+    std::printf("\nACT diagnosed %zu / 11 failures from a single failing "
+                "run.\npaper shape: every bug found, most ranks <= 5 "
+                "(worst 8); Aviso needs multiple failures, misses Apache "
+                "and all sequential bugs; PBI misses Aget, MySQL#3 and "
+                "both semantic bugs, with generally worse ranks (paste "
+                "being its one win).\n",
+                diagnosed);
+}
+
+} // namespace
+} // namespace act
+
+int
+main()
+{
+    act::registerAllWorkloads();
+    act::run();
+    return 0;
+}

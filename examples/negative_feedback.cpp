@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Section III-C escape hatch: when the network lets a buggy
+ * sequence through (predicts it valid) and the programmer pins the
+ * sequence down by other means, it can be fed back as a negative
+ * example — "similar to offline training".
+ *
+ * This example fabricates such a blind spot (a wrong-writer dependence
+ * close enough to the valid band that the freshly trained network
+ * accepts it), confirms the miss, applies the feedback refresher, and
+ * shows the updated deployment now flags it while still accepting
+ * normal behaviour.
+ */
+
+#include <cstdio>
+
+#include "diagnosis/feedback.hh"
+
+int
+main()
+{
+    using namespace act;
+    registerAllWorkloads();
+    const auto workload = makeWorkload("fft");
+    std::printf("workload: %s\n\n", workload->description().c_str());
+
+    PairEncoder encoder;
+    OfflineTrainingConfig training;
+    training.traces = 6;
+    const TrainedModel model = offlineTrain(*workload, encoder, training);
+    MlpNetwork network(model.topology);
+    network.setWeights(model.weights);
+    std::printf("trained on %zu examples (error %.2f%%)\n",
+                model.example_count,
+                model.training.final_error * 100.0);
+
+    // Fabricate a near-miss bug: a writer a few words off the real
+    // producer — plausible enough that the network accepts it.
+    const InputGenerator generator(3);
+    WorkloadParams params;
+    params.seed = 42;
+    const Trace trace = workload->record(params);
+    const GeneratedSequences sequences = generator.process(trace, false);
+
+    DependenceSequence sneaky;
+    for (const auto &seq : sequences.positives) {
+        for (const Pc delta : {16u, 20u, 14u, 24u}) {
+            DependenceSequence candidate = seq;
+            candidate.deps.back().store_pc =
+                candidate.deps.back().load_pc - delta;
+            if (candidate.deps.back() == seq.deps.back())
+                continue;
+            if (network.predictValid(encoder.encodeSequence(candidate))) {
+                sneaky = candidate;
+                break;
+            }
+        }
+        if (!sneaky.deps.empty())
+            break;
+    }
+    if (sneaky.deps.empty()) {
+        std::printf("the network has no blind spot to demonstrate "
+                    "(it rejects every perturbation) - nothing to do.\n");
+        return 0;
+    }
+
+    std::printf("\nblind spot found: %s\n",
+                sneaky.deps.back().toString().c_str());
+    std::printf("  network output before feedback: %.3f (accepted)\n",
+                network.infer(encoder.encodeSequence(sneaky)));
+
+    // The programmer confirms it is the bug; feed it back.
+    WeightStore store(model.topology);
+    store.setAll(workload->threadCount(), model.weights);
+    const FeedbackResult result = applyNegativeFeedback(
+        *workload, model, encoder, {sneaky}, store);
+
+    MlpNetwork updated(model.topology);
+    updated.setWeights(result.weights);
+    std::printf("  network output after feedback:  %.3f (%s)\n",
+                updated.infer(encoder.encodeSequence(sneaky)),
+                result.fixed == 1 ? "rejected" : "STILL accepted");
+    std::printf("  residual error on valid behaviour: %.2f%%\n",
+                result.positive_error * 100.0);
+    std::printf("  weight store patched for %zu threads\n\n",
+                store.size());
+
+    if (result.fixed == 1) {
+        std::printf("the deployment will flag this communication from "
+                    "now on.\n");
+        return 0;
+    }
+    std::printf("feedback did not take (unexpected).\n");
+    return 1;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Demonstrates ACT's headline property: adaptation without offline
+ * retraining (Figure 1's online-training loop plus the thread-library
+ * weight persistence of Section IV-C).
+ *
+ * A thread is deployed with NO stored weights — as after a fresh
+ * install or a code change. Its ACT Module starts in online-training
+ * mode, learns the program's communication on the fly, and the thread
+ * library patches the learned weights back into the binary at thread
+ * exit. A second execution then starts from those weights and behaves
+ * like an offline-trained deployment.
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace act;
+    registerAllWorkloads();
+    const auto workload = makeWorkload("streamcluster");
+    std::printf("workload: %s\n\n", workload->description().c_str());
+
+    PairEncoder encoder;
+    SystemConfig config;
+    config.act.topology =
+        Topology{config.act.sequence_length * encoder.width(), 10};
+
+    // --- Execution 1: no weights in the binary --------------------
+    WeightStore empty(config.act.topology);
+    System first(config, encoder, empty);
+    WorkloadParams params;
+    params.seed = 11;
+    first.run(workload->record(params));
+
+    const SystemStats s1 = first.stats();
+    std::printf("execution 1 (no stored weights):\n");
+    std::printf("  dependences seen while training online: %llu of %llu\n",
+                static_cast<unsigned long long>(
+                    s1.act.training_dependences),
+                static_cast<unsigned long long>(s1.act.dependences));
+    std::printf("  back-propagation passes: %llu, mode switches: %llu\n",
+                static_cast<unsigned long long>(s1.act.train_updates),
+                static_cast<unsigned long long>(s1.act.mode_switches));
+
+    // Thread exits patched the binary with the learned weights.
+    const WeightStore &learned = first.weightStore();
+    std::printf("  weights recorded for %zu threads at exit\n\n",
+                learned.size());
+
+    // --- Execution 2: starts from the learned weights -------------
+    System second(config, encoder, learned);
+    params.seed = 12; // a different input / interleaving
+    second.run(workload->record(params));
+    const SystemStats s2 = second.stats();
+    std::printf("execution 2 (weights from execution 1):\n");
+    std::printf("  dependences seen while training online: %llu of %llu\n",
+                static_cast<unsigned long long>(
+                    s2.act.training_dependences),
+                static_cast<unsigned long long>(s2.act.dependences));
+    std::printf("  flagged dependences: %llu (%.2f%%)\n\n",
+                static_cast<unsigned long long>(s2.act.predicted_invalid),
+                s2.act.predictions
+                    ? 100.0 *
+                          static_cast<double>(s2.act.predicted_invalid) /
+                          static_cast<double>(s2.act.predictions)
+                    : 0.0);
+
+    const double fraction1 =
+        s1.act.dependences
+            ? static_cast<double>(s1.act.training_dependences) /
+                  static_cast<double>(s1.act.dependences)
+            : 0.0;
+    const double fraction2 =
+        s2.act.dependences
+            ? static_cast<double>(s2.act.training_dependences) /
+                  static_cast<double>(s2.act.dependences)
+            : 0.0;
+    std::printf("online-training share dropped from %.0f%% to %.0f%% — "
+                "the deployment adapted itself.\n", fraction1 * 100.0,
+                fraction2 * 100.0);
+    return fraction2 < fraction1 ? 0 : 1;
+}

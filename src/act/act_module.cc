@@ -1,0 +1,143 @@
+#include "act/act_module.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+ActModule::ActModule(const ActConfig &config,
+                     const DependenceEncoder &encoder)
+    : config_(config), encoder_(encoder.clone()),
+      network_(config.hw, config.topology),
+      input_buffer_(config.input_buffer_entries),
+      debug_(config.debug_buffer_entries),
+      rate_(config.interval_length)
+{
+    ACT_ASSERT(config_.topology.inputs ==
+               config_.sequence_length * encoder_->width());
+}
+
+std::size_t
+ActModule::initThread(ThreadId tid, const WeightStore &store)
+{
+    if (const auto weights = store.get(tid)) {
+        network_.loadWeights(*weights);
+        mode_ = ActMode::kTesting;
+    } else {
+        // Default weights: the all-zero network outputs 0.5 for every
+        // input, classifying everything as (barely) valid until the
+        // first measured interval drives the module into training.
+        std::vector<double> zeros(network_.weightCount(), 0.0);
+        network_.loadWeights(zeros);
+        switchMode(ActMode::kTraining);
+    }
+    input_buffer_.clear();
+    rate_.resetInterval();
+    return network_.weightCount();
+}
+
+std::vector<double>
+ActModule::saveWeights() const
+{
+    return network_.storeWeights();
+}
+
+void
+ActModule::restoreWeights(const std::vector<double> &weights)
+{
+    network_.loadWeights(weights);
+    input_buffer_.clear();
+}
+
+void
+ActModule::flushPipeline()
+{
+    network_.flush();
+}
+
+void
+ActModule::switchMode(ActMode next)
+{
+    if (mode_ == next)
+        return;
+    mode_ = next;
+    ++stats_.mode_switches;
+    rate_.resetInterval();
+}
+
+ActOutcome
+ActModule::onDependence(const RawDependence &dep, ThreadId tid,
+                        Cycle cycle)
+{
+    ActOutcome outcome;
+    ++stats_.dependences;
+    if (mode_ == ActMode::kTraining)
+        ++stats_.training_dependences;
+
+    input_buffer_.push(dep);
+    const auto sequence =
+        input_buffer_.lastSequence(config_.sequence_length);
+    if (!sequence)
+        return outcome;
+
+    // Timing: the load retires only once the input FIFO accepts the
+    // sequence. A full FIFO stalls it (Section III-C / IV-A).
+    const bool training = mode_ == ActMode::kTraining;
+    Cycle now = cycle;
+    for (;;) {
+        const AcceptResult accepted = network_.offer(now, training);
+        if (accepted.accepted)
+            break;
+        ++stats_.stalled_offers;
+        ACT_ASSERT(accepted.retry_at > now);
+        outcome.stall_cycles += accepted.retry_at - now;
+        stats_.stall_cycles += accepted.retry_at - now;
+        now = accepted.retry_at;
+    }
+
+    // Function: classify the sequence (and learn from it in training
+    // mode).
+    const std::vector<double> inputs = encoder_->encodeSequence(*sequence);
+    outcome.classified = true;
+    ++stats_.predictions;
+
+    double output = 0.0;
+    if (training) {
+        // All dependences are presumed valid; the network learns the
+        // ones it would have rejected.
+        output = network_.infer(inputs);
+        if (output < 0.5) {
+            network_.train(inputs, 1.0, config_.learning_rate);
+            ++stats_.train_updates;
+        }
+    } else {
+        output = network_.infer(inputs);
+    }
+    outcome.output = output;
+    outcome.predicted_invalid = output < 0.5;
+
+    if (outcome.predicted_invalid) {
+        ++stats_.predicted_invalid;
+        // The Debug Buffer records the raw accumulator value: the
+        // ranking tie-break wants "the most negative output", which
+        // the saturated sigmoid cannot resolve.
+        debug_.log(DebugEntry{*sequence, network_.rawOutput(inputs),
+                              stats_.predictions, tid});
+    }
+
+    // Periodic misprediction-rate check drives the mode switches. A
+    // prediction of "invalid" that the execution survives counts as a
+    // misprediction (Section III-C).
+    if (rate_.record(outcome.predicted_invalid)) {
+        if (mode_ == ActMode::kTesting &&
+            rate_.lastRate() > config_.misprediction_threshold) {
+            switchMode(ActMode::kTraining);
+        } else if (mode_ == ActMode::kTraining &&
+                   rate_.lastRate() <= config_.misprediction_threshold) {
+            switchMode(ActMode::kTesting);
+        }
+    }
+    return outcome;
+}
+
+} // namespace act

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The per-processor ACT Module (AM) of Figure 4(b) / Figure 5.
+ *
+ * For every completed non-speculative load with a known last writer,
+ * the AM forms the RAW dependence, pushes it through the Input
+ * Generator Buffer, and asks its hardware neural network whether the
+ * sequence of the last N dependences is valid.
+ *
+ *  - Online testing mode: predicted-invalid sequences are logged into
+ *    the Debug Buffer and counted by the Invalid Counter. When the
+ *    periodically measured misprediction rate exceeds the threshold,
+ *    the AM switches to online training.
+ *  - Online training mode: every dependence is taken as valid;
+ *    sequences the network still calls invalid are back-propagated
+ *    toward "valid" (and still logged, in case one of them really is
+ *    the bug). When the rate drops below the threshold the AM returns
+ *    to testing mode.
+ *
+ * The timing side mirrors Section IV-A: the load that produced the
+ * dependence can only retire once the pipeline's input FIFO accepts
+ * it, so a full FIFO back-pressures the core.
+ */
+
+#ifndef ACT_ACT_ACT_MODULE_HH
+#define ACT_ACT_ACT_MODULE_HH
+
+#include <memory>
+
+#include "act/act_config.hh"
+#include "act/buffers.hh"
+#include "act/weight_store.hh"
+#include "common/stats.hh"
+#include "deps/encoder.hh"
+#include "hwnn/pipeline.hh"
+
+namespace act
+{
+
+/** The AM's operating mode. */
+enum class ActMode : std::uint8_t
+{
+    kTesting,
+    kTraining
+};
+
+/** Counters exposed for the benches. */
+struct ActModuleStats
+{
+    std::uint64_t dependences = 0;     //!< Dependences observed.
+    std::uint64_t predictions = 0;     //!< Sequences classified.
+    std::uint64_t predicted_invalid = 0;
+    std::uint64_t train_updates = 0;   //!< Back-propagation passes.
+    std::uint64_t mode_switches = 0;
+    std::uint64_t stalled_offers = 0;  //!< Loads delayed by a full FIFO.
+    Cycle stall_cycles = 0;            //!< Total retire-stall cycles.
+    std::uint64_t training_dependences = 0; //!< Seen while training.
+};
+
+/** Outcome of feeding one dependence to the AM. */
+struct ActOutcome
+{
+    bool classified = false;        //!< A full sequence was formed.
+    bool predicted_invalid = false;
+    double output = 0.0;            //!< NN output for the sequence.
+    Cycle stall_cycles = 0;         //!< Retire delay from FIFO pressure.
+};
+
+/**
+ * One per-core ACT Module.
+ */
+class ActModule
+{
+  public:
+    /**
+     * @param config  Module parameters.
+     * @param encoder Prototype encoder (cloned; the AM owns its copy).
+     */
+    ActModule(const ActConfig &config, const DependenceEncoder &encoder);
+
+    const ActConfig &config() const { return config_; }
+    ActMode mode() const { return mode_; }
+    const ActModuleStats &stats() const { return stats_; }
+    const DebugBuffer &debugBuffer() const { return debug_; }
+    DebugBuffer &debugBuffer() { return debug_; }
+    const HwNeuralNetwork &network() const { return network_; }
+
+    /**
+     * Initialise the network for a (newly scheduled) thread: stored
+     * weights if the store has them, default (zero) weights otherwise
+     * — the latter force the module into online training.
+     *
+     * @return Number of weight registers transferred (for the ISA cost
+     *         model); zero weights still count as a full transfer.
+     */
+    std::size_t initThread(ThreadId tid, const WeightStore &store);
+
+    /** Read the current weights back (thread exit / context switch). */
+    std::vector<double> saveWeights() const;
+
+    /** Restore previously saved weights (context switch in). */
+    void restoreWeights(const std::vector<double> &weights);
+
+    /** Flush in-flight NN inputs (context switch, Section IV-D). */
+    void flushPipeline();
+
+    /**
+     * Process one RAW dependence produced by a completed load.
+     *
+     * @param dep   The dependence (S -> L).
+     * @param tid   Thread executing the load.
+     * @param cycle Core cycle at which the load completed.
+     */
+    ActOutcome onDependence(const RawDependence &dep, ThreadId tid,
+                            Cycle cycle);
+
+  private:
+    void switchMode(ActMode next);
+
+    ActConfig config_;
+    std::unique_ptr<DependenceEncoder> encoder_;
+    HwNeuralNetwork network_;
+    InputGeneratorBuffer input_buffer_;
+    DebugBuffer debug_;
+    IntervalRate rate_;
+    ActMode mode_ = ActMode::kTesting;
+    ActModuleStats stats_;
+};
+
+} // namespace act
+
+#endif // ACT_ACT_ACT_MODULE_HH

@@ -1,0 +1,60 @@
+#include "act/buffers.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+InputGeneratorBuffer::InputGeneratorBuffer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    ACT_ASSERT(capacity_ >= 1);
+}
+
+void
+InputGeneratorBuffer::push(const RawDependence &dep)
+{
+    if (entries_.size() == capacity_)
+        entries_.pop_front();
+    entries_.push_back(dep);
+}
+
+std::optional<DependenceSequence>
+InputGeneratorBuffer::lastSequence(std::size_t n) const
+{
+    if (entries_.size() < n)
+        return std::nullopt;
+    DependenceSequence seq;
+    seq.deps.assign(entries_.end() - static_cast<long>(n), entries_.end());
+    return seq;
+}
+
+DebugBuffer::DebugBuffer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    ACT_ASSERT(capacity_ >= 1);
+}
+
+void
+DebugBuffer::log(DebugEntry entry)
+{
+    if (entries_.size() == capacity_)
+        entries_.pop_front();
+    entries_.push_back(std::move(entry));
+    ++total_logged_;
+}
+
+std::optional<std::size_t>
+DebugBuffer::positionOf(const RawDependence &dep) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const auto &entry = entries_[entries_.size() - 1 - i];
+        if (!entry.sequence.deps.empty() &&
+            entry.sequence.deps.back() == dep) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace act

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The two small SRAM buffers inside an ACT Module (Figure 4(b)):
+ * the Input Generator Buffer holding recent RAW dependences, and the
+ * Debug Buffer logging recently flagged (predicted-invalid) sequences.
+ */
+
+#ifndef ACT_ACT_BUFFERS_HH
+#define ACT_ACT_BUFFERS_HH
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "deps/raw_dependence.hh"
+
+namespace act
+{
+
+/**
+ * FIFO of the most recent RAW dependences observed by this core
+ * (Table III: 50 entries). The newest N entries form the neural
+ * network's input sequence.
+ */
+class InputGeneratorBuffer
+{
+  public:
+    explicit InputGeneratorBuffer(std::size_t capacity);
+
+    /** Insert a dependence; the oldest entry drops when full. */
+    void push(const RawDependence &dep);
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * The most recent @p n dependences, oldest first; nullopt when
+     * fewer than @p n are buffered.
+     */
+    std::optional<DependenceSequence> lastSequence(std::size_t n) const;
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<RawDependence> entries_;
+};
+
+/** One Debug Buffer record. */
+struct DebugEntry
+{
+    DependenceSequence sequence;
+    double output = 0.0;    //!< Raw NN output (< 0 = predicted invalid).
+    SeqNum when = 0;        //!< Prediction index at logging time.
+    ThreadId tid = 0;       //!< Thread whose load formed the sequence.
+};
+
+/**
+ * Ring of the most recently flagged sequences (Table III: 60).
+ */
+class DebugBuffer
+{
+  public:
+    explicit DebugBuffer(std::size_t capacity);
+
+    /** Log a flagged sequence; the oldest entry drops when full. */
+    void log(DebugEntry entry);
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries, oldest first. */
+    const std::deque<DebugEntry> &entries() const { return entries_; }
+
+    /** Total entries ever logged (including overwritten ones). */
+    std::uint64_t totalLogged() const { return total_logged_; }
+
+    /**
+     * Distance from the newest entry (0 = newest) of the most recent
+     * entry whose final dependence equals @p dep; nullopt if absent.
+     */
+    std::optional<std::size_t> positionOf(const RawDependence &dep) const;
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<DebugEntry> entries_;
+    std::uint64_t total_logged_ = 0;
+};
+
+} // namespace act
+
+#endif // ACT_ACT_BUFFERS_HH

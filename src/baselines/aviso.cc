@@ -1,0 +1,183 @@
+#include "baselines/aviso.hh"
+
+#include <algorithm>
+
+#include "common/hashing.hh"
+
+namespace act
+{
+
+AvisoDiagnoser::AvisoDiagnoser(const AvisoConfig &config)
+    : config_(config)
+{
+}
+
+namespace
+{
+
+/**
+ * Tightest distance bucket of an ordered pair. Aviso cares about *how
+ * close* two events ran, not merely that both happened: the racy
+ * schedule packs them together while correct schedules keep work in
+ * between. Buckets are cumulative ("ran within <= 6" implies "within
+ * <= 20"), which keeps a pair's bucket membership stable across runs.
+ */
+std::uint64_t
+tightestBucket(std::size_t distance)
+{
+    if (distance <= 6)
+        return 0;
+    if (distance <= 20)
+        return 1;
+    return 2;
+}
+
+} // namespace
+
+AvisoDiagnoser::PairKey
+AvisoDiagnoser::key(Pc first, Pc second)
+{
+    return hashCombine(mix64(first), mix64(second));
+}
+
+std::unordered_map<AvisoDiagnoser::PairKey, std::uint8_t>
+AvisoDiagnoser::extractPairs(const Trace &trace) const
+{
+    // Pass 1: find addresses touched by more than one thread — the
+    // shared-memory events Aviso watches (plus sync operations).
+    std::unordered_map<Addr, ThreadId> first_toucher;
+    std::unordered_set<Addr> shared;
+    for (const auto &event : trace.events()) {
+        if (!event.isMemory())
+            continue;
+        const Addr line = event.addr / 64;
+        const auto [it, inserted] =
+            first_toucher.try_emplace(line, event.tid);
+        if (!inserted && it->second != event.tid)
+            shared.insert(line);
+    }
+
+    // Pass 2: the filtered event stream.
+    struct Ev
+    {
+        Pc pc;
+        ThreadId tid;
+    };
+    std::vector<Ev> events;
+    for (const auto &event : trace.events()) {
+        const bool sync = event.kind == EventKind::kLock ||
+                          event.kind == EventKind::kUnlock;
+        const bool shared_mem =
+            event.isMemory() && shared.count(event.addr / 64) != 0;
+        if (sync || shared_mem)
+            events.push_back(Ev{event.pc, event.tid});
+    }
+
+    // Pass 3: cross-thread ordered pairs within the distance window,
+    // tagged with how tightly they ran (cumulative buckets).
+    std::unordered_map<PairKey, std::uint8_t> pairs;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const std::size_t limit =
+            std::min(events.size(), i + 1 + config_.pair_distance);
+        for (std::size_t j = i + 1; j < limit; ++j) {
+            if (events[i].tid == events[j].tid)
+                continue;
+            const std::uint64_t tightest = tightestBucket(j - i);
+            for (std::uint64_t bucket = tightest; bucket <= 2; ++bucket) {
+                const PairKey k = hashCombine(
+                    key(events[i].pc, events[j].pc), bucket);
+                const auto [it, inserted] = pairs.try_emplace(
+                    k, static_cast<std::uint8_t>(bucket));
+                if (!inserted && bucket < it->second)
+                    it->second = static_cast<std::uint8_t>(bucket);
+            }
+        }
+    }
+    return pairs;
+}
+
+void
+AvisoDiagnoser::addCorrectTrace(const Trace &trace)
+{
+    if (trace.threadCount() > 1)
+        saw_multithreaded_ = true;
+    for (const auto &[k, bucket] : extractPairs(trace))
+        ++correct_counts_[k];
+    ++correct_runs_;
+}
+
+void
+AvisoDiagnoser::addFailureTrace(const Trace &trace)
+{
+    if (trace.threadCount() > 1)
+        saw_multithreaded_ = true;
+    for (const auto &[k, bucket] : extractPairs(trace)) {
+        ++failure_counts_[k];
+        const auto [it, inserted] = failure_buckets_.try_emplace(k, bucket);
+        if (!inserted && bucket < it->second)
+            it->second = bucket;
+    }
+    ++failure_runs_;
+}
+
+AvisoResult
+AvisoDiagnoser::diagnose(Pc first_pc, Pc second_pc) const
+{
+    AvisoResult result;
+    result.failures_used = failure_runs_;
+    if (!saw_multithreaded_) {
+        // Sequential program: no cross-thread events, no constraints.
+        result.applicable = false;
+        return result;
+    }
+
+    // Candidate constraints: pairs present in *every* failing run
+    // observed so far (the recurring schedule pattern Aviso looks
+    // for) and never seen in a correct run. The intersection shrinks
+    // as failures accumulate — this is why Aviso needs the bug to
+    // recur before the real constraint stands out.
+    struct Scored
+    {
+        PairKey k;
+        double score;
+        std::uint8_t bucket;
+    };
+    std::vector<Scored> candidates;
+    for (const auto &[k, fails] : failure_counts_) {
+        if (fails < config_.min_failures || fails < failure_runs_)
+            continue;
+        if (correct_counts_.count(k) != 0)
+            continue;
+        const auto bucket_it = failure_buckets_.find(k);
+        const std::uint8_t bucket =
+            bucket_it == failure_buckets_.end() ? 2 : bucket_it->second;
+        candidates.push_back(Scored{k, static_cast<double>(fails), bucket});
+    }
+    // Tighter pairs (smaller bucket) are stronger schedule evidence.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Scored &a, const Scored &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  if (a.bucket != b.bucket)
+                      return a.bucket < b.bucket;
+                  return mix64(a.k) < mix64(b.k);
+              });
+    result.constraints = candidates.size();
+
+    // The root pair may surface in any distance bucket; report the
+    // best-ranked occurrence.
+    std::unordered_set<PairKey> root_keys;
+    for (std::uint64_t bucket = 0; bucket <= 2; ++bucket)
+        root_keys.insert(
+            hashCombine(key(first_pc, second_pc), bucket));
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (root_keys.count(candidates[i].k) != 0) {
+            result.rank = i + 1;
+            result.found = i < config_.report_rank_limit;
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace act

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Aviso-style constraint-learning baseline (Lucia et al. [12]).
+ *
+ * Aviso observes synchronisation and shared-memory events and learns
+ * *failure-avoiding constraints*: ordered pairs of events from
+ * different threads whose proximity correlates with failure. It needs
+ * the failure to recur — a pair only becomes a believable constraint
+ * once it has been implicated by multiple failing runs — and it is
+ * inherently blind to single-threaded bugs (no cross-thread pairs
+ * exist). Both properties drive its Table V columns.
+ */
+
+#ifndef ACT_BASELINES_AVISO_HH
+#define ACT_BASELINES_AVISO_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Aviso knobs. */
+struct AvisoConfig
+{
+    /** Maximum event distance for a pair to count as "ordered". */
+    std::size_t pair_distance = 60;
+
+    /** Failing runs a pair must recur in before it is a constraint. */
+    std::uint32_t min_failures = 2;
+
+    /** Rank cutoff for "found the bug". */
+    std::size_t report_rank_limit = 25;
+};
+
+/** Diagnosis outcome after feeding some number of failing runs. */
+struct AvisoResult
+{
+    bool applicable = true;            //!< False for sequential code.
+    bool found = false;                //!< Root pair became a constraint.
+    std::optional<std::size_t> rank;   //!< Root constraint rank.
+    std::uint32_t failures_used = 0;   //!< Failing runs consumed.
+    std::size_t constraints = 0;       //!< Candidate constraints.
+};
+
+/**
+ * The Aviso diagnoser: feed correct runs, then failing runs one at a
+ * time, querying after each whether the root-cause pair surfaced.
+ */
+class AvisoDiagnoser
+{
+  public:
+    explicit AvisoDiagnoser(const AvisoConfig &config);
+
+    /** Record a successful run (down-weights its pairs). */
+    void addCorrectTrace(const Trace &trace);
+
+    /** Record one failing run. */
+    void addFailureTrace(const Trace &trace);
+
+    std::uint32_t failureRuns() const { return failure_runs_; }
+
+    /**
+     * Current diagnosis for the root pair (store pc, load pc).
+     *
+     * @param first_pc  The earlier event of the buggy ordering.
+     * @param second_pc The later event.
+     */
+    AvisoResult diagnose(Pc first_pc, Pc second_pc) const;
+
+  private:
+    using PairKey = std::uint64_t;
+
+    static PairKey key(Pc first, Pc second);
+
+    /**
+     * Cross-thread event pairs within pair_distance of each other,
+     * mapped to their tightest distance bucket.
+     */
+    std::unordered_map<PairKey, std::uint8_t> extractPairs(
+        const Trace &trace) const;
+
+    AvisoConfig config_;
+    std::unordered_map<PairKey, std::uint32_t> failure_counts_;
+    std::unordered_map<PairKey, std::uint8_t> failure_buckets_;
+    std::unordered_map<PairKey, std::uint32_t> correct_counts_;
+    std::uint32_t failure_runs_ = 0;
+    std::uint32_t correct_runs_ = 0;
+    bool saw_multithreaded_ = false;
+};
+
+} // namespace act
+
+#endif // ACT_BASELINES_AVISO_HH

@@ -1,0 +1,160 @@
+#include "baselines/pbi.hh"
+
+#include <algorithm>
+
+#include "common/hashing.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace act
+{
+
+const char *
+pbiEventName(PbiEvent event)
+{
+    switch (event) {
+      case PbiEvent::kStateInvalid: return "state-I";
+      case PbiEvent::kStateShared: return "state-S";
+      case PbiEvent::kStateExclusive: return "state-E";
+      case PbiEvent::kStateModified: return "state-M";
+      case PbiEvent::kCacheMiss: return "miss";
+      case PbiEvent::kCacheHit: return "hit";
+      case PbiEvent::kBranchTaken: return "taken";
+      case PbiEvent::kBranchNotTaken: return "not-taken";
+    }
+    return "?";
+}
+
+PbiDiagnoser::PbiDiagnoser(const PbiConfig &config)
+    : config_(config)
+{
+}
+
+PbiDiagnoser::PredicateKey
+PbiDiagnoser::key(Pc pc, PbiEvent event)
+{
+    return hashCombine(mix64(pc), static_cast<std::uint64_t>(event));
+}
+
+std::unordered_map<PbiDiagnoser::PredicateKey, Pc>
+PbiDiagnoser::extract(const Trace &trace)
+{
+    MemorySystem memory(config_.mem);
+    Rng rng(hashCombine(mix64(config_.seed), trace.size()));
+    std::unordered_map<PredicateKey, Pc> predicates;
+
+    auto note = [&](Pc pc, PbiEvent event) {
+        predicates.emplace(key(pc, event), pc);
+    };
+
+    for (const auto &event : trace.events()) {
+        if (event.kind == EventKind::kBranch) {
+            if (config_.sample_rate < 1.0 &&
+                !rng.chance(config_.sample_rate)) {
+                continue;
+            }
+            note(event.pc, event.taken ? PbiEvent::kBranchTaken
+                                       : PbiEvent::kBranchNotTaken);
+            continue;
+        }
+        if (!event.isMemory())
+            continue;
+        const CoreId core = event.tid % config_.mem.cores;
+        const MemAccess access = memory.access(core, event);
+        if (event.kind != EventKind::kLoad)
+            continue;
+        if (config_.sample_rate < 1.0 && !rng.chance(config_.sample_rate))
+            continue;
+        switch (access.prior_state) {
+          case Mesi::kInvalid:
+            note(event.pc, PbiEvent::kStateInvalid);
+            break;
+          case Mesi::kShared:
+            note(event.pc, PbiEvent::kStateShared);
+            break;
+          case Mesi::kExclusive:
+            note(event.pc, PbiEvent::kStateExclusive);
+            break;
+          case Mesi::kModified:
+            note(event.pc, PbiEvent::kStateModified);
+            break;
+        }
+        // PBI samples L1 cache events (Arulraj et al.): hit/miss at
+        // the first level, not the whole hierarchy.
+        note(event.pc, access.l1_hit ? PbiEvent::kCacheHit
+                                     : PbiEvent::kCacheMiss);
+    }
+    return predicates;
+}
+
+void
+PbiDiagnoser::addCorrectTrace(const Trace &trace)
+{
+    for (const auto &[k, pc] : extract(trace))
+        ++correct_counts_[k];
+    ++correct_runs_;
+}
+
+void
+PbiDiagnoser::addFailureTrace(const Trace &trace)
+{
+    ACT_ASSERT(!have_failure_);
+    failure_predicates_ = extract(trace);
+    have_failure_ = true;
+}
+
+PbiResult
+PbiDiagnoser::diagnose(const std::vector<Pc> &root_pcs) const
+{
+    ACT_ASSERT(have_failure_);
+    PbiResult result;
+    result.total_predicates = failure_predicates_.size();
+
+    // Score: how strongly does observing the predicate predict
+    // failure? With one failing run, Failure(P) = 1 / (1 + S(P)).
+    struct Scored
+    {
+        PredicateKey k;
+        Pc pc;
+        double score;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(failure_predicates_.size());
+    for (const auto &[k, pc] : failure_predicates_) {
+        const auto it = correct_counts_.find(k);
+        const double successes =
+            it == correct_counts_.end() ? 0.0 : it->second;
+        scored.push_back(Scored{k, pc, 1.0 / (1.0 + successes)});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored &a, const Scored &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return mix64(a.k) < mix64(b.k);
+              });
+
+    result.predictive = static_cast<std::size_t>(std::count_if(
+        scored.begin(), scored.end(),
+        [](const Scored &s) { return s.score >= 1.0; }));
+
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+        const bool is_root =
+            std::find(root_pcs.begin(), root_pcs.end(), scored[i].pc) !=
+            root_pcs.end();
+        if (is_root) {
+            // The predicate only diagnoses the failure when it is
+            // failure-predictive: a predicate also seen in correct
+            // runs carries no signal (PBI "misses" the bug).
+            if (scored[i].score >= 1.0) {
+                result.rank = i + 1;
+            } else {
+                result.missed = true;
+            }
+            return result;
+        }
+    }
+    result.missed = true;
+    return result;
+}
+
+} // namespace act

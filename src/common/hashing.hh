@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic 64-bit mixing and combining hashes.
+ *
+ * All randomised structures in the reproduction (dependence encoders,
+ * address scramblers, workload generators) derive their values from
+ * these mixers so that every run of every binary is bit-reproducible.
+ */
+
+#ifndef ACT_COMMON_HASHING_HH
+#define ACT_COMMON_HASHING_HH
+
+#include <cstdint>
+
+namespace act
+{
+
+/**
+ * SplitMix64 finaliser: a high-quality, invertible 64-bit mixer.
+ *
+ * @param x Value to scramble.
+ * @return Scrambled value; mix64(a) == mix64(b) iff a == b.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                         (seed >> 2)));
+}
+
+/** Hash three 64-bit values (e.g., store PC, load PC, label). */
+constexpr std::uint64_t
+hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    return hashCombine(hashCombine(mix64(a), b), c);
+}
+
+/** Map a 64-bit hash into the unit interval [0, 1). */
+constexpr double
+hashToUnit(std::uint64_t h)
+{
+    // Use the top 53 bits so the result is exactly representable.
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace act
+
+#endif // ACT_COMMON_HASHING_HH

@@ -1,0 +1,73 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace act
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::kNormal;
+
+} // namespace
+
+namespace logging_detail
+{
+
+void
+emit(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, message.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+LogLevel
+currentLevel()
+{
+    return g_level;
+}
+
+} // namespace logging_detail
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+inform(const std::string &message)
+{
+    if (g_level != LogLevel::kQuiet)
+        logging_detail::emit("info", message);
+}
+
+void
+warn(const std::string &message)
+{
+    logging_detail::emit("warn", message);
+}
+
+void
+debugLog(const std::string &message)
+{
+    if (g_level == LogLevel::kDebug)
+        logging_detail::emit("debug", message);
+}
+
+} // namespace act

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * Two terminating reporters are provided, with the same semantics gem5
+ * documents for them:
+ *  - panic():  an internal invariant was violated (a bug in ACT itself);
+ *              aborts so a core dump / debugger can take over.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits cleanly.
+ *
+ * Non-terminating reporters inform() and warn() print status messages.
+ */
+
+#ifndef ACT_COMMON_LOGGING_HH
+#define ACT_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace act
+{
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel
+{
+    kQuiet,  //!< Only warnings and errors.
+    kNormal, //!< inform() and above (default).
+    kDebug   //!< Everything, including debugLog().
+};
+
+namespace logging_detail
+{
+
+/** Emit one formatted line to stderr with the given tag. */
+void emit(const char *tag, const std::string &message);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const std::string &message);
+
+/** Current verbosity; see setLogLevel(). */
+LogLevel currentLevel();
+
+} // namespace logging_detail
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Print an informational status message (suppressed when kQuiet). */
+void inform(const std::string &message);
+
+/** Print a warning about suspicious but non-fatal conditions. */
+void warn(const std::string &message);
+
+/** Print a debug message (only when kDebug). */
+void debugLog(const std::string &message);
+
+/**
+ * Abort because an internal invariant does not hold.
+ *
+ * Use for conditions that can only arise from a bug in this codebase,
+ * never from user input.
+ */
+#define ACT_PANIC(msg)                                                     \
+    ::act::logging_detail::panicImpl(__FILE__, __LINE__,                   \
+                                     (::std::ostringstream{} << msg).str())
+
+/**
+ * Terminate because the user asked for something unsupported.
+ */
+#define ACT_FATAL(msg)                                                     \
+    ::act::logging_detail::fatalImpl(                                      \
+        (::std::ostringstream{} << msg).str())
+
+/** Panic unless @p cond holds. */
+#define ACT_ASSERT(cond)                                                   \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ACT_PANIC("assertion failed: " #cond);                         \
+    } while (false)
+
+} // namespace act
+
+#endif // ACT_COMMON_LOGGING_HH

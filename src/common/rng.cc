@@ -1,0 +1,107 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // SplitMix64 expansion; guarantees a non-zero state.
+    std::uint64_t s = seed;
+    for (auto &word : state_) {
+        s += 0x9e3779b97f4a7c15ULL;
+        word = mix64(s);
+    }
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next(std::uint64_t bound)
+{
+    ACT_ASSERT(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    ACT_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>((*this)());
+    return lo + static_cast<std::int64_t>(next(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return hashToUnit((*this)());
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    // Irwin-Hall approximation: sum of 12 uniforms has variance 1.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += nextDouble();
+    return mean + stddev * (acc - 6.0);
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id)
+{
+    return Rng(hashCombine((*this)(), mix64(stream_id)));
+}
+
+} // namespace act

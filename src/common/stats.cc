@@ -1,0 +1,159 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+void
+OnlineStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+IntervalRate::IntervalRate(std::uint64_t interval_length)
+    : interval_length_(interval_length)
+{
+    ACT_ASSERT(interval_length_ > 0);
+}
+
+bool
+IntervalRate::record(bool hit)
+{
+    ++events_;
+    ++total_events_;
+    if (hit) {
+        ++hits_;
+        ++total_hits_;
+    }
+    if (events_ < interval_length_)
+        return false;
+    last_rate_ = static_cast<double>(hits_) /
+                 static_cast<double>(events_);
+    has_rate_ = true;
+    events_ = 0;
+    hits_ = 0;
+    return true;
+}
+
+void
+IntervalRate::resetInterval()
+{
+    events_ = 0;
+    hits_ = 0;
+}
+
+void
+Histogram::add(std::int64_t value, std::uint64_t weight)
+{
+    buckets_[value] += weight;
+    total_ += weight;
+}
+
+std::int64_t
+Histogram::percentile(double fraction) const
+{
+    if (buckets_.empty())
+        return 0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (const auto &[value, count] : buckets_) {
+        seen += count;
+        if (seen >= target)
+            return value;
+    }
+    return buckets_.rbegin()->first;
+}
+
+std::string
+Histogram::toString(std::size_t max_rows) const
+{
+    std::vector<std::pair<std::int64_t, std::uint64_t>> rows(
+        buckets_.begin(), buckets_.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    if (rows.size() > max_rows)
+        rows.resize(max_rows);
+    std::string out;
+    char line[64];
+    for (const auto &[value, count] : rows) {
+        std::snprintf(line, sizeof(line), "%8lld: %llu\n",
+                      static_cast<long long>(value),
+                      static_cast<unsigned long long>(count));
+        out += line;
+    }
+    return out;
+}
+
+std::string
+formatPercent(double v, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+} // namespace act

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lightweight statistics helpers used across the simulator and benches.
+ */
+
+#ifndef ACT_COMMON_STATS_HH
+#define ACT_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace act
+{
+
+/**
+ * Numerically stable running mean / variance (Welford's algorithm).
+ */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples observed. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Counts events over fixed-size intervals and reports the rate of a
+ * tagged subset ("hits") within the most recently completed interval.
+ *
+ * Used by the ACT Module to compute the periodic misprediction rate
+ * that drives the online testing <-> training mode switch.
+ */
+class IntervalRate
+{
+  public:
+    /** @param interval_length Number of events per measurement window. */
+    explicit IntervalRate(std::uint64_t interval_length);
+
+    /**
+     * Record one event.
+     *
+     * @param hit Whether the event counts toward the rate numerator.
+     * @return true when this event completed an interval (a fresh rate
+     *         is now available via lastRate()).
+     */
+    bool record(bool hit);
+
+    /** Rate of hits within the last completed interval. */
+    double lastRate() const { return last_rate_; }
+
+    /** True once at least one interval has completed. */
+    bool hasRate() const { return has_rate_; }
+
+    /** Events recorded in the current (incomplete) interval. */
+    std::uint64_t pending() const { return events_; }
+
+    std::uint64_t intervalLength() const { return interval_length_; }
+
+    /** Total events ever recorded. */
+    std::uint64_t totalEvents() const { return total_events_; }
+
+    /** Total hits ever recorded. */
+    std::uint64_t totalHits() const { return total_hits_; }
+
+    /** Reset the current interval without touching lifetime totals. */
+    void resetInterval();
+
+  private:
+    std::uint64_t interval_length_;
+    std::uint64_t events_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t total_events_ = 0;
+    std::uint64_t total_hits_ = 0;
+    double last_rate_ = 0.0;
+    bool has_rate_ = false;
+};
+
+/**
+ * Sparse integer histogram with pretty-printing, for bench output.
+ */
+class Histogram
+{
+  public:
+    void add(std::int64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+
+    /** Value below which @p fraction of the mass lies (nearest rank). */
+    std::int64_t percentile(double fraction) const;
+
+    const std::map<std::int64_t, std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Render "value: count" lines, largest buckets first. */
+    std::string toString(std::size_t max_rows = 16) const;
+
+  private:
+    std::map<std::int64_t, std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/** Format @p v as a percentage with @p decimals digits, e.g. "8.2%". */
+std::string formatPercent(double v, int decimals = 1);
+
+/** Arithmetic mean of a vector (0 when empty). */
+double meanOf(const std::vector<double> &values);
+
+} // namespace act
+
+#endif // ACT_COMMON_STATS_HH

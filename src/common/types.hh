@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every ACT module.
+ *
+ * Part of the ACT reproduction (ISCA 2016): Production-Run Software
+ * Failure Diagnosis via Adaptive Communication Tracking.
+ */
+
+#ifndef ACT_COMMON_TYPES_HH
+#define ACT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace act
+{
+
+/** A virtual data address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** A static instruction address (program counter). */
+using Pc = std::uint64_t;
+
+/**
+ * A deterministic thread identifier.
+ *
+ * Following Section IV-C of the paper, thread ids are derived from the
+ * parent thread and the spawning order so that the same logical thread
+ * receives the same id in every execution.
+ */
+using ThreadId = std::uint32_t;
+
+/** A processor core index. */
+using CoreId = std::uint32_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A monotonically increasing event sequence number within a trace. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId kInvalidThread = ~ThreadId{0};
+
+/** Sentinel for "no program counter" (e.g., no last writer known). */
+inline constexpr Pc kInvalidPc = ~Pc{0};
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kInvalidCore = ~CoreId{0};
+
+} // namespace act
+
+#endif // ACT_COMMON_TYPES_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Encoding of RAW dependences into neural-network inputs.
+ *
+ * The paper feeds sequences of RAW dependences into an MLP but leaves
+ * the dependence -> input mapping unspecified. Section II-C's
+ * generalisation argument ("a code section often accesses some of the
+ * same data that other code sections access ... neural networks can
+ * predict the behavior of a completely new code section") requires the
+ * encoding to be *similarity preserving* over the program's address
+ * space: dependences that look alike must land close together on the
+ * input axes. Three encoders are provided:
+ *
+ *  - PairEncoder (default): two features per dependence, both derived
+ *    from raw instruction addresses (no extra hardware state):
+ *      u = code-locality: low PC bits of the load, placing the
+ *          dependence inside its function/loop body;
+ *      v = signed log-magnitude of (load_pc - store_pc), the
+ *          communication distance. Valid dependences cluster on a
+ *          small set of v values (intra-loop producers sit a few bytes
+ *          before their consumers; legitimate cross-function
+ *          communication adds a handful of fixed distances), while a
+ *          buggy dependence pairs the load with an unrelated writer
+ *          and lands far from every learned cluster. New code keeps
+ *          the same local structure, which is exactly why the network
+ *          generalises to it (Figure 7(b)).
+ *
+ *  - DictionaryEncoder: first-seen dep -> code (CAM model); precise
+ *    for a fixed binary but blind to new code. Ablation arm.
+ *
+ *  - HashEncoder: stateless scatter hash. Ablation arm.
+ */
+
+#ifndef ACT_DEPS_ENCODER_HH
+#define ACT_DEPS_ENCODER_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "deps/raw_dependence.hh"
+
+namespace act
+{
+
+/**
+ * Input code range: features map into [-kCodeRange, kCodeRange], which
+ * keeps the hidden sigmoids out of their flat regions and measurably
+ * improves trainability over a [0, 1) mapping.
+ */
+inline constexpr double kCodeRange = 2.0;
+
+/** Map a fraction in [0, 1) onto the symmetric code interval. */
+constexpr double
+codeFromUnit(double unit)
+{
+    return (unit * 2.0 - 1.0) * kCodeRange;
+}
+
+/** Abstract dependence -> input-features encoder. */
+class DependenceEncoder
+{
+  public:
+    virtual ~DependenceEncoder() = default;
+
+    /** Number of input features produced per dependence. */
+    virtual std::size_t width() const = 0;
+
+    /**
+     * Append this dependence's features (each in [-2, 2]) to @p out.
+     */
+    virtual void encode(const RawDependence &dep,
+                        std::vector<double> &out) = 0;
+
+    /** Encode a whole sequence (most recent dependence last). */
+    std::vector<double> encodeSequence(const DependenceSequence &seq);
+
+    /** Deep copy (each AM owns its encoder state snapshot). */
+    virtual std::unique_ptr<DependenceEncoder> clone() const = 0;
+};
+
+/** Address-feature encoder (default; no per-program state). */
+class PairEncoder : public DependenceEncoder
+{
+  public:
+    std::size_t width() const override { return 2; }
+
+    void encode(const RawDependence &dep,
+                std::vector<double> &out) override;
+
+    std::unique_ptr<DependenceEncoder> clone() const override;
+
+    /** The code-locality feature u on its own (exposed for tests). */
+    static double localityFeature(const RawDependence &dep);
+
+    /** The communication-distance feature v on its own. */
+    static double distanceFeature(const RawDependence &dep);
+};
+
+/** First-seen dictionary encoder (CAM model; ablation arm). */
+class DictionaryEncoder : public DependenceEncoder
+{
+  public:
+    /** @param capacity Number of distinct codes before wrap-around. */
+    explicit DictionaryEncoder(std::size_t capacity = 64);
+
+    std::size_t width() const override { return 1; }
+
+    void encode(const RawDependence &dep,
+                std::vector<double> &out) override;
+
+    std::unique_ptr<DependenceEncoder> clone() const override;
+
+    /** Distinct dependences seen so far. */
+    std::size_t entries() const { return codes_.size(); }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<std::uint64_t, std::size_t> codes_;
+};
+
+/** Stateless hash encoder (ablation arm). */
+class HashEncoder : public DependenceEncoder
+{
+  public:
+    explicit HashEncoder(std::uint64_t salt = 0xec0dedULL) : salt_(salt) {}
+
+    std::size_t width() const override { return 1; }
+
+    void encode(const RawDependence &dep,
+                std::vector<double> &out) override;
+
+    std::unique_ptr<DependenceEncoder> clone() const override;
+
+  private:
+    std::uint64_t salt_;
+};
+
+/** Construct the default encoder used throughout the benches. */
+std::unique_ptr<DependenceEncoder> makeDefaultEncoder();
+
+} // namespace act
+
+#endif // ACT_DEPS_ENCODER_HH

@@ -1,0 +1,124 @@
+#include "deps/input_generator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/network.hh"
+
+namespace act
+{
+
+InputGenerator::InputGenerator(std::size_t sequence_length,
+                               Granularity granularity,
+                               std::uint32_t line_size)
+    : sequence_length_(sequence_length), granularity_(granularity),
+      line_size_(line_size)
+{
+    ACT_ASSERT(sequence_length_ >= 1 && sequence_length_ <= kMaxFanIn);
+}
+
+GeneratedSequences
+InputGenerator::process(const Trace &trace, bool with_negatives) const
+{
+    GeneratedSequences out;
+    DependenceTracker tracker(granularity_, line_size_);
+
+    // Sliding window of recent dependences, per thread (the paper
+    // assigns a dependence to the processor executing the load).
+    std::unordered_map<ThreadId, std::deque<RawDependence>> history;
+
+    Rng negative_rng(hashCombine(0x9e6a71fe5ULL, trace.size()));
+
+    // Synthetic wrong-writer fallback: a store at a log-uniform random
+    // distance on a random side of the load — the communication shape
+    // a bug produces. Distances too close to the true dependence's own
+    // band are rejected so negatives never contradict positives.
+    const auto synthesizeNegative =
+        [&](const RawDependence &dep) -> std::optional<RawDependence> {
+        const auto true_delta = static_cast<double>(
+            std::abs(static_cast<std::int64_t>(dep.load_pc) -
+                     static_cast<std::int64_t>(dep.store_pc)));
+        const double true_log = std::log2(1.0 + true_delta);
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            // Stay well clear of the tight-forwarding band (deltas of
+            // a few words) so nearby-but-unseen code is still judged
+            // by similarity rather than squeezed by a negative.
+            const double log_delta = negative_rng.uniform(4.2, 17.0);
+            if (std::abs(log_delta - true_log) < 0.75)
+                continue;
+            const auto delta = static_cast<std::int64_t>(
+                std::exp2(log_delta));
+            const bool above = negative_rng.chance(0.5);
+            const Pc wrong = above ? dep.load_pc + delta
+                                   : dep.load_pc - delta;
+            return RawDependence{wrong, dep.load_pc, dep.inter_thread};
+        }
+        return std::nullopt;
+    };
+
+    for (const auto &event : trace.events()) {
+        if (event.kind == EventKind::kStore) {
+            tracker.recordStore(event);
+            continue;
+        }
+        if (event.kind != EventKind::kLoad || isFilteredLoad(event))
+            continue;
+
+        const auto dep = tracker.formDependence(event);
+        if (!dep)
+            continue;
+        ++out.dependence_count;
+
+        auto &window = history[event.tid];
+        window.push_back(*dep);
+        if (window.size() > sequence_length_)
+            window.pop_front();
+        if (window.size() < sequence_length_)
+            continue;
+
+        DependenceSequence positive;
+        positive.deps.assign(window.begin(), window.end());
+        out.positives.push_back(positive);
+        out.positive_tids.push_back(event.tid);
+
+        if (!with_negatives)
+            continue;
+
+        if (const auto neg = tracker.formNegativeDependence(event)) {
+            DependenceSequence negative = positive;
+            negative.deps.back() = *neg;
+            out.negatives.push_back(std::move(negative));
+            out.negative_tids.push_back(event.tid);
+        } else if (const auto neg = synthesizeNegative(*dep)) {
+            DependenceSequence negative = positive;
+            negative.deps.back() = *neg;
+            out.negatives.push_back(std::move(negative));
+            out.negative_tids.push_back(event.tid);
+        }
+    }
+    return out;
+}
+
+Dataset
+InputGenerator::buildDataset(const Trace &trace, DependenceEncoder &encoder,
+                             bool with_negatives) const
+{
+    return toDataset(process(trace, with_negatives), encoder,
+                     with_negatives);
+}
+
+Dataset
+InputGenerator::toDataset(const GeneratedSequences &sequences,
+                          DependenceEncoder &encoder, bool with_negatives)
+{
+    Dataset data;
+    for (const auto &seq : sequences.positives)
+        data.add(Example{encoder.encodeSequence(seq), 1.0});
+    if (with_negatives) {
+        for (const auto &seq : sequences.negatives)
+            data.add(Example{encoder.encodeSequence(seq), 0.0});
+    }
+    return data;
+}
+
+} // namespace act

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Input Generator of Figure 4(a): turns execution traces into
+ * RAW-dependence sequences and labelled training examples.
+ *
+ * For every dependence S -> L it groups the last N-1 dependences from
+ * the same thread with S -> L to form a positive example, and — when
+ * the location has a known writer-before-last S' — pairs the same
+ * history with S' -> L to form a negative example (Section III-B).
+ *
+ * When a location has only ever had a single static writer (common in
+ * the synthetic kernels, where each array slot is produced by exactly
+ * one store instruction), the paper's writer-before-last construction
+ * degenerates to the positive example itself. In that case the
+ * generator falls back to a *shuffled-writer* negative: the load is
+ * paired with another store instruction observed in the same trace,
+ * which is precisely the kind of communication a bug creates. The
+ * fallback is deterministic in the trace content.
+ */
+
+#ifndef ACT_DEPS_INPUT_GENERATOR_HH
+#define ACT_DEPS_INPUT_GENERATOR_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "deps/encoder.hh"
+#include "deps/tracker.hh"
+#include "nn/dataset.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Sequences extracted from one trace. */
+struct GeneratedSequences
+{
+    /** Valid sequences, one per load with enough history. */
+    std::vector<DependenceSequence> positives;
+
+    /** Thread that executed each positive's final load (parallel to
+     *  positives; used for per-thread weight specialisation). */
+    std::vector<ThreadId> positive_tids;
+
+    /** Synthesised invalid sequences (may be fewer than positives). */
+    std::vector<DependenceSequence> negatives;
+
+    /** Thread of each negative's final load (parallel to negatives). */
+    std::vector<ThreadId> negative_tids;
+
+    /** All RAW dependences formed, before sequence grouping. */
+    std::size_t dependence_count = 0;
+};
+
+/**
+ * Trace -> sequence/dataset converter.
+ */
+class InputGenerator
+{
+  public:
+    /**
+     * @param sequence_length N, dependences per sequence (paper: 1..5).
+     * @param granularity     Last-writer tracking granularity.
+     * @param line_size       Cache line size for kLine granularity.
+     */
+    explicit InputGenerator(std::size_t sequence_length,
+                            Granularity granularity = Granularity::kWord,
+                            std::uint32_t line_size = 64);
+
+    std::size_t sequenceLength() const { return sequence_length_; }
+
+    /**
+     * Extract positive and negative sequences from @p trace.
+     *
+     * @param trace         The execution trace to analyse.
+     * @param with_negatives Whether to synthesise negative examples.
+     */
+    GeneratedSequences process(const Trace &trace,
+                               bool with_negatives = true) const;
+
+    /**
+     * Extract sequences and encode them into a labelled dataset.
+     *
+     * @param trace          Source trace.
+     * @param encoder        Dependence encoder (its dictionary grows).
+     * @param with_negatives Whether negatives are included.
+     */
+    Dataset buildDataset(const Trace &trace, DependenceEncoder &encoder,
+                         bool with_negatives = true) const;
+
+    /** Encode already-extracted sequences into a dataset. */
+    static Dataset toDataset(const GeneratedSequences &sequences,
+                             DependenceEncoder &encoder,
+                             bool with_negatives = true);
+
+  private:
+    std::size_t sequence_length_;
+    Granularity granularity_;
+    std::uint32_t line_size_;
+};
+
+} // namespace act
+
+#endif // ACT_DEPS_INPUT_GENERATOR_HH

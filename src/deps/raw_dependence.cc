@@ -1,0 +1,51 @@
+#include "deps/raw_dependence.hh"
+
+#include <cstdio>
+
+namespace act
+{
+
+std::string
+RawDependence::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "0x%llx->0x%llx (%s)",
+                  static_cast<unsigned long long>(store_pc),
+                  static_cast<unsigned long long>(load_pc),
+                  inter_thread ? "inter" : "intra");
+    return buf;
+}
+
+std::uint64_t
+DependenceSequence::key() const
+{
+    std::uint64_t h = mix64(deps.size());
+    for (const auto &dep : deps)
+        h = hashCombine(h, dep.key());
+    return h;
+}
+
+std::size_t
+DependenceSequence::prefixMatch(const DependenceSequence &other) const
+{
+    const std::size_t limit = std::min(deps.size(), other.deps.size());
+    std::size_t matched = 0;
+    while (matched < limit && deps[matched] == other.deps[matched])
+        ++matched;
+    return matched;
+}
+
+std::string
+DependenceSequence::toString() const
+{
+    std::string out = "(";
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += deps[i].toString();
+    }
+    out += ")";
+    return out;
+}
+
+} // namespace act

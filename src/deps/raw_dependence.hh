@@ -1,0 +1,70 @@
+/**
+ * @file
+ * RAW (read-after-write) data-communication dependences and sequences.
+ *
+ * Following Section II-B, a dependence S -> L records that load
+ * instruction L read a memory word last written by store instruction S.
+ * Dependences are labelled inter-thread or intra-thread, and a sequence
+ * groups N consecutive dependences observed by the same processor.
+ */
+
+#ifndef ACT_DEPS_RAW_DEPENDENCE_HH
+#define ACT_DEPS_RAW_DEPENDENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hashing.hh"
+#include "common/types.hh"
+
+namespace act
+{
+
+/** One RAW data-communication dependence. */
+struct RawDependence
+{
+    Pc store_pc = kInvalidPc;  //!< Instruction that produced the value.
+    Pc load_pc = kInvalidPc;   //!< Instruction that consumed the value.
+    bool inter_thread = false; //!< Writer ran on a different thread.
+
+    bool operator==(const RawDependence &) const = default;
+
+    /** Stable 64-bit identity hash. */
+    std::uint64_t
+    key() const
+    {
+        return hash3(store_pc, load_pc, inter_thread ? 1 : 0);
+    }
+
+    /** Render e.g. "0x10->0x20 (inter)". */
+    std::string toString() const;
+};
+
+/**
+ * An ordered group of N consecutive dependences from one processor —
+ * the unit the neural network classifies and the Debug Buffer stores.
+ */
+struct DependenceSequence
+{
+    std::vector<RawDependence> deps;
+
+    bool operator==(const DependenceSequence &) const = default;
+
+    std::size_t length() const { return deps.size(); }
+
+    /** Order-sensitive hash over all member dependences. */
+    std::uint64_t key() const;
+
+    /**
+     * Length of the common prefix with @p other (the "matched RAW
+     * dependences" count of the ranking step, Section III-D).
+     */
+    std::size_t prefixMatch(const DependenceSequence &other) const;
+
+    std::string toString() const;
+};
+
+} // namespace act
+
+#endif // ACT_DEPS_RAW_DEPENDENCE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Exact last-writer tracking over execution traces.
+ *
+ * This is the software (Input Generator, Figure 4(a)) counterpart of
+ * the cache-line last-writer extension: it remembers, per tracked
+ * location, which store instruction wrote last (and which wrote before
+ * that, so negative training examples can be synthesised per
+ * Section III-B). Granularity is configurable — per word (the design
+ * of Section III) or per cache line (the Section V simplification whose
+ * false-sharing cost bench/fig10 measures).
+ */
+
+#ifndef ACT_DEPS_TRACKER_HH
+#define ACT_DEPS_TRACKER_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "deps/raw_dependence.hh"
+#include "trace/event.hh"
+
+namespace act
+{
+
+/** Location granularity at which last writers are remembered. */
+enum class Granularity : std::uint8_t
+{
+    kWord, //!< 4-byte words (precise; default design).
+    kLine  //!< Whole cache lines (cheaper; false sharing possible).
+};
+
+/** A store that has been observed: who and where. */
+struct WriterRecord
+{
+    Pc pc = kInvalidPc;
+    ThreadId tid = kInvalidThread;
+
+    bool valid() const { return pc != kInvalidPc; }
+};
+
+/**
+ * Maps data addresses to their most recent writers.
+ */
+class DependenceTracker
+{
+  public:
+    /**
+     * @param granularity Tracking granularity.
+     * @param line_size   Cache line size in bytes (kLine granularity).
+     */
+    explicit DependenceTracker(Granularity granularity = Granularity::kWord,
+                               std::uint32_t line_size = 64);
+
+    /** Record a store event. */
+    void recordStore(const TraceEvent &event);
+
+    /**
+     * Form the RAW dependence for a load event, if the location has a
+     * known writer.
+     *
+     * @param event A kLoad event.
+     * @return The dependence, or nullopt when no writer is known (e.g.,
+     *         the location was never written in this trace).
+     */
+    std::optional<RawDependence> formDependence(
+        const TraceEvent &event) const;
+
+    /**
+     * Form the *invalid* dependence for a load: same load instruction,
+     * but paired with the store before the last store to the location.
+     * Used to create negative training examples.
+     */
+    std::optional<RawDependence> formNegativeDependence(
+        const TraceEvent &event) const;
+
+    /** Dispatch on event kind; returns a dependence for loads. */
+    std::optional<RawDependence> observe(const TraceEvent &event);
+
+    /** Number of tracked locations. */
+    std::size_t trackedLocations() const { return last_.size(); }
+
+    void clear();
+
+    Granularity granularity() const { return granularity_; }
+
+  private:
+    Addr normalize(Addr addr) const;
+
+    Granularity granularity_;
+    std::uint32_t line_size_;
+    std::unordered_map<Addr, WriterRecord> last_;
+    std::unordered_map<Addr, WriterRecord> previous_;
+};
+
+} // namespace act
+
+#endif // ACT_DEPS_TRACKER_HH

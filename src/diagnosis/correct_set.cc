@@ -1,0 +1,65 @@
+#include "diagnosis/correct_set.hh"
+
+namespace act
+{
+
+std::uint64_t
+CorrectSet::prefixKey(const DependenceSequence &sequence,
+                      std::size_t length)
+{
+    std::uint64_t h = mix64(0xC0221 + length);
+    for (std::size_t i = 0; i < length; ++i)
+        h = hashCombine(h, sequence.deps[i].key());
+    return h;
+}
+
+void
+CorrectSet::addSequence(const DependenceSequence &sequence)
+{
+    full_.insert(sequence.key());
+    for (std::size_t p = 1; p <= sequence.deps.size(); ++p)
+        prefixes_.insert(prefixKey(sequence, p));
+    if (!sequence.deps.empty())
+        final_deps_.insert(sequence.deps.back().key());
+}
+
+void
+CorrectSet::addTrace(const Trace &trace, const InputGenerator &generator)
+{
+    const GeneratedSequences sequences =
+        generator.process(trace, /*with_negatives=*/false);
+    addSequences(sequences.positives);
+}
+
+void
+CorrectSet::addSequences(const std::vector<DependenceSequence> &sequences)
+{
+    for (const auto &sequence : sequences)
+        addSequence(sequence);
+}
+
+bool
+CorrectSet::contains(const DependenceSequence &sequence) const
+{
+    return full_.count(sequence.key()) != 0;
+}
+
+bool
+CorrectSet::containsDependence(const RawDependence &dep) const
+{
+    return final_deps_.count(dep.key()) != 0;
+}
+
+std::size_t
+CorrectSet::matchedPrefix(const DependenceSequence &sequence) const
+{
+    std::size_t matched = 0;
+    for (std::size_t p = 1; p <= sequence.deps.size(); ++p) {
+        if (prefixes_.count(prefixKey(sequence, p)) == 0)
+            break;
+        matched = p;
+    }
+    return matched;
+}
+
+} // namespace act

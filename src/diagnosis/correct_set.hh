@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Correct Set of Section III-D: RAW-dependence sequences observed
+ * in correct executions, with prefix-match queries for ranking.
+ */
+
+#ifndef ACT_DIAGNOSIS_CORRECT_SET_HH
+#define ACT_DIAGNOSIS_CORRECT_SET_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "deps/input_generator.hh"
+#include "deps/raw_dependence.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/**
+ * Set of known-good dependence sequences.
+ *
+ * Alongside full sequences it indexes every proper prefix, so the
+ * ranking step can ask "how many leading dependences of this flagged
+ * sequence match some correct sequence" in O(N) hash probes.
+ */
+class CorrectSet
+{
+  public:
+    /** Add one sequence (and all its prefixes). */
+    void addSequence(const DependenceSequence &sequence);
+
+    /** Add every positive sequence of @p trace. */
+    void addTrace(const Trace &trace, const InputGenerator &generator);
+
+    /** Add a batch of sequences. */
+    void addSequences(const std::vector<DependenceSequence> &sequences);
+
+    /** Is the full sequence present (=> prune it)? */
+    bool contains(const DependenceSequence &sequence) const;
+
+    /**
+     * Did @p dep terminate some correct sequence? Used by the
+     * dependence-level pruning refinement (see PostprocessOptions).
+     */
+    bool containsDependence(const RawDependence &dep) const;
+
+    /**
+     * Longest p such that the first p dependences of @p sequence equal
+     * the first p dependences of some correct sequence.
+     */
+    std::size_t matchedPrefix(const DependenceSequence &sequence) const;
+
+    /** Number of distinct full sequences. */
+    std::size_t size() const { return full_.size(); }
+
+  private:
+    static std::uint64_t prefixKey(const DependenceSequence &sequence,
+                                   std::size_t length);
+
+    std::unordered_set<std::uint64_t> full_;
+    std::unordered_set<std::uint64_t> prefixes_;
+    std::unordered_set<std::uint64_t> final_deps_;
+};
+
+} // namespace act
+
+#endif // ACT_DIAGNOSIS_CORRECT_SET_HH

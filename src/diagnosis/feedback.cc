@@ -1,0 +1,76 @@
+#include "diagnosis/feedback.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+FeedbackResult
+applyNegativeFeedback(const Workload &workload, const TrainedModel &model,
+                      DependenceEncoder &encoder,
+                      const std::vector<DependenceSequence> &confirmed_invalid,
+                      const FeedbackConfig &config)
+{
+    ACT_ASSERT(!confirmed_invalid.empty());
+    const std::size_t sequence_length = confirmed_invalid.front().length();
+
+    MlpNetwork network(model.topology);
+    network.setWeights(model.weights);
+
+    // Refresher positives from fresh correct runs.
+    const InputGenerator generator(sequence_length);
+    Dataset refresher;
+    for (std::size_t i = 0; i < config.refresher_traces; ++i) {
+        WorkloadParams params;
+        params.seed = config.refresher_seed_base + i;
+        const Trace trace = workload.record(params);
+        refresher.merge(
+            generator.buildDataset(trace, encoder, /*with_negatives=*/true));
+    }
+
+    // The confirmed-invalid sequences, up-weighted.
+    Dataset corrections;
+    for (const auto &sequence : confirmed_invalid) {
+        ACT_ASSERT(sequence.length() == sequence_length);
+        for (std::size_t r = 0; r < config.negative_weight; ++r) {
+            corrections.add(
+                Example{encoder.encodeSequence(sequence), 0.0});
+        }
+    }
+
+    Dataset mixed = refresher;
+    mixed.merge(corrections);
+
+    Rng rng(0xfeedbac);
+    TrainerConfig trainer;
+    trainer.learning_rate = config.learning_rate;
+    trainer.max_epochs = config.epochs;
+    trainer.target_error = 0.0;
+    trainer.patience = config.epochs;
+    trainNetwork(network, mixed, trainer, rng);
+
+    FeedbackResult result;
+    for (const auto &sequence : confirmed_invalid) {
+        if (network.predictValid(encoder.encodeSequence(sequence)))
+            ++result.still_valid;
+        else
+            ++result.fixed;
+    }
+    result.positive_error = evaluateFalseInvalidRate(network, refresher);
+    result.weights = network.weights();
+    return result;
+}
+
+FeedbackResult
+applyNegativeFeedback(const Workload &workload, const TrainedModel &model,
+                      DependenceEncoder &encoder,
+                      const std::vector<DependenceSequence> &confirmed_invalid,
+                      WeightStore &store, const FeedbackConfig &config)
+{
+    FeedbackResult result = applyNegativeFeedback(
+        workload, model, encoder, confirmed_invalid, config);
+    store.setAll(workload.threadCount(), result.weights);
+    return result;
+}
+
+} // namespace act

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Programmer feedback (Section III-C): "If such case occurs and the
+ * programmer, with the help of other approaches, is able to pinpoint
+ * the invalid dependence sequence, the sequence can be fed to the
+ * neural network (similar to offline training) as a negative example."
+ *
+ * This closes the loop for the one failure mode ACT cannot recover
+ * from on its own — a buggy sequence the network calls valid. The
+ * confirmed-invalid sequences are mixed into a refresher training pass
+ * over the existing weights and the updated weights are patched back
+ * into the per-thread store.
+ */
+
+#ifndef ACT_DIAGNOSIS_FEEDBACK_HH
+#define ACT_DIAGNOSIS_FEEDBACK_HH
+
+#include <vector>
+
+#include "act/weight_store.hh"
+#include "deps/encoder.hh"
+#include "diagnosis/pipeline.hh"
+
+namespace act
+{
+
+/** Knobs of the feedback refresher. */
+struct FeedbackConfig
+{
+    /** Repetitions of each confirmed-invalid example per epoch. */
+    std::size_t negative_weight = 8;
+
+    /** Refresher epochs over the mixed dataset. */
+    std::size_t epochs = 60;
+
+    double learning_rate = 0.2;
+
+    /** Positive examples re-derived from this many correct traces. */
+    std::size_t refresher_traces = 4;
+    std::uint64_t refresher_seed_base = 700;
+};
+
+/** Outcome of one feedback application. */
+struct FeedbackResult
+{
+    /** Sequences the network now classifies as invalid. */
+    std::size_t fixed = 0;
+
+    /** Sequences it still accepts (needs more feedback). */
+    std::size_t still_valid = 0;
+
+    /** Residual error on the refresher positives. */
+    double positive_error = 0.0;
+
+    std::vector<double> weights; //!< Updated flat weight vector.
+};
+
+/**
+ * Teach @p model that @p confirmed_invalid sequences are negative.
+ *
+ * The refresher mixes the confirmed sequences (repeated, so a handful
+ * of examples can move the decision boundary) with fresh positive
+ * examples from correct runs of @p workload, so the network does not
+ * forget the valid behaviour while learning the correction.
+ *
+ * @return Updated weights plus verification counts.
+ */
+FeedbackResult applyNegativeFeedback(
+    const Workload &workload, const TrainedModel &model,
+    DependenceEncoder &encoder,
+    const std::vector<DependenceSequence> &confirmed_invalid,
+    const FeedbackConfig &config = {});
+
+/**
+ * Convenience: apply feedback and patch every thread's weights in
+ * @p store with the result.
+ */
+FeedbackResult applyNegativeFeedback(
+    const Workload &workload, const TrainedModel &model,
+    DependenceEncoder &encoder,
+    const std::vector<DependenceSequence> &confirmed_invalid,
+    WeightStore &store, const FeedbackConfig &config = {});
+
+} // namespace act
+
+#endif // ACT_DIAGNOSIS_FEEDBACK_HH

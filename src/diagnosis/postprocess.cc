@@ -1,0 +1,114 @@
+#include "diagnosis/postprocess.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace act
+{
+
+std::optional<std::size_t>
+DiagnosisReport::rankOf(const RawDependence &root) const
+{
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (!ranked[i].sequence.deps.empty() &&
+            ranked[i].sequence.deps.back() == root) {
+            return i + 1;
+        }
+    }
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        for (const auto &dep : ranked[i].sequence.deps) {
+            if (dep == root)
+                return i + 1;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+DiagnosisReport::dependenceRankOf(const RawDependence &root) const
+{
+    std::unordered_map<std::uint64_t, bool> seen;
+    std::size_t distinct = 0;
+    for (const auto &candidate : ranked) {
+        if (candidate.sequence.deps.empty())
+            continue;
+        const RawDependence &final_dep = candidate.sequence.deps.back();
+        if (seen.try_emplace(final_dep.key(), true).second)
+            ++distinct;
+        if (final_dep == root)
+            return distinct;
+    }
+    return std::nullopt;
+}
+
+std::string
+DiagnosisReport::toString(std::size_t top_k) const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "debug entries: %zu (distinct %zu), pruned %zu "
+                  "(%.0f%%), candidates %zu\n",
+                  raw_entries, distinct_entries, pruned,
+                  filterFraction() * 100.0, ranked.size());
+    out += line;
+    for (std::size_t i = 0; i < std::min(top_k, ranked.size()); ++i) {
+        const RankedSequence &r = ranked[i];
+        std::snprintf(line, sizeof(line),
+                      "  #%zu matched=%zu output=%+.3f %s\n", i + 1,
+                      r.matched, r.output,
+                      r.sequence.toString().c_str());
+        out += line;
+    }
+    return out;
+}
+
+DiagnosisReport
+postprocess(const std::vector<DebugEntry> &entries,
+            const CorrectSet &correct_set,
+            const PostprocessOptions &options)
+{
+    DiagnosisReport report;
+    report.raw_entries = entries.size();
+
+    // De-duplicate identical sequences, keeping the most negative
+    // output each produced.
+    std::unordered_map<std::uint64_t, RankedSequence> distinct;
+    for (const auto &entry : entries) {
+        const std::uint64_t key = entry.sequence.key();
+        auto [it, inserted] = distinct.try_emplace(
+            key, RankedSequence{entry.sequence, entry.output, 0});
+        if (!inserted)
+            it->second.output = std::min(it->second.output, entry.output);
+    }
+    report.distinct_entries = distinct.size();
+
+    // Prune everything the Correct Set certifies, then score the rest.
+    for (auto &[key, candidate] : distinct) {
+        const bool exact = correct_set.contains(candidate.sequence);
+        const bool by_dependence =
+            options.prune_final_dependence &&
+            !candidate.sequence.deps.empty() &&
+            correct_set.containsDependence(
+                candidate.sequence.deps.back());
+        if (exact || by_dependence) {
+            ++report.pruned;
+            continue;
+        }
+        candidate.matched = correct_set.matchedPrefix(candidate.sequence);
+        report.ranked.push_back(std::move(candidate));
+    }
+
+    std::sort(report.ranked.begin(), report.ranked.end(),
+              [](const RankedSequence &a, const RankedSequence &b) {
+                  if (a.matched != b.matched)
+                      return a.matched > b.matched;
+                  if (a.output != b.output)
+                      return a.output < b.output;
+                  return a.sequence.key() < b.sequence.key();
+              });
+    return report;
+}
+
+} // namespace act

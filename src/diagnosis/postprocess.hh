@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Offline postprocessing of the Debug Buffer (Section III-D): pruning
+ * against the Correct Set, then ranking the survivors by matched
+ * prefix length with the most-negative network output breaking ties.
+ */
+
+#ifndef ACT_DIAGNOSIS_POSTPROCESS_HH
+#define ACT_DIAGNOSIS_POSTPROCESS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "act/buffers.hh"
+#include "diagnosis/correct_set.hh"
+
+namespace act
+{
+
+/** One ranked root-cause candidate. */
+struct RankedSequence
+{
+    DependenceSequence sequence;
+    double output = 0.0;       //!< Most negative NN output observed.
+    std::size_t matched = 0;   //!< Matched prefix dependences.
+};
+
+/** Result of pruning + ranking. */
+struct DiagnosisReport
+{
+    /** Survivors, best candidate first. */
+    std::vector<RankedSequence> ranked;
+
+    std::size_t raw_entries = 0;      //!< Debug Buffer entries given.
+    std::size_t distinct_entries = 0; //!< After de-duplication.
+    std::size_t pruned = 0;           //!< Removed by the Correct Set.
+
+    /** Fraction of distinct entries the pruning removed. */
+    double
+    filterFraction() const
+    {
+        if (distinct_entries == 0)
+            return 0.0;
+        return static_cast<double>(pruned) /
+               static_cast<double>(distinct_entries);
+    }
+
+    /**
+     * 1-based rank of the first candidate whose final dependence is
+     * @p root (falling back to containment anywhere in the sequence);
+     * nullopt when the root cause is absent.
+     */
+    std::optional<std::size_t> rankOf(const RawDependence &root) const;
+
+    /**
+     * Rank counted in *distinct final dependences*: sequences that end
+     * in the same dependence are one finding to the programmer walking
+     * the list top-down, so this is the number of distinct suspect
+     * dependences inspected up to and including the root cause.
+     */
+    std::optional<std::size_t> dependenceRankOf(
+        const RawDependence &root) const;
+
+    /** Human-readable top-k listing for the examples. */
+    std::string toString(std::size_t top_k = 5) const;
+};
+
+/** Pruning behaviour knobs. */
+struct PostprocessOptions
+{
+    /**
+     * Also prune a flagged sequence when its *final* dependence
+     * terminated some correct sequence, even if the surrounding
+     * context never recurred verbatim. Rare-but-legitimate
+     * communication reappears in the postmortem traces in ever
+     * different contexts; without this refinement the exact-sequence
+     * pruning of Section III-D leaves most of it in the candidate
+     * list. Caveat: a purely context-dependent bug (a dependence that
+     * is valid in one position and buggy in another, Figure 2(c)'s
+     * I1->J2 shape) needs this turned off.
+     */
+    bool prune_final_dependence = true;
+};
+
+/**
+ * Run the Section III-D postprocessing.
+ *
+ * @param entries     Debug Buffer contents (logging order).
+ * @param correct_set Sequences from correct executions.
+ * @param options     Pruning refinements.
+ */
+DiagnosisReport postprocess(const std::vector<DebugEntry> &entries,
+                            const CorrectSet &correct_set,
+                            const PostprocessOptions &options = {});
+
+} // namespace act
+
+#endif // ACT_DIAGNOSIS_POSTPROCESS_HH

@@ -1,0 +1,76 @@
+#include "hwnn/neuron.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+Neuron::Neuron(const NeuronConfig &config, const SigmoidTable &table)
+    : config_(config), table_(table)
+{
+    ACT_ASSERT(config_.max_inputs >= 1);
+    ACT_ASSERT(config_.muladd_units >= 1 &&
+               config_.muladd_units <= config_.max_inputs);
+    weights_.assign(config_.max_inputs + 1, HwFixed{});
+}
+
+void
+Neuron::setWeights(std::span<const double> weights)
+{
+    ACT_ASSERT(weights.size() <= weights_.size());
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        weights_[i] = i < weights.size() ? HwFixed::fromDouble(weights[i])
+                                         : HwFixed{};
+    }
+}
+
+std::vector<double>
+Neuron::weightsAsDouble() const
+{
+    std::vector<double> out;
+    out.reserve(weights_.size());
+    for (const auto w : weights_)
+        out.push_back(w.toDouble());
+    return out;
+}
+
+HwFixed
+Neuron::weightedSum(std::span<const HwFixed> inputs) const
+{
+    ACT_ASSERT(inputs.size() <= config_.max_inputs);
+    HwFixed acc = weights_[0]; // bias, a_0 == 1
+    for (std::size_t j = 0; j < inputs.size(); ++j)
+        acc = acc + weights_[j + 1] * inputs[j];
+    return acc;
+}
+
+HwFixed
+Neuron::evaluate(std::span<const HwFixed> inputs) const
+{
+    return table_.lookup(weightedSum(inputs));
+}
+
+void
+Neuron::applyUpdate(HwFixed delta, std::span<const HwFixed> inputs)
+{
+    ACT_ASSERT(inputs.size() <= config_.max_inputs);
+    weights_[0] = weights_[0] + delta;
+    for (std::size_t j = 0; j < inputs.size(); ++j)
+        weights_[j + 1] = weights_[j + 1] + delta * inputs[j];
+}
+
+HwFixed
+Neuron::weightAt(std::size_t index) const
+{
+    ACT_ASSERT(index < weights_.size());
+    return weights_[index];
+}
+
+void
+Neuron::setWeightAt(std::size_t index, HwFixed value)
+{
+    ACT_ASSERT(index < weights_.size());
+    weights_[index] = value;
+}
+
+} // namespace act

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Timing/functional model of one hardware neuron (Figure 6(b)).
+ *
+ * A neuron holds M weight registers and M input registers, a
+ * configurable number of cascaded multiply-add units, an accumulator
+ * register and a sigmoid table. The number of multiply-add units x is
+ * the latency knob of Section IV-A:
+ *
+ *     T = ceil(M / x) * T_muladd + T_rest
+ *
+ * where T_rest covers the accumulator and sigmoid table stages. During
+ * training the weight update needs the same M multiply-adds, and the
+ * extra M multiplications for error back-propagation run on additional
+ * multipliers in parallel, so the per-pass latency is unchanged.
+ */
+
+#ifndef ACT_HWNN_NEURON_HH
+#define ACT_HWNN_NEURON_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/types.hh"
+#include "hwnn/sigmoid_table.hh"
+
+namespace act
+{
+
+/** Hardware parameters of a neuron (Table III defaults in bold). */
+struct NeuronConfig
+{
+    std::uint32_t max_inputs = 10;      //!< M, weight/input registers.
+    std::uint32_t muladd_units = 2;     //!< x in {1, 2, 5, 10}.
+    std::uint32_t muladd_latency = 1;   //!< T_muladd (cycles).
+    std::uint32_t accumulator_latency = 1;
+    std::uint32_t sigmoid_latency = 1;
+
+    /** Neuron latency T in cycles for one full evaluation pass. */
+    Cycle
+    latency() const
+    {
+        const std::uint32_t passes =
+            (max_inputs + muladd_units - 1) / muladd_units;
+        return static_cast<Cycle>(passes) * muladd_latency +
+               accumulator_latency + sigmoid_latency;
+    }
+};
+
+/**
+ * Functional model: fixed-point weighted sum + sigmoid table.
+ *
+ * Unused weight registers hold zero, which is exactly how the hardware
+ * disables surplus inputs ("a weight of zero is used to disable a
+ * particular input").
+ */
+class Neuron
+{
+  public:
+    Neuron(const NeuronConfig &config, const SigmoidTable &table);
+
+    /** Load weights: [bias, w_1 .. w_n]; the rest are zeroed. */
+    void setWeights(std::span<const double> weights);
+
+    /** Current weights (quantised), including the bias at index 0. */
+    std::vector<double> weightsAsDouble() const;
+
+    std::uint32_t maxInputs() const { return config_.max_inputs; }
+
+    /**
+     * Evaluate: sigmoid(bias + sum w_j * a_j) over @p inputs
+     * (only the first n inputs participate; n <= M).
+     */
+    HwFixed evaluate(std::span<const HwFixed> inputs) const;
+
+    /** Weighted sum without the activation (for back-prop math). */
+    HwFixed weightedSum(std::span<const HwFixed> inputs) const;
+
+    /**
+     * Apply the back-propagation weight update
+     *     w_j += delta * a_j   (a_0 == 1 for the bias)
+     * where @p delta already includes the learning rate.
+     */
+    void applyUpdate(HwFixed delta, std::span<const HwFixed> inputs);
+
+    /** Raw fixed-point weight at register @p index. */
+    HwFixed weightAt(std::size_t index) const;
+
+    void setWeightAt(std::size_t index, HwFixed value);
+
+    const NeuronConfig &config() const { return config_; }
+
+  private:
+    NeuronConfig config_;
+    const SigmoidTable &table_;
+    std::vector<HwFixed> weights_; //!< [bias, w_1 .. w_M].
+};
+
+} // namespace act
+
+#endif // ACT_HWNN_NEURON_HH

@@ -1,0 +1,35 @@
+#include "hwnn/npu_reference.hh"
+
+namespace act
+{
+
+Cycle
+NpuReference::layerLatency(std::size_t neurons, std::size_t fan_in) const
+{
+    const std::size_t rounds = (neurons + config_.pes - 1) / config_.pes;
+    const Cycle per_round = config_.schedule_overhead +
+                            static_cast<Cycle>(fan_in + 1) *
+                                config_.muladd_latency +
+                            config_.sigmoid_latency + config_.bus_latency;
+    return static_cast<Cycle>(rounds) * per_round;
+}
+
+Cycle
+NpuReference::inferenceLatency(const Topology &topology) const
+{
+    return layerLatency(topology.hidden, topology.inputs) +
+           layerLatency(1, topology.hidden);
+}
+
+Cycle
+NpuReference::trainingLatency(const Topology &topology) const
+{
+    // Forward pass, then backward error propagation and weight update
+    // re-visit both layers; each backward layer costs about as much as
+    // its forward counterpart on the shared PEs, plus one extra weight
+    // update pass. That yields the same 4x factor the pipelined design
+    // exhibits, but on top of the scheduling overhead of every round.
+    return 4 * inferenceLatency(topology);
+}
+
+} // namespace act

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Latency model of a fully configurable, time-multiplexed NPU in the
+ * style of Esmaeilzadeh et al. [6], used as the design-comparison
+ * baseline for Section IV-A's claim that a partially configurable
+ * pipeline avoids scheduling overhead.
+ *
+ * The NPU maps an arbitrary topology onto a fixed pool of processing
+ * engines (PEs). Each layer executes in rounds of at most #PE neurons;
+ * every round pays a scheduling/configuration overhead, and each
+ * neuron in a round multiply-accumulates its fan-in serially on its
+ * PE's single multiply-add unit. Because the PE pool is shared across
+ * layers, consecutive inferences cannot be pipelined.
+ */
+
+#ifndef ACT_HWNN_NPU_REFERENCE_HH
+#define ACT_HWNN_NPU_REFERENCE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "nn/network.hh"
+
+namespace act
+{
+
+/** Parameters of the time-multiplexed reference design. */
+struct NpuConfig
+{
+    std::uint32_t pes = 8;              //!< Processing engines.
+    std::uint32_t muladd_latency = 1;   //!< Per multiply-add (cycles).
+    std::uint32_t schedule_overhead = 4; //!< Per round: config + dispatch.
+    std::uint32_t bus_latency = 1;      //!< Result collection per round.
+    std::uint32_t sigmoid_latency = 1;  //!< Activation lookup.
+};
+
+/** Latency/throughput estimator for the NPU reference. */
+class NpuReference
+{
+  public:
+    explicit NpuReference(const NpuConfig &config) : config_(config) {}
+
+    const NpuConfig &config() const { return config_; }
+
+    /** Cycles to evaluate one input end to end. */
+    Cycle inferenceLatency(const Topology &topology) const;
+
+    /**
+     * Cycles between accepted inputs in steady state. The PE pool is
+     * busy for the whole inference, so this equals the latency.
+     */
+    Cycle inferenceInterval(const Topology &topology) const
+    {
+        return inferenceLatency(topology);
+    }
+
+    /** Cycles for one on-line training pass (forward + backward). */
+    Cycle trainingLatency(const Topology &topology) const;
+
+  private:
+    Cycle layerLatency(std::size_t neurons, std::size_t fan_in) const;
+
+    NpuConfig config_;
+};
+
+} // namespace act
+
+#endif // ACT_HWNN_NPU_REFERENCE_HH

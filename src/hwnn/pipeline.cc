@@ -1,0 +1,218 @@
+#include "hwnn/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+HwNeuralNetwork::HwNeuralNetwork(const HwNetworkConfig &config,
+                                 Topology topology)
+    : config_(config), topology_(topology), sigmoid_(),
+      output_(config.neuron, sigmoid_)
+{
+    ACT_ASSERT(topology_.valid());
+    ACT_ASSERT(topology_.inputs <= config_.neuron.max_inputs);
+    ACT_ASSERT(topology_.hidden <= config_.neuron.max_inputs);
+    hidden_.reserve(config_.neuron.max_inputs);
+    for (std::uint32_t i = 0; i < config_.neuron.max_inputs; ++i)
+        hidden_.emplace_back(config_.neuron, sigmoid_);
+}
+
+void
+HwNeuralNetwork::setTopology(Topology topology)
+{
+    ACT_ASSERT(topology.valid());
+    ACT_ASSERT(topology.inputs <= config_.neuron.max_inputs);
+    ACT_ASSERT(topology.hidden <= config_.neuron.max_inputs);
+    topology_ = topology;
+    std::vector<double> zeros(weightCount(), 0.0);
+    loadWeights(zeros);
+}
+
+std::size_t
+HwNeuralNetwork::weightCount() const
+{
+    return topology_.hidden * (topology_.inputs + 1) +
+           (topology_.hidden + 1);
+}
+
+double
+HwNeuralNetwork::infer(std::span<const double> inputs) const
+{
+    ACT_ASSERT(inputs.size() == topology_.inputs);
+    fixed_inputs_.clear();
+    for (const double v : inputs)
+        fixed_inputs_.push_back(HwFixed::fromDouble(v));
+
+    hidden_out_.resize(topology_.hidden);
+    for (std::size_t k = 0; k < topology_.hidden; ++k)
+        hidden_out_[k] = hidden_[k].evaluate(fixed_inputs_);
+    return output_.evaluate(std::span<const HwFixed>(
+                                hidden_out_.data(), topology_.hidden))
+        .toDouble();
+}
+
+double
+HwNeuralNetwork::confidence(std::span<const double> inputs) const
+{
+    return infer(inputs) - 0.5;
+}
+
+double
+HwNeuralNetwork::rawOutput(std::span<const double> inputs) const
+{
+    ACT_ASSERT(inputs.size() == topology_.inputs);
+    fixed_inputs_.clear();
+    for (const double v : inputs)
+        fixed_inputs_.push_back(HwFixed::fromDouble(v));
+    hidden_out_.resize(topology_.hidden);
+    for (std::size_t k = 0; k < topology_.hidden; ++k)
+        hidden_out_[k] = hidden_[k].evaluate(fixed_inputs_);
+    return output_
+        .weightedSum(std::span<const HwFixed>(hidden_out_.data(),
+                                              topology_.hidden))
+        .toDouble();
+}
+
+double
+HwNeuralNetwork::train(std::span<const double> inputs, double target,
+                       double learning_rate)
+{
+    ACT_ASSERT(inputs.size() == topology_.inputs);
+    fixed_inputs_.clear();
+    for (const double v : inputs)
+        fixed_inputs_.push_back(HwFixed::fromDouble(v));
+
+    hidden_out_.resize(topology_.hidden);
+    for (std::size_t k = 0; k < topology_.hidden; ++k)
+        hidden_out_[k] = hidden_[k].evaluate(fixed_inputs_);
+    const std::span<const HwFixed> hidden_span(hidden_out_.data(),
+                                               topology_.hidden);
+    const HwFixed out = output_.evaluate(hidden_span);
+
+    // Output delta: o * (1 - o) * (t - o), scaled by the learning rate.
+    const HwFixed one = HwFixed::fromDouble(1.0);
+    const HwFixed t = HwFixed::fromDouble(target);
+    const HwFixed out_err = out * (one - out) * (t - out);
+    const HwFixed lr = HwFixed::fromDouble(learning_rate);
+
+    // Hidden deltas use the output weights *before* the update.
+    std::vector<HwFixed> hidden_delta(topology_.hidden);
+    for (std::size_t k = 0; k < topology_.hidden; ++k) {
+        const HwFixed back = output_.weightAt(k + 1) * out_err;
+        hidden_delta[k] =
+            hidden_out_[k] * (one - hidden_out_[k]) * back * lr;
+    }
+
+    output_.applyUpdate(lr * out_err, hidden_span);
+    for (std::size_t k = 0; k < topology_.hidden; ++k)
+        hidden_[k].applyUpdate(hidden_delta[k], fixed_inputs_);
+
+    return out.toDouble();
+}
+
+void
+HwNeuralNetwork::loadWeights(std::span<const double> weights)
+{
+    ACT_ASSERT(weights.size() == weightCount());
+    const std::size_t stride = topology_.inputs + 1;
+    for (std::size_t k = 0; k < topology_.hidden; ++k)
+        hidden_[k].setWeights(weights.subspan(k * stride, stride));
+    // Zero the weights of unused hidden neurons so they cannot affect
+    // a later topology change.
+    for (std::size_t k = topology_.hidden; k < hidden_.size(); ++k)
+        hidden_[k].setWeights(std::span<const double>{});
+    output_.setWeights(
+        weights.subspan(topology_.hidden * stride, topology_.hidden + 1));
+}
+
+std::vector<double>
+HwNeuralNetwork::storeWeights() const
+{
+    std::vector<double> out;
+    out.reserve(weightCount());
+    for (std::size_t k = 0; k < topology_.hidden; ++k) {
+        const auto w = hidden_[k].weightsAsDouble();
+        out.insert(out.end(), w.begin(),
+                   w.begin() + static_cast<long>(topology_.inputs + 1));
+    }
+    const auto w = output_.weightsAsDouble();
+    out.insert(out.end(), w.begin(),
+               w.begin() + static_cast<long>(topology_.hidden + 1));
+    return out;
+}
+
+double
+HwNeuralNetwork::weightAt(std::size_t index) const
+{
+    ACT_ASSERT(index < weightCount());
+    const std::size_t stride = topology_.inputs + 1;
+    const std::size_t hidden_span = topology_.hidden * stride;
+    if (index < hidden_span)
+        return hidden_[index / stride].weightAt(index % stride).toDouble();
+    return output_.weightAt(index - hidden_span).toDouble();
+}
+
+void
+HwNeuralNetwork::setWeightAt(std::size_t index, double value)
+{
+    ACT_ASSERT(index < weightCount());
+    const std::size_t stride = topology_.inputs + 1;
+    const std::size_t hidden_span = topology_.hidden * stride;
+    if (index < hidden_span) {
+        hidden_[index / stride].setWeightAt(index % stride,
+                                            HwFixed::fromDouble(value));
+    } else {
+        output_.setWeightAt(index - hidden_span,
+                            HwFixed::fromDouble(value));
+    }
+}
+
+void
+HwNeuralNetwork::drain(Cycle now) const
+{
+    while (!in_flight_.empty() && in_flight_.front() <= now)
+        in_flight_.pop_front();
+}
+
+AcceptResult
+HwNeuralNetwork::offer(Cycle now, bool training)
+{
+    drain(now);
+    if (in_flight_.size() >= config_.fifo_entries) {
+        ++rejected_;
+        return AcceptResult{false, in_flight_.front()};
+    }
+    const Cycle service = training ? config_.trainServiceTime()
+                                   : config_.testServiceTime();
+    // S1 (FIFO insert) takes one cycle; service begins when the
+    // previous input vacates the compute stages.
+    const Cycle start = std::max(now + 1, last_completion_);
+    last_completion_ = start + service;
+    in_flight_.push_back(last_completion_);
+    ++accepted_;
+    return AcceptResult{true, 0};
+}
+
+std::size_t
+HwNeuralNetwork::occupancy(Cycle now) const
+{
+    drain(now);
+    return in_flight_.size();
+}
+
+Cycle
+HwNeuralNetwork::drainCycle() const
+{
+    return last_completion_;
+}
+
+void
+HwNeuralNetwork::flush()
+{
+    in_flight_.clear();
+}
+
+} // namespace act

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The three-stage partially configurable hardware network (Figure 6(a)).
+ *
+ * Stage S1 is the input FIFO; stage S2 is a bank of M hidden neurons
+ * evaluated in parallel; stage S3 is the single output neuron. S1 takes
+ * one cycle; S2 and S3 each take the neuron latency T. During online
+ * testing the stages are pipelined, so with a full FIFO the network
+ * accepts one input every T cycles. During online training the network
+ * must finish back-propagation before accepting the next input, giving
+ * one input every 4T cycles (Section IV-A).
+ *
+ * Functional behaviour is fixed point (Q15.16 with a sigmoid table),
+ * with a flat weight-register file compatible with MlpNetwork so that
+ * software-trained weights load verbatim via stwt.
+ */
+
+#ifndef ACT_HWNN_PIPELINE_HH
+#define ACT_HWNN_PIPELINE_HH
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hwnn/neuron.hh"
+#include "nn/network.hh"
+
+namespace act
+{
+
+/** Whole-network hardware configuration. */
+struct HwNetworkConfig
+{
+    NeuronConfig neuron;
+    std::uint32_t fifo_entries = 8; //!< Input FIFO size {4, 8, 16}.
+
+    /** Cycles between accepted inputs in testing mode. */
+    Cycle testServiceTime() const { return neuron.latency(); }
+
+    /** Cycles between accepted inputs in training mode. */
+    Cycle trainServiceTime() const { return 4 * neuron.latency(); }
+};
+
+/** Result of offering an input to the pipeline at a given cycle. */
+struct AcceptResult
+{
+    bool accepted = false;
+    /** When rejected: first cycle at which a retry can succeed. */
+    Cycle retry_at = 0;
+};
+
+/**
+ * Functional + timing model of the AM's neural network.
+ */
+class HwNeuralNetwork
+{
+  public:
+    /**
+     * @param config   Hardware parameters.
+     * @param topology Logical topology (inputs/hidden <= M).
+     */
+    HwNeuralNetwork(const HwNetworkConfig &config, Topology topology);
+
+    const HwNetworkConfig &config() const { return config_; }
+    const Topology &topology() const { return topology_; }
+
+    /** Reconfigure the logical topology (weights are zeroed). */
+    void setTopology(Topology topology);
+
+    // --- Functional interface -------------------------------------
+
+    /** Forward pass; output activation in (0, 1). */
+    double infer(std::span<const double> inputs) const;
+
+    /** Signed confidence, infer() - 0.5. */
+    double confidence(std::span<const double> inputs) const;
+
+    /**
+     * The output neuron's raw accumulator value (pre-sigmoid). The
+     * sigmoid saturates for confident predictions, so the Debug Buffer
+     * records this value instead: it preserves the dynamic range the
+     * ranking tie-break ("the most negative output first") needs.
+     */
+    double rawOutput(std::span<const double> inputs) const;
+
+    bool predictValid(std::span<const double> inputs) const
+    {
+        return infer(inputs) >= 0.5;
+    }
+
+    /** One fixed-point back-propagation step; returns prior output. */
+    double train(std::span<const double> inputs, double target,
+                 double learning_rate);
+
+    /** Load a flat MlpNetwork-layout weight vector (stwt loop). */
+    void loadWeights(std::span<const double> weights);
+
+    /** Read back the (quantised) flat weight vector (ldwt loop). */
+    std::vector<double> storeWeights() const;
+
+    /** Number of addressable weight registers for this topology. */
+    std::size_t weightCount() const;
+
+    /** Read / write one weight register by flat index. */
+    double weightAt(std::size_t index) const;
+    void setWeightAt(std::size_t index, double value);
+
+    // --- Timing interface -----------------------------------------
+
+    /**
+     * Offer an input at @p now.
+     *
+     * @param now      Current cycle.
+     * @param training Whether the AM is in online-training mode.
+     * @return Whether the FIFO accepted the input; when it did not,
+     *         retry_at tells the caller (a stalled load at the ROB
+     *         head) when space frees up.
+     */
+    AcceptResult offer(Cycle now, bool training);
+
+    /** Inputs currently queued or in flight at @p now. */
+    std::size_t occupancy(Cycle now) const;
+
+    /** Cycle at which the last accepted input finishes processing. */
+    Cycle drainCycle() const;
+
+    /** Drop all in-flight inputs (context switch flush, §IV-D). */
+    void flush();
+
+    /** Total inputs ever accepted. */
+    std::uint64_t acceptedCount() const { return accepted_; }
+
+    /** Total offers that were rejected (load retire stalls). */
+    std::uint64_t rejectedCount() const { return rejected_; }
+
+  private:
+    void drain(Cycle now) const;
+
+    HwNetworkConfig config_;
+    Topology topology_;
+    SigmoidTable sigmoid_;
+    std::vector<Neuron> hidden_;
+    Neuron output_;
+
+    /** Completion cycles of queued inputs (front = oldest). */
+    mutable std::deque<Cycle> in_flight_;
+    Cycle last_completion_ = 0;
+
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+
+    mutable std::vector<HwFixed> fixed_inputs_;
+    mutable std::vector<HwFixed> hidden_out_;
+};
+
+} // namespace act
+
+#endif // ACT_HWNN_PIPELINE_HH

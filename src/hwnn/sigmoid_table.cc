@@ -1,0 +1,50 @@
+#include "hwnn/sigmoid_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+SigmoidTable::SigmoidTable(std::size_t entries)
+{
+    ACT_ASSERT(entries >= 2);
+    table_.resize(entries);
+    for (std::size_t i = 0; i < entries; ++i) {
+        const double x = kInputRange * static_cast<double>(i) /
+                         static_cast<double>(entries - 1);
+        table_[i] = HwFixed::fromDouble(1.0 / (1.0 + std::exp(-x)));
+    }
+}
+
+HwFixed
+SigmoidTable::lookup(HwFixed x) const
+{
+    const bool negative = x.raw() < 0;
+    const double mag = std::abs(x.toDouble());
+    const auto last = table_.size() - 1;
+    const auto index = static_cast<std::size_t>(std::min(
+        mag / kInputRange * static_cast<double>(last),
+        static_cast<double>(last)));
+    const HwFixed positive_value = table_[index];
+    if (!negative)
+        return positive_value;
+    return HwFixed::fromDouble(1.0) - positive_value;
+}
+
+double
+SigmoidTable::maxAbsError() const
+{
+    double worst = 0.0;
+    for (int i = -4000; i <= 4000; ++i) {
+        const double x = static_cast<double>(i) / 4000.0 * kInputRange;
+        const double exact = 1.0 / (1.0 + std::exp(-x));
+        const double approx = lookup(HwFixed::fromDouble(x)).toDouble();
+        worst = std::max(worst, std::abs(exact - approx));
+    }
+    return worst;
+}
+
+} // namespace act

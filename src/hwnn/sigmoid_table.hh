@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The sigmoid lookup table inside each hardware neuron (Figure 6(b)).
+ */
+
+#ifndef ACT_HWNN_SIGMOID_TABLE_HH
+#define ACT_HWNN_SIGMOID_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/fixed_point.hh"
+
+namespace act
+{
+
+/**
+ * Fixed-point sigmoid approximation via a symmetric lookup table.
+ *
+ * The table stores sigmoid samples for inputs in [0, kInputRange];
+ * negative inputs use sigmoid(-x) = 1 - sigmoid(x). Inputs beyond the
+ * range saturate to 0/1, matching how a bounded hardware table behaves.
+ */
+class SigmoidTable
+{
+  public:
+    /** Largest input magnitude the table resolves. */
+    static constexpr double kInputRange = 8.0;
+
+    /** @param entries Table resolution (hardware default 256). */
+    explicit SigmoidTable(std::size_t entries = 256);
+
+    /** Look up sigmoid(x) with linear index truncation. */
+    HwFixed lookup(HwFixed x) const;
+
+    std::size_t entries() const { return table_.size(); }
+
+    /** Worst-case absolute error vs. the exact sigmoid over the range. */
+    double maxAbsError() const;
+
+  private:
+    std::vector<HwFixed> table_;
+};
+
+} // namespace act
+
+#endif // ACT_HWNN_SIGMOID_TABLE_HH

@@ -1,0 +1,47 @@
+#include "nn/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+std::size_t
+Dataset::positiveCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(examples_.begin(), examples_.end(),
+                      [](const Example &e) { return e.positive(); }));
+}
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    for (std::size_t i = examples_.size(); i > 1; --i) {
+        const std::size_t j = rng.next(i);
+        std::swap(examples_[i - 1], examples_[j]);
+    }
+}
+
+Dataset
+Dataset::splitTail(double fraction)
+{
+    ACT_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(examples_.size()) * (1.0 - fraction));
+    Dataset tail;
+    tail.examples_.assign(examples_.begin() + static_cast<long>(keep),
+                          examples_.end());
+    examples_.resize(keep);
+    return tail;
+}
+
+void
+Dataset::merge(const Dataset &other)
+{
+    examples_.insert(examples_.end(), other.examples_.begin(),
+                     other.examples_.end());
+}
+
+} // namespace act

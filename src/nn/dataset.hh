@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Training / evaluation datasets for the dependence-sequence networks.
+ */
+
+#ifndef ACT_NN_DATASET_HH
+#define ACT_NN_DATASET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace act
+{
+
+/**
+ * One supervised example: an encoded RAW-dependence sequence and its
+ * validity label (1.0 = valid / positive, 0.0 = invalid / negative).
+ */
+struct Example
+{
+    std::vector<double> inputs;
+    double label = 1.0;
+
+    bool positive() const { return label >= 0.5; }
+};
+
+/**
+ * A bag of examples with the operations the trainer needs.
+ */
+class Dataset
+{
+  public:
+    void add(Example example) { examples_.push_back(std::move(example)); }
+
+    const std::vector<Example> &examples() const { return examples_; }
+
+    std::size_t size() const { return examples_.size(); }
+    bool empty() const { return examples_.empty(); }
+
+    const Example &operator[](std::size_t i) const { return examples_[i]; }
+
+    std::size_t positiveCount() const;
+    std::size_t negativeCount() const { return size() - positiveCount(); }
+
+    /** Number of inputs per example (0 when empty). */
+    std::size_t inputWidth() const
+    {
+        return empty() ? 0 : examples_.front().inputs.size();
+    }
+
+    /** Fisher-Yates shuffle driven by the supplied generator. */
+    void shuffle(Rng &rng);
+
+    /**
+     * Split off the last @p fraction of the examples into a second
+     * dataset (caller should shuffle first for a random split).
+     */
+    Dataset splitTail(double fraction);
+
+    /** Append all examples of @p other. */
+    void merge(const Dataset &other);
+
+  private:
+    std::vector<Example> examples_;
+};
+
+} // namespace act
+
+#endif // ACT_NN_DATASET_HH

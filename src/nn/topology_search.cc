@@ -1,0 +1,69 @@
+#include "nn/topology_search.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+TopologySearchResult
+searchTopology(const DatasetFactory &factory,
+               const TopologySearchConfig &config)
+{
+    ACT_ASSERT(config.min_inputs >= 1 && config.max_inputs <= kMaxFanIn);
+    ACT_ASSERT(config.min_hidden >= 1 && config.max_hidden <= kMaxFanIn);
+
+    TopologySearchResult result;
+    Rng rng(config.seed);
+
+    for (std::size_t n = config.min_inputs; n <= config.max_inputs; ++n) {
+        const auto [train_set, validation_set] = factory(n);
+        if (train_set.empty())
+            continue;
+        // The dataset fixes the true input width (sequence length times
+        // encoder features per dependence); skip widths beyond the
+        // hardware fan-in.
+        const std::size_t width = train_set.inputWidth();
+        if (width == 0 || width > kMaxFanIn)
+            continue;
+        for (std::size_t h = config.min_hidden; h <= config.max_hidden;
+             ++h) {
+            TopologyCandidate candidate;
+            candidate.topology = Topology{width, h};
+
+            Rng net_rng = rng.fork(n * 100 + h);
+            MlpNetwork network(candidate.topology, net_rng);
+            candidate.training = trainNetwork(network, train_set,
+                                              config.trainer, net_rng);
+            candidate.validation_error =
+                validation_set.empty()
+                    ? candidate.training.final_error
+                    : evaluateNetwork(network, validation_set);
+            result.candidates.push_back(candidate);
+
+            const bool better =
+                candidate.validation_error < result.best_error - 1e-12;
+            const bool tie_cheaper =
+                candidate.validation_error < result.best_error + 1e-12 &&
+                (h < result.best.hidden ||
+                 (h == result.best.hidden && n < result.best.inputs));
+            if (result.candidates.size() == 1 || better || tie_cheaper) {
+                result.best = candidate.topology;
+                result.best_error = candidate.validation_error;
+            }
+        }
+    }
+    return result;
+}
+
+std::string
+topologyToString(const Topology &topology)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zux%zux1", topology.inputs,
+                  topology.hidden);
+    return buf;
+}
+
+} // namespace act

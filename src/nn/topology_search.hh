@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Topology search over the i x h x 1 design space.
+ *
+ * Section IV-A limits the hardware to at most M inputs and M hidden
+ * neurons, "giving a search space of M^2 topologies"; Section VI-B
+ * varies the number of RAW dependences per input (1..5) and hidden
+ * neurons (1..10) and selects the topology with the lowest
+ * misprediction rate. Because the dataset itself depends on the
+ * sequence length N (= input count), the caller supplies a dataset
+ * factory.
+ */
+
+#ifndef ACT_NN_TOPOLOGY_SEARCH_HH
+#define ACT_NN_TOPOLOGY_SEARCH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hh"
+
+namespace act
+{
+
+/** Search configuration. */
+struct TopologySearchConfig
+{
+    std::size_t min_inputs = 1;
+    std::size_t max_inputs = 5;   //!< Paper: 1..5 dependences per input.
+    std::size_t min_hidden = 1;
+    std::size_t max_hidden = 10;  //!< Paper: 1..10 hidden neurons.
+    TrainerConfig trainer;
+    std::uint64_t seed = 0xac7;
+};
+
+/** One candidate's outcome. */
+struct TopologyCandidate
+{
+    Topology topology;
+    double validation_error = 1.0;
+    TrainResult training;
+};
+
+/** Search result: the winning network plus the full sweep. */
+struct TopologySearchResult
+{
+    Topology best;
+    double best_error = 1.0;
+    std::vector<TopologyCandidate> candidates;
+};
+
+/**
+ * Produces (train, validation) dataset pair for a given sequence
+ * length N; invoked once per candidate input width.
+ */
+using DatasetFactory =
+    std::function<std::pair<Dataset, Dataset>(std::size_t n)>;
+
+/**
+ * Run the sweep and return the best topology.
+ *
+ * Ties are broken toward fewer hidden neurons, then fewer inputs
+ * (cheaper hardware for equal accuracy).
+ */
+TopologySearchResult searchTopology(const DatasetFactory &factory,
+                                    const TopologySearchConfig &config);
+
+/** Render e.g. "3x5x1". */
+std::string topologyToString(const Topology &topology);
+
+} // namespace act
+
+#endif // ACT_NN_TOPOLOGY_SEARCH_HH

@@ -1,0 +1,91 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+
+namespace act
+{
+
+namespace
+{
+
+double
+errorOn(const MlpNetwork &network, const Dataset &data,
+        bool positives, bool negatives)
+{
+    std::size_t considered = 0;
+    std::size_t wrong = 0;
+    for (const auto &example : data.examples()) {
+        const bool is_positive = example.positive();
+        if ((is_positive && !positives) || (!is_positive && !negatives))
+            continue;
+        ++considered;
+        if (network.predictValid(example.inputs) != is_positive)
+            ++wrong;
+    }
+    if (considered == 0)
+        return 0.0;
+    return static_cast<double>(wrong) / static_cast<double>(considered);
+}
+
+} // namespace
+
+TrainResult
+trainNetwork(MlpNetwork &network, const Dataset &data,
+             const TrainerConfig &config, Rng &rng)
+{
+    TrainResult result;
+    if (data.empty())
+        return result;
+
+    Dataset working = data;
+    double best_error = 1.0;
+    std::size_t stale_epochs = 0;
+
+    for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+        if (config.shuffle)
+            working.shuffle(rng);
+
+        std::size_t wrong = 0;
+        for (const auto &example : working.examples()) {
+            const double out = network.train(example.inputs, example.label,
+                                             config.learning_rate);
+            if ((out >= 0.5) != example.positive())
+                ++wrong;
+        }
+        result.epochs = epoch + 1;
+        result.final_error =
+            static_cast<double>(wrong) / static_cast<double>(working.size());
+
+        if (result.final_error <= config.target_error) {
+            result.converged = true;
+            break;
+        }
+        if (result.final_error + 1e-12 < best_error) {
+            best_error = result.final_error;
+            stale_epochs = 0;
+        } else if (++stale_epochs >= config.patience) {
+            break;
+        }
+    }
+    return result;
+}
+
+double
+evaluateNetwork(const MlpNetwork &network, const Dataset &data)
+{
+    return errorOn(network, data, true, true);
+}
+
+double
+evaluateFalseInvalidRate(const MlpNetwork &network, const Dataset &data)
+{
+    return errorOn(network, data, true, false);
+}
+
+double
+evaluateFalseValidRate(const MlpNetwork &network, const Dataset &data)
+{
+    return errorOn(network, data, false, true);
+}
+
+} // namespace act

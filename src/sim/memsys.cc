@@ -1,0 +1,337 @@
+#include "sim/memsys.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+const char *
+mesiName(Mesi state)
+{
+    switch (state) {
+      case Mesi::kInvalid: return "I";
+      case Mesi::kShared: return "S";
+      case Mesi::kExclusive: return "E";
+      case Mesi::kModified: return "M";
+    }
+    return "?";
+}
+
+MemorySystem::MemorySystem(const MemSystemConfig &config)
+    : config_(config)
+{
+    ACT_ASSERT(config_.cores >= 1);
+    ACT_ASSERT(config_.line_bytes >= 4 &&
+               (config_.line_bytes & (config_.line_bytes - 1)) == 0);
+
+    const std::uint32_t l2_lines = config_.l2_bytes / config_.line_bytes;
+    const std::uint32_t l2_sets = l2_lines / config_.l2_assoc;
+    ACT_ASSERT(l2_sets >= 1);
+    const std::uint32_t l1_lines = config_.l1_bytes / config_.line_bytes;
+    const std::uint32_t l1_sets = l1_lines / config_.l1_assoc;
+    ACT_ASSERT(l1_sets >= 1);
+
+    const std::uint32_t words =
+        config_.writer_granularity == Granularity::kWord
+            ? config_.line_bytes / 4
+            : 1;
+
+    l2_.resize(config_.cores);
+    l1_.resize(config_.cores);
+    for (CoreId c = 0; c < config_.cores; ++c) {
+        l2_[c].sets = l2_sets;
+        l2_[c].assoc = config_.l2_assoc;
+        l2_[c].lines.resize(static_cast<std::size_t>(l2_sets) *
+                            config_.l2_assoc);
+        for (auto &line : l2_[c].lines)
+            line.writers.resize(words);
+
+        l1_[c].sets = l1_sets;
+        l1_[c].assoc = config_.l1_assoc;
+        const auto n = static_cast<std::size_t>(l1_sets) *
+                       config_.l1_assoc;
+        l1_[c].tags.assign(n, 0);
+        l1_[c].valid.assign(n, false);
+        l1_[c].lru.assign(n, 0);
+    }
+}
+
+std::uint32_t
+MemorySystem::wordIndex(Addr addr) const
+{
+    if (config_.writer_granularity == Granularity::kLine)
+        return 0;
+    return static_cast<std::uint32_t>((addr % config_.line_bytes) / 4);
+}
+
+MemorySystem::Line *
+MemorySystem::findLine(CoreId core, Addr line_addr)
+{
+    CacheArray &array = l2_[core];
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr % array.sets);
+    Line *base = &array.lines[static_cast<std::size_t>(set) * array.assoc];
+    for (std::uint32_t w = 0; w < array.assoc; ++w) {
+        Line &line = base[w];
+        if (line.state != Mesi::kInvalid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+MemorySystem::Line &
+MemorySystem::victimLine(CoreId core, Addr line_addr)
+{
+    CacheArray &array = l2_[core];
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr % array.sets);
+    Line *base = &array.lines[static_cast<std::size_t>(set) * array.assoc];
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < array.assoc; ++w) {
+        Line &line = base[w];
+        if (line.state == Mesi::kInvalid)
+            return line;
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    // Evict: per Section V, last-writer metadata is not written back
+    // to memory (unless the ablation flag says otherwise, in which
+    // case this model simply keeps no record either way — the flag
+    // exists to quantify the dependence-loss rate).
+    ++stats_.evictions;
+    l1Invalidate(core, victim->tag);
+    victim->state = Mesi::kInvalid;
+    for (auto &writer : victim->writers)
+        writer = WriterRecord{};
+    return *victim;
+}
+
+bool
+MemorySystem::l1Lookup(CoreId core, Addr line_addr, bool allocate)
+{
+    L1Array &array = l1_[core];
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr % array.sets);
+    const std::size_t base = static_cast<std::size_t>(set) * array.assoc;
+    for (std::uint32_t w = 0; w < array.assoc; ++w) {
+        if (array.valid[base + w] && array.tags[base + w] == line_addr) {
+            array.lru[base + w] = ++tick_;
+            return true;
+        }
+    }
+    if (!allocate)
+        return false;
+    std::size_t victim = base;
+    for (std::uint32_t w = 0; w < array.assoc; ++w) {
+        const std::size_t i = base + w;
+        if (!array.valid[i]) {
+            victim = i;
+            break;
+        }
+        if (array.lru[i] < array.lru[victim])
+            victim = i;
+    }
+    array.tags[victim] = line_addr;
+    array.valid[victim] = true;
+    array.lru[victim] = ++tick_;
+    return false;
+}
+
+void
+MemorySystem::l1Invalidate(CoreId core, Addr line_addr)
+{
+    L1Array &array = l1_[core];
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr % array.sets);
+    const std::size_t base = static_cast<std::size_t>(set) * array.assoc;
+    for (std::uint32_t w = 0; w < array.assoc; ++w) {
+        if (array.valid[base + w] && array.tags[base + w] == line_addr)
+            array.valid[base + w] = false;
+    }
+}
+
+MemAccess
+MemorySystem::access(CoreId core, const TraceEvent &event)
+{
+    ACT_ASSERT(core < config_.cores);
+    ACT_ASSERT(event.isMemory());
+
+    const bool is_store = event.kind == EventKind::kStore;
+    const Addr laddr = lineAddr(event.addr);
+    const std::uint32_t word = wordIndex(event.addr);
+
+    MemAccess result;
+    Line *line = findLine(core, laddr);
+    result.prior_state = line ? line->state : Mesi::kInvalid;
+
+    if (is_store)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    const bool l1_hit = l1Lookup(core, laddr, /*allocate=*/true) &&
+                        line != nullptr;
+
+    if (line != nullptr &&
+        (is_store ? line->state == Mesi::kModified ||
+                        line->state == Mesi::kExclusive
+                  : true)) {
+        // Local hit (loads hit in any valid state; stores need
+        // ownership).
+        line->lru = ++tick_;
+        if (is_store) {
+            line->state = Mesi::kModified;
+            line->writers[word] = WriterRecord{event.pc, event.tid};
+            if (config_.writeback_writer_metadata) {
+                auto &mem = memory_writers_[laddr];
+                mem.resize(line->writers.size());
+                mem[word] = line->writers[word];
+            }
+        } else {
+            result.last_writer =
+                line->writers[word].valid()
+                    ? std::optional<WriterRecord>(line->writers[word])
+                    : std::nullopt;
+        }
+        result.l1_hit = l1_hit;
+        if (l1_hit) {
+            result.level = AccessLevel::kL1;
+            result.latency = config_.l1_latency;
+            ++stats_.l1_hits;
+        } else {
+            result.level = AccessLevel::kL2;
+            result.latency = config_.l1_latency + config_.l2_latency;
+            ++stats_.l2_hits;
+        }
+        if (!is_store) {
+            if (result.last_writer)
+                ++stats_.writer_known;
+            else
+                ++stats_.writer_unknown;
+        }
+        return result;
+    }
+
+    // Miss or upgrade: snoop the other cores.
+    Line *owner = nullptr;
+    bool owner_was_modified = false;
+    bool any_sharer = false;
+    for (CoreId c = 0; c < config_.cores; ++c) {
+        if (c == core)
+            continue;
+        if (Line *remote = findLine(c, laddr)) {
+            any_sharer = true;
+            if (remote->state == Mesi::kModified ||
+                remote->state == Mesi::kExclusive) {
+                owner = remote;
+                owner_was_modified = remote->state == Mesi::kModified;
+            }
+            if (is_store) {
+                remote->state = Mesi::kInvalid;
+                for (auto &writer : remote->writers)
+                    writer = WriterRecord{};
+                l1Invalidate(c, laddr);
+                ++stats_.invalidations;
+            } else if (remote->state == Mesi::kModified ||
+                       remote->state == Mesi::kExclusive) {
+                remote->state = Mesi::kShared;
+            }
+        }
+    }
+
+    const bool upgrade = line != nullptr; // store to an S line
+    Line &dest = upgrade ? *line : victimLine(core, laddr);
+    if (!upgrade) {
+        dest.tag = laddr;
+        for (auto &writer : dest.writers)
+            writer = WriterRecord{};
+    }
+    dest.lru = ++tick_;
+
+    const Cycle base_latency = config_.l1_latency + config_.l2_latency;
+
+    // Move last-writer metadata. For a load, Section V piggybacks it
+    // only when the response is a dirty cache-to-cache transfer; the
+    // ablation flags extend that to clean sharers and to memory.
+    bool piggybacked = false;
+    if (owner != nullptr && !is_store &&
+        (owner_was_modified || config_.always_piggyback_writer)) {
+        dest.writers = owner->writers;
+        piggybacked = true;
+    } else if (!is_store && config_.always_piggyback_writer) {
+        for (CoreId c = 0; c < config_.cores && !piggybacked; ++c) {
+            if (c == core)
+                continue;
+            if (Line *remote = findLine(c, laddr)) {
+                dest.writers = remote->writers;
+                piggybacked = true;
+            }
+        }
+    }
+    if (!piggybacked && !is_store && config_.writeback_writer_metadata) {
+        if (const auto it = memory_writers_.find(laddr);
+            it != memory_writers_.end()) {
+            dest.writers = it->second;
+            piggybacked = true;
+        }
+    }
+
+    if (owner != nullptr) {
+        result.level = AccessLevel::kRemote;
+        result.latency = base_latency + config_.lineTransferCycles() + 4;
+        ++stats_.cache_to_cache;
+    } else {
+        result.level = AccessLevel::kMemory;
+        result.latency = base_latency + config_.memory_latency;
+        ++stats_.memory_fetches;
+    }
+
+    if (is_store) {
+        dest.state = Mesi::kModified;
+        dest.writers[word] = WriterRecord{event.pc, event.tid};
+        if (config_.writeback_writer_metadata) {
+            auto &mem = memory_writers_[laddr];
+            mem.resize(dest.writers.size());
+            mem[word] = dest.writers[word];
+        }
+    } else {
+        dest.state = any_sharer ? Mesi::kShared : Mesi::kExclusive;
+        if (piggybacked && dest.writers[word].valid())
+            result.last_writer = dest.writers[word];
+        if (result.last_writer)
+            ++stats_.writer_known;
+        else
+            ++stats_.writer_unknown;
+    }
+    result.l1_hit = false;
+    return result;
+}
+
+Mesi
+MemorySystem::stateOf(CoreId core, Addr addr) const
+{
+    ACT_ASSERT(core < config_.cores);
+    const Addr laddr = lineAddr(addr);
+    const Line *line =
+        const_cast<MemorySystem *>(this)->findLine(core, laddr);
+    return line ? line->state : Mesi::kInvalid;
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &array : l2_) {
+        for (auto &line : array.lines) {
+            line.state = Mesi::kInvalid;
+            for (auto &writer : line.writers)
+                writer = WriterRecord{};
+        }
+    }
+    for (auto &array : l1_)
+        std::fill(array.valid.begin(), array.valid.end(), false);
+    memory_writers_.clear();
+}
+
+} // namespace act

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Execution-trace event records.
+ *
+ * The paper collects traces with PIN (Section VI-A); this reproduction
+ * replaces instrumented real binaries with deterministic workload
+ * models that emit the same information: per-thread streams of memory
+ * accesses (with static instruction addresses and data addresses),
+ * branch outcomes (needed by the PBI baseline), synchronisation events
+ * (needed by the Aviso baseline) and thread lifecycle markers.
+ */
+
+#ifndef ACT_TRACE_EVENT_HH
+#define ACT_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace act
+{
+
+/** Kind of a trace event. */
+enum class EventKind : std::uint8_t
+{
+    kLoad,         //!< Memory read; addr/size describe the location.
+    kStore,        //!< Memory write; addr/size describe the location.
+    kBranch,       //!< Conditional branch; taken records the outcome.
+    kLock,         //!< Lock acquire; addr identifies the lock.
+    kUnlock,       //!< Lock release; addr identifies the lock.
+    kThreadCreate, //!< Spawn; addr carries the child ThreadId.
+    kThreadExit    //!< Thread termination.
+};
+
+/** Human-readable name of an event kind. */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One dynamic event in an execution trace.
+ *
+ * Workload models also report, via @ref gap, how many plain (non-traced)
+ * instructions the thread executed since its previous event; the cycle
+ * simulator uses this to reconstruct realistic instruction streams and
+ * the benches use it to report rates "as a percentage of total
+ * instructions" the way the paper does.
+ */
+struct TraceEvent
+{
+    SeqNum seq = 0;         //!< Global interleaving order.
+    ThreadId tid = 0;       //!< Executing thread.
+    EventKind kind = EventKind::kLoad;
+    Pc pc = 0;              //!< Static instruction address.
+    Addr addr = 0;          //!< Data address / lock id / child tid.
+    std::uint32_t size = 4; //!< Access size in bytes.
+    std::uint16_t gap = 0;  //!< Plain instructions preceding this event.
+    bool taken = false;     //!< Branch outcome (kBranch only).
+    bool stack = false;     //!< Stack access (ACT filters these loads).
+
+    bool isMemory() const
+    {
+        return kind == EventKind::kLoad || kind == EventKind::kStore;
+    }
+
+    /** Render for debugging, e.g. "t1 L pc=0x42 a=0x100". */
+    std::string toString() const;
+};
+
+} // namespace act
+
+#endif // ACT_TRACE_EVENT_HH

@@ -1,0 +1,96 @@
+#include "trace/io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace act
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'A', 'C', 'T', 'T', 'R', 'C', '0', '1'};
+
+/** Packed on-disk event record. */
+struct DiskEvent
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint32_t tid;
+    std::uint32_t size;
+    std::uint16_t gap;
+    std::uint8_t kind;
+    std::uint8_t flags; // bit0 = taken, bit1 = stack
+};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    if (!file)
+        return false;
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, file.get()) != 1)
+        return false;
+    const std::uint64_t count = trace.size();
+    if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1)
+        return false;
+    for (const auto &event : trace.events()) {
+        DiskEvent rec{};
+        rec.pc = event.pc;
+        rec.addr = event.addr;
+        rec.tid = event.tid;
+        rec.size = event.size;
+        rec.gap = event.gap;
+        rec.kind = static_cast<std::uint8_t>(event.kind);
+        rec.flags = static_cast<std::uint8_t>((event.taken ? 1u : 0u) |
+                                              (event.stack ? 2u : 0u));
+        if (std::fwrite(&rec, sizeof(rec), 1, file.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+readTrace(const std::string &path, Trace &trace)
+{
+    trace.clear();
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return false;
+    char magic[sizeof(kMagic)];
+    if (std::fread(magic, sizeof(magic), 1, file.get()) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        return false;
+    }
+    std::uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, file.get()) != 1)
+        return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DiskEvent rec{};
+        if (std::fread(&rec, sizeof(rec), 1, file.get()) != 1)
+            return false;
+        TraceEvent event;
+        event.pc = rec.pc;
+        event.addr = rec.addr;
+        event.tid = rec.tid;
+        event.size = rec.size;
+        event.gap = rec.gap;
+        event.kind = static_cast<EventKind>(rec.kind);
+        event.taken = (rec.flags & 1u) != 0;
+        event.stack = (rec.flags & 2u) != 0;
+        trace.append(event);
+    }
+    return true;
+}
+
+} // namespace act

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Binary serialisation of execution traces.
+ *
+ * The on-disk format is a small fixed header followed by packed event
+ * records; it lets benches cache expensive workload executions and
+ * mirrors the role PIN trace files play in the paper's flow
+ * (Figure 4(a)).
+ */
+
+#ifndef ACT_TRACE_IO_HH
+#define ACT_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/**
+ * Write @p trace to @p path.
+ *
+ * @return true on success; false if the file could not be written.
+ */
+bool writeTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace previously produced by writeTrace().
+ *
+ * @param path  File to read.
+ * @param trace Output trace (cleared first).
+ * @return true on success; false on I/O error or format mismatch.
+ */
+bool readTrace(const std::string &path, Trace &trace);
+
+} // namespace act
+
+#endif // ACT_TRACE_IO_HH

@@ -1,0 +1,78 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <set>
+
+namespace act
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kLoad: return "load";
+      case EventKind::kStore: return "store";
+      case EventKind::kBranch: return "branch";
+      case EventKind::kLock: return "lock";
+      case EventKind::kUnlock: return "unlock";
+      case EventKind::kThreadCreate: return "create";
+      case EventKind::kThreadExit: return "exit";
+    }
+    return "?";
+}
+
+std::string
+TraceEvent::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "t%u %s pc=0x%llx addr=0x%llx gap=%u%s%s",
+                  tid, eventKindName(kind),
+                  static_cast<unsigned long long>(pc),
+                  static_cast<unsigned long long>(addr), gap,
+                  kind == EventKind::kBranch ? (taken ? " T" : " NT") : "",
+                  stack ? " stack" : "");
+    return buf;
+}
+
+void
+Trace::append(TraceEvent event)
+{
+    event.seq = events_.size();
+    instructions_ += 1 + event.gap;
+    switch (event.kind) {
+      case EventKind::kLoad:
+        ++loads_;
+        break;
+      case EventKind::kStore:
+        ++stores_;
+        break;
+      case EventKind::kBranch:
+        ++branches_;
+        break;
+      default:
+        break;
+    }
+    events_.push_back(event);
+}
+
+std::uint32_t
+Trace::threadCount() const
+{
+    std::set<ThreadId> tids;
+    for (const auto &event : events_)
+        tids.insert(event.tid);
+    return static_cast<std::uint32_t>(tids.size());
+}
+
+void
+Trace::clear()
+{
+    events_.clear();
+    instructions_ = 0;
+    loads_ = 0;
+    stores_ = 0;
+    branches_ = 0;
+}
+
+} // namespace act

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * In-memory execution traces and the sink interface that fills them.
+ */
+
+#ifndef ACT_TRACE_TRACE_HH
+#define ACT_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace act
+{
+
+/**
+ * Consumer of trace events.
+ *
+ * Workload models push events into a sink as they "execute"; sinks can
+ * record them (Trace), stream them to the cycle simulator, or drop
+ * them.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Deliver one event. The sink assigns the global sequence number. */
+    virtual void append(TraceEvent event) = 0;
+};
+
+/** Sink that discards everything (for timing-only runs). */
+class NullSink : public TraceSink
+{
+  public:
+    void append(TraceEvent) override {}
+};
+
+/**
+ * A recorded execution trace: the global interleaved event stream plus
+ * summary counters.
+ */
+class Trace : public TraceSink
+{
+  public:
+    void append(TraceEvent event) override;
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::vector<TraceEvent> &events() { return events_; }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    const TraceEvent &operator[](std::size_t i) const { return events_[i]; }
+
+    /** Total instructions: traced events plus their gap fillers. */
+    std::uint64_t instructionCount() const { return instructions_; }
+
+    std::uint64_t loadCount() const { return loads_; }
+    std::uint64_t storeCount() const { return stores_; }
+    std::uint64_t branchCount() const { return branches_; }
+
+    /** Number of distinct thread ids that appear in the trace. */
+    std::uint32_t threadCount() const;
+
+    void clear();
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t branches_ = 0;
+};
+
+/**
+ * Forwarding sink that duplicates events into two downstream sinks.
+ * Used when a run must be both recorded and simulated.
+ */
+class TeeSink : public TraceSink
+{
+  public:
+    TeeSink(TraceSink &first, TraceSink &second)
+        : first_(first), second_(second)
+    {}
+
+    void
+    append(TraceEvent event) override
+    {
+        first_.append(event);
+        second_.append(event);
+    }
+
+  private:
+    TraceSink &first_;
+    TraceSink &second_;
+};
+
+/**
+ * True when ACT should ignore this load: Section V filters loads of
+ * stack data (identified in hardware via ESP/EBP-relative addressing;
+ * identified here via the event's stack flag).
+ */
+inline bool
+isFilteredLoad(const TraceEvent &event)
+{
+    return event.kind == EventKind::kLoad && event.stack;
+}
+
+} // namespace act
+
+#endif // ACT_TRACE_TRACE_HH

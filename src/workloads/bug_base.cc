@@ -1,0 +1,134 @@
+#include "workloads/bug_base.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+BugWorkloadBase::BugWorkloadBase(std::string name, std::string description,
+                                 std::uint32_t workload_id,
+                                 std::uint32_t threads, FailureKind kind,
+                                 BugClass bug_class)
+    : name_(std::move(name)), description_(std::move(description)),
+      threads_(threads), kind_(kind), class_(bug_class), map_(workload_id)
+{
+    ACT_ASSERT(threads_ >= 1);
+}
+
+void
+BugWorkloadBase::noiseStep(ThreadEmitter &emitter, NoiseState &state) const
+{
+    const std::uint32_t c = state.chain;
+    const std::uint32_t k = state.position;
+    const Addr slot = map_.perThread(emitter.tid(), c, k);
+    emitter.store(map_.pc(c, 2 * k), slot);
+    emitter.load(map_.pc(c, 2 * k + 1), slot);
+    const bool jump = emitter.rng().chance(0.08);
+    emitter.branch(map_.pc(c, 60), !jump);
+    if (jump) {
+        state.chain = state.chain == kNoiseFnA ? kNoiseFnB : kNoiseFnA;
+        state.position = 0;
+    } else {
+        state.position = (k + 1) % kNoiseLength;
+    }
+}
+
+void
+BugWorkloadBase::noiseBurst(std::vector<ThreadEmitter> &emitters,
+                            std::vector<NoiseState> &states, Rng &master,
+                            std::uint32_t steps) const
+{
+    ACT_ASSERT(states.size() == emitters.size());
+    std::vector<std::size_t> order(emitters.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (std::uint32_t s = 0; s < steps; ++s) {
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[master.next(i)]);
+        for (const std::size_t t : order)
+            noiseStep(emitters[t], states[t]);
+    }
+}
+
+void
+BugWorkloadBase::benignRaceBurst(std::vector<ThreadEmitter> &emitters,
+                                 Rng &master, std::uint32_t lines,
+                                 std::uint32_t steps) const
+{
+    if (emitters.size() < 2 || lines == 0)
+        return;
+    for (std::uint32_t s = 0; s < steps; ++s) {
+        const auto line = static_cast<std::uint32_t>(master.next(lines));
+        const auto writer = static_cast<std::size_t>(
+            master.next(emitters.size()));
+        const auto reader = static_cast<std::size_t>(
+            master.next(emitters.size()));
+        // One store site and one load site per line, so the RAW
+        // dependences stay stable and learnable even though the
+        // coherence states churn.
+        const Addr addr = map_.shared(kRaceFn, line * 16);
+        emitters[writer].store(map_.pc(kRaceFn, 2 * line), addr);
+        emitters[reader].load(map_.pc(kRaceFn, 2 * line + 1), addr);
+    }
+}
+
+void
+BugWorkloadBase::mixedBurst(std::vector<ThreadEmitter> &emitters,
+                            std::vector<NoiseState> &states, Rng &master,
+                            std::uint32_t steps, RareRegion *rare,
+                            std::uint32_t race_lines,
+                            double race_prob) const
+{
+    for (std::uint32_t s = 0; s < steps; ++s) {
+        noiseBurst(emitters, states, master, 1);
+        if (race_lines > 0 && master.chance(race_prob))
+            benignRaceBurst(emitters, master, race_lines, 1);
+        if (rare != nullptr) {
+            rare->maybeEmit(
+                emitters[master.next(emitters.size())]);
+        }
+    }
+}
+
+void
+BugWorkloadBase::wrongPath(ThreadEmitter &emitter,
+                           std::uint32_t count) const
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        emitter.load(map_.pc(41, i % 56),
+                     map_.shared(50, emitter.rng().next(512)));
+        if (i % 3 == 0) {
+            emitter.branch(map_.pc(42, i % 24),
+                           emitter.rng().chance(0.5));
+        }
+    }
+}
+
+std::vector<ThreadEmitter>
+BugWorkloadBase::makeEmitters(TraceSink &sink, Rng &master) const
+{
+    std::vector<ThreadEmitter> emitters;
+    emitters.reserve(threads_);
+    for (ThreadId t = 0; t < threads_; ++t)
+        emitters.emplace_back(sink, t, master.fork(t + 1));
+    return emitters;
+}
+
+void
+BugWorkloadBase::spawnThreads(std::vector<ThreadEmitter> &emitters) const
+{
+    for (ThreadId t = 1; t < emitters.size(); ++t)
+        emitters[0].create(map_.pc(kNoiseFnA, 62), t);
+}
+
+void
+BugWorkloadBase::exitThreads(std::vector<ThreadEmitter> &emitters) const
+{
+    for (ThreadId t = 1; t < emitters.size(); ++t)
+        emitters[t].exitThread(map_.pc(kNoiseFnA, 63));
+    emitters[0].exitThread(map_.pc(kNoiseFnA, 63));
+}
+
+} // namespace act

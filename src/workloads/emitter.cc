@@ -1,0 +1,124 @@
+#include "workloads/emitter.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+ThreadEmitter::ThreadEmitter(TraceSink &sink, ThreadId tid, Rng rng,
+                             std::uint16_t min_gap, std::uint16_t max_gap)
+    : sink_(sink), tid_(tid), rng_(rng), min_gap_(min_gap),
+      max_gap_(max_gap)
+{
+    ACT_ASSERT(min_gap_ <= max_gap_);
+}
+
+TraceEvent
+ThreadEmitter::make(EventKind kind, Pc pc, Addr addr)
+{
+    TraceEvent event;
+    event.tid = tid_;
+    event.kind = kind;
+    event.pc = pc;
+    event.addr = addr;
+    event.gap = static_cast<std::uint16_t>(
+        rng_.range(min_gap_, max_gap_));
+    return event;
+}
+
+void
+ThreadEmitter::load(Pc pc, Addr addr, bool stack)
+{
+    TraceEvent event = make(EventKind::kLoad, pc, addr);
+    event.stack = stack;
+    sink_.append(event);
+}
+
+void
+ThreadEmitter::loadWithGap(Pc pc, Addr addr, std::uint16_t gap)
+{
+    TraceEvent event = make(EventKind::kLoad, pc, addr);
+    event.gap = gap;
+    sink_.append(event);
+}
+
+void
+ThreadEmitter::store(Pc pc, Addr addr)
+{
+    sink_.append(make(EventKind::kStore, pc, addr));
+}
+
+void
+ThreadEmitter::branch(Pc pc, bool taken)
+{
+    TraceEvent event = make(EventKind::kBranch, pc, 0);
+    event.taken = taken;
+    sink_.append(event);
+}
+
+void
+ThreadEmitter::lock(Pc pc, Addr lock_addr)
+{
+    sink_.append(make(EventKind::kLock, pc, lock_addr));
+}
+
+void
+ThreadEmitter::unlock(Pc pc, Addr lock_addr)
+{
+    sink_.append(make(EventKind::kUnlock, pc, lock_addr));
+}
+
+void
+ThreadEmitter::create(Pc pc, ThreadId child)
+{
+    sink_.append(make(EventKind::kThreadCreate, pc, child));
+}
+
+void
+ThreadEmitter::exitThread(Pc pc)
+{
+    sink_.append(make(EventKind::kThreadExit, pc, 0));
+}
+
+AddressMap::AddressMap(std::uint32_t workload_id)
+    : base_(Addr{0x10000000} +
+            static_cast<Addr>(workload_id) * Addr{0x10000000}),
+      pc_base_(Pc{0x400000} + static_cast<Pc>(workload_id) * Pc{0x100000})
+{
+}
+
+Addr
+AddressMap::shared(std::uint32_t array, std::uint64_t index) const
+{
+    return base_ + static_cast<Addr>(array) * Addr{0x100000} + index * 4;
+}
+
+Addr
+AddressMap::perThread(ThreadId tid, std::uint32_t array,
+                      std::uint64_t index) const
+{
+    return base_ + Addr{0x4000000} +
+           static_cast<Addr>(tid) * Addr{0x400000} +
+           static_cast<Addr>(array) * Addr{0x40000} + index * 4;
+}
+
+Addr
+AddressMap::stackSlot(ThreadId tid, std::uint32_t slot) const
+{
+    return base_ + Addr{0xc000000} +
+           static_cast<Addr>(tid) * Addr{0x10000} + slot * 4;
+}
+
+Addr
+AddressMap::lockAddr(std::uint32_t lock) const
+{
+    return base_ + Addr{0xe000000} + static_cast<Addr>(lock) * 64;
+}
+
+Pc
+AddressMap::pc(std::uint32_t fn, std::uint32_t slot) const
+{
+    return pc_base_ + static_cast<Pc>(fn) * Pc{0x1000} + slot * 4;
+}
+
+} // namespace act

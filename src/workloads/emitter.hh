@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-thread event emission helper used by all workload models.
+ *
+ * A ThreadEmitter tracks one logical thread's cursor into the global
+ * trace: it stamps events with the thread id, draws realistic "gap"
+ * values (plain, untraced instructions between traced events) from the
+ * run's RNG, and offers one-call helpers for the common access idioms.
+ */
+
+#ifndef ACT_WORKLOADS_EMITTER_HH
+#define ACT_WORKLOADS_EMITTER_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Emits events for one thread into a shared sink. */
+class ThreadEmitter
+{
+  public:
+    /**
+     * @param sink    Global trace sink (shared by all threads).
+     * @param tid     This thread's deterministic id.
+     * @param rng     Per-thread RNG stream (for gaps / noise).
+     * @param min_gap Smallest gap between traced events.
+     * @param max_gap Largest gap between traced events.
+     */
+    ThreadEmitter(TraceSink &sink, ThreadId tid, Rng rng,
+                  std::uint16_t min_gap = 2, std::uint16_t max_gap = 8);
+
+    ThreadId tid() const { return tid_; }
+
+    /** Emit a load; returns the event for inspection. */
+    void load(Pc pc, Addr addr, bool stack = false);
+
+    /** Emit a load with an explicit gap (back-to-back bursts). */
+    void loadWithGap(Pc pc, Addr addr, std::uint16_t gap);
+
+    /** Emit a store. */
+    void store(Pc pc, Addr addr);
+
+    /** Emit a conditional branch with the given outcome. */
+    void branch(Pc pc, bool taken);
+
+    /** Emit a lock acquire on @p lock_addr. */
+    void lock(Pc pc, Addr lock_addr);
+
+    /** Emit a lock release. */
+    void unlock(Pc pc, Addr lock_addr);
+
+    /** Emit a thread-create of @p child. */
+    void create(Pc pc, ThreadId child);
+
+    /** Emit this thread's exit marker. */
+    void exitThread(Pc pc);
+
+    /** Access the thread's RNG stream. */
+    Rng &rng() { return rng_; }
+
+  private:
+    TraceEvent make(EventKind kind, Pc pc, Addr addr);
+
+    TraceSink &sink_;
+    ThreadId tid_;
+    Rng rng_;
+    std::uint16_t min_gap_;
+    std::uint16_t max_gap_;
+};
+
+/**
+ * Deterministic address-space layout helper.
+ *
+ * Each workload gets a disjoint region keyed by a small workload id so
+ * traces of different models never alias. Shared arrays, per-thread
+ * buffers and stack slots live at fixed offsets within the region.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(std::uint32_t workload_id);
+
+    /** Address of element @p index of global shared array @p array. */
+    Addr shared(std::uint32_t array, std::uint64_t index) const;
+
+    /** Address of element @p index in a per-thread buffer. */
+    Addr perThread(ThreadId tid, std::uint32_t array,
+                   std::uint64_t index) const;
+
+    /** A stack slot for @p tid (events on it carry the stack flag). */
+    Addr stackSlot(ThreadId tid, std::uint32_t slot) const;
+
+    /** Address of lock number @p lock. */
+    Addr lockAddr(std::uint32_t lock) const;
+
+    /** Static PC for function @p fn, instruction slot @p slot. */
+    Pc pc(std::uint32_t fn, std::uint32_t slot) const;
+
+  private:
+    Addr base_;
+    Pc pc_base_;
+};
+
+} // namespace act
+
+#endif // ACT_WORKLOADS_EMITTER_HH

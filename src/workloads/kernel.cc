@@ -1,0 +1,265 @@
+#include "workloads/kernel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/** PC slot layout inside a chain's function. */
+constexpr std::uint32_t kStoreSlot = 0;  // store for position k: 2k
+constexpr std::uint32_t kLoadSlot = 1;   // load for position k: 2k + 1
+constexpr std::uint32_t kSecondLoadBase = 32; // second-operand loads
+constexpr std::uint32_t kBranchOffset = 64;
+constexpr std::uint32_t kBoundaryFn = 90;      // boundary writers (bugs)
+constexpr std::uint32_t kWrongPathFn = 99;     // post-bug wrong path
+
+} // namespace
+
+KernelWorkload::KernelWorkload(KernelSpec spec,
+                               std::optional<InjectedBug> bug)
+    : spec_(std::move(spec)), bug_(bug)
+{
+    ACT_ASSERT(!spec_.chains.empty());
+    ACT_ASSERT(spec_.threads >= 1);
+    if (bug_) {
+        ACT_ASSERT(bug_->chain < spec_.chains.size());
+        ACT_ASSERT(bug_->position < spec_.chains[bug_->chain].length);
+    }
+}
+
+Pc
+KernelWorkload::storePc(std::uint32_t chain, std::uint32_t position) const
+{
+    const AddressMap map(spec_.workload_id);
+    return map.pc(chain, 2 * position + kStoreSlot);
+}
+
+Pc
+KernelWorkload::loadPc(std::uint32_t chain, std::uint32_t position) const
+{
+    const AddressMap map(spec_.workload_id);
+    return map.pc(chain, 2 * position + kLoadSlot);
+}
+
+RawDependence
+KernelWorkload::buggyDependence() const
+{
+    if (!bug_)
+        return {};
+    const AddressMap map(spec_.workload_id);
+    // The failing load reads one slot past its buffer; that slot was
+    // written by the boundary initialisation store (the "S1" of the
+    // paper's ptx example in Figure 2(e)) in a distant setup function.
+    return RawDependence{map.pc(kBoundaryFn + bug_->chain, 0),
+                         loadPc(bug_->chain, bug_->position), false};
+}
+
+std::uint32_t
+KernelWorkload::chainByFunction(const std::string &function) const
+{
+    for (std::uint32_t c = 0; c < spec_.chains.size(); ++c) {
+        if (spec_.chains[c].function == function)
+            return c;
+    }
+    ACT_PANIC("no chain named " << function << " in kernel "
+                                << spec_.name);
+}
+
+std::vector<Pc>
+KernelWorkload::chainLoadPcs(std::uint32_t chain) const
+{
+    ACT_ASSERT(chain < spec_.chains.size());
+    std::vector<Pc> pcs;
+    for (std::uint32_t k = 0; k < spec_.chains[chain].length; ++k)
+        pcs.push_back(loadPc(chain, k));
+    return pcs;
+}
+
+void
+KernelWorkload::step(ThreadEmitter &emitter, Cursor &cursor,
+                     const AddressMap &map, std::uint32_t total_threads,
+                     RareRegion *rare, bool fire_bug) const
+{
+    const std::uint32_t c = cursor.chain;
+    const std::uint32_t k = cursor.position;
+    const ChainSpec &chain = spec_.chains[c];
+    const ThreadId tid = emitter.tid();
+
+    // The store side of this position's dependence.
+    const Addr own = chain.shared
+                         ? map.shared(c, tid * chain.length + k)
+                         : map.perThread(tid, c, k);
+    emitter.store(map.pc(c, 2 * k + kStoreSlot), own);
+
+    // The load side: own data, or the neighbouring thread's slot for
+    // shared chains (producer/consumer communication).
+    Addr read = own;
+    if (chain.shared && total_threads > 1) {
+        const ThreadId neighbour = (tid + 1) % total_threads;
+        read = map.shared(c, neighbour * chain.length + k);
+    }
+    if (fire_bug) {
+        // Injected communication bug: the load runs past the end of
+        // the chain's buffer into the neighbouring allocation (its own
+        // cache line, so the setup store's last-writer metadata is
+        // still resident).
+        read = map.shared(c, total_threads * chain.length + 16);
+    }
+    emitter.load(map.pc(c, 2 * k + kLoadSlot), read);
+
+    // Second operand: the previous position's value, stored by that
+    // position's (static) store in an earlier iteration.
+    if (emitter.rng().chance(spec_.second_load_prob)) {
+        const std::uint32_t prev = (k + chain.length - 1) % chain.length;
+        const Addr operand =
+            chain.shared ? map.shared(c, tid * chain.length + prev)
+                         : map.perThread(tid, c, prev);
+        emitter.load(map.pc(c, kSecondLoadBase + k), operand);
+    }
+
+    // Unrolled operand sweep: back-to-back loads over recent values
+    // (only positions already written this run produce dependences).
+    if (emitter.rng().chance(spec_.burst_prob)) {
+        for (std::uint32_t b = 0; b < spec_.burst_length; ++b) {
+            const std::uint32_t pos = b % chain.length;
+            const Addr operand =
+                chain.shared ? map.shared(c, tid * chain.length + pos)
+                             : map.perThread(tid, c, pos);
+            emitter.loadWithGap(map.pc(c, kSecondLoadBase + pos),
+                                operand,
+                                static_cast<std::uint16_t>(1 + b % 2));
+        }
+    }
+
+    // Occasional filtered stack traffic.
+    if (emitter.rng().chance(spec_.stack_prob)) {
+        emitter.store(map.pc(c, kBranchOffset + 2), map.stackSlot(tid, k));
+        emitter.load(map.pc(c, kBranchOffset + 3), map.stackSlot(tid, k),
+                     /*stack=*/true);
+    }
+
+    // Input-dependent rare communication (pointer-chasing flavour).
+    if (rare != nullptr)
+        rare->maybeEmit(emitter);
+
+    // Advance the walk: loop back edge, or a jump to another chain.
+    const bool jump = spec_.chains.size() > 1 &&
+                      emitter.rng().chance(chain.jump_prob);
+    emitter.branch(map.pc(c, kBranchOffset), !jump);
+    if (jump) {
+        cursor.chain = static_cast<std::uint32_t>(
+            (c + 1 + emitter.rng().next(spec_.chains.size() - 1)) %
+            spec_.chains.size());
+        cursor.position = 0;
+    } else {
+        cursor.position = (k + 1) % chain.length;
+    }
+}
+
+void
+KernelWorkload::run(TraceSink &sink, const WorkloadParams &params) const
+{
+    const AddressMap map(spec_.workload_id);
+    Rng master(hashCombine(mix64(params.seed),
+                           mix64(spec_.workload_id + 1)));
+
+    std::vector<ThreadEmitter> emitters;
+    emitters.reserve(spec_.threads);
+    for (ThreadId t = 0; t < spec_.threads; ++t) {
+        emitters.emplace_back(sink, t, master.fork(t + 1), spec_.min_gap,
+                              spec_.max_gap);
+    }
+
+    // Main thread spawns the workers (deterministic ids, §IV-C).
+    for (ThreadId t = 1; t < spec_.threads; ++t)
+        emitters[0].create(map.pc(0, kBranchOffset + 8), t);
+
+    // Initialise the per-chain boundary words so injected bugs have a
+    // well-defined last writer.
+    for (std::uint32_t c = 0; c < spec_.chains.size(); ++c) {
+        emitters[0].store(map.pc(kBoundaryFn + c, 0),
+                          map.shared(c, spec_.threads *
+                                                spec_.chains[c].length +
+                                            16));
+    }
+
+    const std::uint64_t iterations =
+        static_cast<std::uint64_t>(spec_.iterations) *
+        std::max<std::uint32_t>(params.scale, 1);
+    const std::uint64_t bug_iteration =
+        bug_ ? static_cast<std::uint64_t>(
+                   static_cast<double>(iterations) * bug_->trigger_point)
+             : iterations + 1;
+
+    std::optional<RareRegion> rare;
+    if (spec_.rare.emit_prob > 0.0)
+        rare.emplace(map, spec_.rare, params.seed);
+
+    std::vector<Cursor> cursors(spec_.threads);
+    // Start threads spread across chains for interleaving variety.
+    for (ThreadId t = 0; t < spec_.threads; ++t)
+        cursors[t].chain = t % spec_.chains.size();
+
+    std::vector<ThreadId> order(spec_.threads);
+    for (ThreadId t = 0; t < spec_.threads; ++t)
+        order[t] = t;
+
+    bool crashed = false;
+    for (std::uint64_t iter = 0; iter < iterations && !crashed; ++iter) {
+        // Rotate thread service order to vary the interleaving.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[master.next(i)]);
+
+        const bool bug_now =
+            params.trigger_failure && bug_ && iter == bug_iteration;
+        for (const ThreadId t : order) {
+            bool fire = false;
+            if (bug_now && t == 0) {
+                // Steer thread 0 into the buggy function: two normal
+                // steps reach the faulty position, then the overflow
+                // fires.
+                const std::uint32_t len =
+                    spec_.chains[bug_->chain].length;
+                cursors[0].chain = bug_->chain;
+                cursors[0].position = (bug_->position + len - 2) % len;
+                step(emitters[0], cursors[0], map, spec_.threads,
+                     nullptr, false);
+                step(emitters[0], cursors[0], map, spec_.threads,
+                     nullptr, false);
+                // The warm-up steps may have jumped chains; re-pin the
+                // faulty site before firing.
+                cursors[0].chain = bug_->chain;
+                cursors[0].position = bug_->position;
+                fire = true;
+            }
+            step(emitters[t], cursors[t], map, spec_.threads,
+                 rare ? &*rare : nullptr, fire);
+            if (fire) {
+                // Short wrong path before the crash: the corrupted
+                // value propagates through a few more loads.
+                for (std::uint32_t w = 0; w < 4; ++w) {
+                    emitters[0].load(
+                        map.pc(kWrongPathFn, w),
+                        map.shared(bug_->chain,
+                                   spec_.threads *
+                                       spec_.chains[bug_->chain].length));
+                }
+                crashed = true;
+                break;
+            }
+        }
+    }
+
+    if (!crashed) {
+        for (ThreadId t = 1; t < spec_.threads; ++t)
+            emitters[t].exitThread(map.pc(0, kBranchOffset + 9));
+        emitters[0].exitThread(map.pc(0, kBranchOffset + 9));
+    }
+}
+
+} // namespace act

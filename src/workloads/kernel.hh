@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The configurable kernel engine behind all prediction workloads.
+ *
+ * Every SPLASH2 / PARSEC / SPEC / coreutils stand-in is an instance of
+ * KernelWorkload parameterised by a KernelSpec: a set of named
+ * dependence chains (functions) whose steps produce stable RAW
+ * dependences, executed by one or more threads in loop-structured
+ * order. Chains model hot loops: each position k has a fixed store/load
+ * instruction pair, successive positions follow each other, chain ends
+ * wrap to their head, and occasional jumps target other chains' heads —
+ * the communication structure Section II-C argues neural networks can
+ * learn and generalise over.
+ *
+ * Knobs per chain: length, inter-thread sharing (producer/consumer with
+ * the neighbouring thread), and jump probability; knobs per kernel:
+ * thread count, iteration count, and an irregular-access probability
+ * that creates rare, hard-to-predict dependences (canneal/mcf-style
+ * pointer chasing).
+ */
+
+#ifndef ACT_WORKLOADS_KERNEL_HH
+#define ACT_WORKLOADS_KERNEL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/rare_region.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+
+/** One named dependence chain (a hot function). */
+struct ChainSpec
+{
+    std::string function;     //!< Function name (fig 7b / Table VI).
+    std::uint32_t length = 8; //!< Dependence positions in the chain.
+    double jump_prob = 0.1;   //!< Chance to jump to another chain head.
+    bool shared = false;      //!< Loads read the neighbour thread's data.
+};
+
+/** Full kernel description. */
+struct KernelSpec
+{
+    std::string name;
+    std::string description;
+    std::uint32_t workload_id = 0; //!< Address-space selector.
+    std::uint32_t threads = 4;
+    std::uint32_t iterations = 600; //!< Steps per thread per scale unit.
+    std::vector<ChainSpec> chains;
+
+    /**
+     * Input-dependent rare communication (canneal/mcf-style); an
+     * emit_prob of zero disables the pool.
+     */
+    RareRegionConfig rare{120, 12, 0.0};
+
+    double stack_prob = 0.05;    //!< Chance of a filtered stack access.
+
+    /**
+     * Chance a step reads a second operand (the previous position's
+     * value). Real inner loops average more than one load per
+     * iteration; this is what loads the AM close to its service rate.
+     */
+    double second_load_prob = 0.4;
+
+    /**
+     * Chance a step runs an unrolled operand sweep: a burst of
+     * back-to-back loads over the chain's recent values. Bursts are
+     * what fill the AM's input FIFO and stall retirement.
+     */
+    double burst_prob = 0.04;
+
+    /** Loads per burst. */
+    std::uint32_t burst_length = 6;
+
+    /**
+     * Plain instructions between traced events. The kernels model hot
+     * loops, where a RAW dependence occurs every handful of
+     * instructions — dense enough that the AM's input FIFO sees real
+     * pressure (the overhead source of Section III-C).
+     */
+    std::uint16_t min_gap = 1;
+    std::uint16_t max_gap = 5;
+};
+
+/** An injected communication bug (Table VI) inside a kernel chain. */
+struct InjectedBug
+{
+    std::uint32_t chain = 0;    //!< Chain the bug lives in.
+    std::uint32_t position = 0; //!< Step whose load goes wrong.
+    double trigger_point = 0.7; //!< Fraction of the run where it fires.
+};
+
+/**
+ * The engine: executes a KernelSpec, optionally with an injected bug.
+ */
+class KernelWorkload : public Workload
+{
+  public:
+    explicit KernelWorkload(KernelSpec spec,
+                            std::optional<InjectedBug> bug = std::nullopt);
+
+    std::string name() const override { return spec_.name; }
+    std::string description() const override { return spec_.description; }
+    std::uint32_t threadCount() const override { return spec_.threads; }
+
+    FailureKind
+    failureKind() const override
+    {
+        return bug_ ? FailureKind::kCrash : FailureKind::kNone;
+    }
+
+    BugClass
+    bugClass() const override
+    {
+        return bug_ ? BugClass::kInjected : BugClass::kNone;
+    }
+
+    RawDependence buggyDependence() const override;
+
+    void run(TraceSink &sink, const WorkloadParams &params) const override;
+
+    const KernelSpec &spec() const { return spec_; }
+
+    /** Index of the chain implementing @p function; panics if absent. */
+    std::uint32_t chainByFunction(const std::string &function) const;
+
+    /** Static load PCs belonging to chain @p chain. */
+    std::vector<Pc> chainLoadPcs(std::uint32_t chain) const;
+
+    /** Store PC for chain position (c, k) as thread @p tid executes. */
+    Pc storePc(std::uint32_t chain, std::uint32_t position) const;
+
+    /** Load PC for chain position (c, k). */
+    Pc loadPc(std::uint32_t chain, std::uint32_t position) const;
+
+  private:
+    /** Per-thread chain-walk cursor. */
+    struct Cursor
+    {
+        std::uint32_t chain = 0;
+        std::uint32_t position = 0;
+    };
+
+    void step(ThreadEmitter &emitter, Cursor &cursor, const AddressMap &map,
+              std::uint32_t total_threads, RareRegion *rare,
+              bool fire_bug) const;
+
+    KernelSpec spec_;
+    std::optional<InjectedBug> bug_;
+};
+
+/** Names of all built-in prediction kernels (Table IV rows). */
+std::vector<std::string> predictionKernelNames();
+
+/** Names of the concurrent prediction kernels (fig 7b uses these). */
+std::vector<std::string> concurrentKernelNames();
+
+/** Build the KernelSpec for a named prediction kernel. */
+KernelSpec kernelSpecFor(const std::string &name);
+
+/** Register the prediction kernels with the global registry. */
+void registerPredictionKernels();
+
+} // namespace act
+
+#endif // ACT_WORKLOADS_KERNEL_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Catalogue of named prediction kernels (the Table IV programs).
+ *
+ * Chain lengths, sharing patterns and irregularity levels are chosen to
+ * evoke each real application's hot loops: regular data-parallel codes
+ * (lu, fft, ocean, fluidanimate, streamcluster, swaptions) have long
+ * mostly-deterministic chains with producer/consumer sharing; irregular
+ * codes (barnes, canneal, mcf) add rare pointer-chasing accesses, which
+ * is what drives their higher misprediction rates in Table IV.
+ */
+
+#include "workloads/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace act
+{
+
+namespace
+{
+
+struct CatalogEntry
+{
+    const char *name;
+    bool concurrent;
+};
+
+constexpr CatalogEntry kCatalog[] = {
+    {"lu", true},           {"fft", true},
+    {"radix", true},        {"ocean", true},
+    {"barnes", true},       {"canneal", true},
+    {"fluidanimate", true}, {"streamcluster", true},
+    {"swaptions", true},    {"bzip2", false},
+    {"mcf", false},         {"bc", false},
+};
+
+} // namespace
+
+KernelSpec
+kernelSpecFor(const std::string &name)
+{
+    KernelSpec spec;
+    spec.name = name;
+    if (name == "lu") {
+        spec.description = "SPLASH2 lu: blocked dense LU factorisation";
+        spec.workload_id = 1;
+        spec.threads = 4;
+        spec.chains = {{"TouchA", 10, 0.06, false},
+                       {"lu_factor", 12, 0.08, true},
+                       {"bmod", 8, 0.08, true}};
+        spec.burst_prob = 0.2;
+    } else if (name == "fft") {
+        spec.description = "SPLASH2 fft: six-step 1D FFT";
+        spec.workload_id = 2;
+        spec.threads = 4;
+        spec.chains = {{"Transpose", 10, 0.06, true},
+                       {"FFT1DOnce", 12, 0.06, false}};
+        spec.burst_prob = 0.12;
+    } else if (name == "radix") {
+        spec.description = "SPLASH2 radix: integer radix sort";
+        spec.workload_id = 3;
+        spec.threads = 4;
+        spec.chains = {{"slave_sort", 12, 0.07, true},
+                       {"rank", 8, 0.08, false}};
+        spec.burst_prob = 0.2;
+    } else if (name == "ocean") {
+        spec.description = "SPLASH2 ocean: red-black grid solver";
+        spec.workload_id = 4;
+        spec.threads = 4;
+        spec.chains = {{"TouchArray", 10, 0.05, true},
+                       {"relax", 12, 0.06, true},
+                       {"multig", 6, 0.1, false}};
+        spec.burst_prob = 0.18;
+    } else if (name == "barnes") {
+        spec.description = "SPLASH2 barnes: Barnes-Hut N-body";
+        spec.workload_id = 5;
+        spec.threads = 4;
+        spec.chains = {{"VListInteraction", 8, 0.1, false},
+                       {"gravsub", 10, 0.1, true},
+                       {"maketree", 6, 0.12, false}};
+        spec.burst_prob = 0.1;
+        spec.rare = RareRegionConfig{300, 40, 0.035};
+    } else if (name == "canneal") {
+        spec.description = "PARSEC canneal: simulated annealing of "
+                           "netlist placement";
+        spec.workload_id = 6;
+        spec.threads = 4;
+        spec.chains = {{"swap_cost", 10, 0.09, true},
+                       {"netlist_elem", 8, 0.1, false}};
+        spec.burst_prob = 0.18;
+        spec.rare = RareRegionConfig{400, 60, 0.05};
+    } else if (name == "fluidanimate") {
+        spec.description = "PARSEC fluidanimate: SPH fluid simulation";
+        spec.workload_id = 7;
+        spec.threads = 4;
+        spec.chains = {{"ComputeDensitiesMT", 12, 0.05, true},
+                       {"ComputeForcesMT", 10, 0.05, true}};
+        spec.burst_prob = 0.3;
+    } else if (name == "streamcluster") {
+        spec.description = "PARSEC streamcluster: online clustering";
+        spec.workload_id = 8;
+        spec.threads = 4;
+        spec.chains = {{"dist", 12, 0.05, false},
+                       {"pgain", 10, 0.07, true}};
+        spec.burst_prob = 0.1;
+    } else if (name == "swaptions") {
+        spec.description = "PARSEC swaptions: HJM Monte-Carlo pricing";
+        spec.workload_id = 9;
+        spec.threads = 4;
+        spec.chains = {{"worker", 14, 0.04, false},
+                       {"HJM_SimPath", 10, 0.05, false}};
+        spec.burst_prob = 0.02;
+    } else if (name == "bzip2") {
+        spec.description = "SPEC INT 2006 bzip2: block compression";
+        spec.workload_id = 10;
+        spec.threads = 1;
+        spec.chains = {{"compressBlock", 14, 0.06, false},
+                       {"sortIt", 10, 0.08, false}};
+        spec.burst_prob = 0.017;
+    } else if (name == "mcf") {
+        spec.description = "SPEC INT 2006 mcf: network simplex";
+        spec.workload_id = 11;
+        spec.threads = 1;
+        spec.chains = {{"refresh_potential", 10, 0.09, false},
+                       {"price_out_impl", 8, 0.1, false}};
+        spec.burst_prob = 0.012;
+        spec.rare = RareRegionConfig{300, 45, 0.06};
+    } else if (name == "bc") {
+        spec.description = "GNU bc: arbitrary-precision arithmetic";
+        spec.workload_id = 12;
+        spec.threads = 1;
+        spec.chains = {{"bc_multiply", 8, 0.1, false},
+                       {"bc_divide", 8, 0.1, false}};
+        spec.burst_prob = 0.02;
+        spec.rare = RareRegionConfig{200, 20, 0.03};
+    } else {
+        ACT_FATAL("unknown prediction kernel: " << name);
+    }
+    if (spec.rare.emit_prob == 0.0) {
+        // Every real program has input-dependent cold paths scattered
+        // across its address space; a light rare-communication pool
+        // anchors the network's learned structure over the whole code
+        // range (and keeps Figure 7(b)'s extrapolation honest).
+        spec.rare = RareRegionConfig{240, 24, 0.03};
+    }
+    return spec;
+}
+
+std::vector<std::string>
+predictionKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : kCatalog)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+concurrentKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : kCatalog) {
+        if (entry.concurrent)
+            names.emplace_back(entry.name);
+    }
+    return names;
+}
+
+void
+registerPredictionKernels()
+{
+    auto &registry = WorkloadRegistry::instance();
+    for (const auto &entry : kCatalog) {
+        const std::string name = entry.name;
+        if (registry.contains(name))
+            continue;
+        registry.add(name, [name]() {
+            return std::make_unique<KernelWorkload>(kernelSpecFor(name));
+        });
+    }
+}
+
+} // namespace act

@@ -1,0 +1,82 @@
+#include "workloads/rare_region.hh"
+
+#include <cmath>
+
+#include "common/hashing.hh"
+#include "common/logging.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/** Rare-function load PCs live in a dedicated function-id area. */
+constexpr std::uint32_t kRareFnBase = 300;
+
+} // namespace
+
+RareRegion::RareRegion(const AddressMap &map, const RareRegionConfig &config,
+                       std::uint64_t run_seed)
+    : map_(map), config_(config),
+      rng_(hashCombine(mix64(run_seed), 0x4a4eULL))
+{
+    ACT_ASSERT(config_.pool >= 1);
+    ACT_ASSERT(config_.active >= 1);
+    active_.reserve(config_.active);
+    for (std::uint32_t j = 0; j < config_.active; ++j) {
+        active_.push_back(static_cast<std::uint32_t>(
+            hashCombine(mix64(run_seed), j) % config_.pool));
+    }
+}
+
+Pc
+RareRegion::loadPcFor(std::uint32_t fn) const
+{
+    // Spread rare loads across a band of function ids so the locality
+    // feature varies as well.
+    return map_.pc(kRareFnBase + fn / 32, (fn % 32) * 2 + 1);
+}
+
+Pc
+RareRegion::storePcFor(std::uint32_t fn) const
+{
+    // Per-function pseudo-random communication distance, log-uniform
+    // within the configured band, on either side of the load.
+    const std::uint64_t h = mix64(0x5a5aULL + fn);
+    const double unit = hashToUnit(h);
+    const double log_delta =
+        config_.min_log_delta +
+        unit * (config_.max_log_delta - config_.min_log_delta);
+    const auto delta = static_cast<std::int64_t>(std::exp2(log_delta));
+    const bool negative = (h & 1) != 0;
+    const Pc load = loadPcFor(fn);
+    return negative ? load + static_cast<Pc>(delta)
+                    : load - static_cast<Pc>(delta);
+}
+
+RawDependence
+RareRegion::dependenceFor(std::uint32_t fn) const
+{
+    ACT_ASSERT(fn < config_.pool);
+    return RawDependence{storePcFor(fn), loadPcFor(fn), false};
+}
+
+void
+RareRegion::emitOne(ThreadEmitter &emitter)
+{
+    const std::uint32_t fn =
+        active_[rng_.next(active_.size())];
+    const Addr addr = map_.shared(45, fn);
+    emitter.store(storePcFor(fn), addr);
+    emitter.load(loadPcFor(fn), addr);
+}
+
+void
+RareRegion::maybeEmit(ThreadEmitter &emitter)
+{
+    if (emitter.rng().chance(config_.emit_prob))
+        emitOne(emitter);
+}
+
+} // namespace act

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Input-dependent rare communication: the mechanism behind ACT's
+ * residual mispredictions.
+ *
+ * Real programs have code paths whose activation depends on the input:
+ * any single run exercises only a subset, so some RAW dependences of a
+ * production run never appeared in the offline-training traces.
+ * Section V's overfitting discussion ("when a rare RAW dependence
+ * occurs, it may be predicted as invalid") and the per-application
+ * misprediction spread of Table IV both stem from this effect.
+ *
+ * A RareRegion models it: a pool of P rare functions, each owning one
+ * stable RAW dependence whose store sits at a per-function
+ * pseudo-random distance from its load (log-uniform over a bounded
+ * band, so rare dependences never reach the far-out bands reserved for
+ * genuinely buggy communication). Every run activates a seeded subset
+ * of R functions. Training runs cover part of the pool; a later run's
+ * never-covered functions are exactly the rare dependences the network
+ * flags.
+ */
+
+#ifndef ACT_WORKLOADS_RARE_REGION_HH
+#define ACT_WORKLOADS_RARE_REGION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "deps/raw_dependence.hh"
+#include "workloads/emitter.hh"
+
+namespace act
+{
+
+/** Configuration of a rare-communication pool. */
+struct RareRegionConfig
+{
+    std::uint32_t pool = 120;    //!< Distinct rare functions overall.
+    std::uint32_t active = 12;   //!< Functions activated per run.
+    double emit_prob = 0.02;     //!< Per-step emission probability.
+
+    /** Log2 bounds of the store->load distance band. */
+    double min_log_delta = 2.0;
+    double max_log_delta = 13.0;
+};
+
+/** Per-run instantiation of the rare pool. */
+class RareRegion
+{
+  public:
+    /**
+     * @param map      Address map of the owning workload.
+     * @param config   Pool shape.
+     * @param run_seed Seed selecting this run's active subset.
+     */
+    RareRegion(const AddressMap &map, const RareRegionConfig &config,
+               std::uint64_t run_seed);
+
+    /**
+     * With probability config.emit_prob, emit one rare dependence
+     * (store followed by load) from the active set on @p emitter.
+     */
+    void maybeEmit(ThreadEmitter &emitter);
+
+    /** Unconditionally emit one active rare dependence. */
+    void emitOne(ThreadEmitter &emitter);
+
+    /** The dependence rare function @p fn produces (fn < pool). */
+    RawDependence dependenceFor(std::uint32_t fn) const;
+
+    /** This run's active function ids. */
+    const std::vector<std::uint32_t> &activeSet() const { return active_; }
+
+  private:
+    /** Load PC of rare function @p fn. */
+    Pc loadPcFor(std::uint32_t fn) const;
+
+    /** Store PC of rare function @p fn (load - per-fn delta). */
+    Pc storePcFor(std::uint32_t fn) const;
+
+    const AddressMap &map_;
+    RareRegionConfig config_;
+    std::vector<std::uint32_t> active_;
+    Rng rng_;
+};
+
+} // namespace act
+
+#endif // ACT_WORKLOADS_RARE_REGION_HH

@@ -1,0 +1,72 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/bugs.hh"
+#include "workloads/kernel.hh"
+
+namespace act
+{
+
+Trace
+Workload::record(const WorkloadParams &params) const
+{
+    Trace trace;
+    run(trace, params);
+    return trace;
+}
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(const std::string &name, Factory factory)
+{
+    const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    if (!inserted)
+        ACT_PANIC("duplicate workload registration: " << name);
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::create(const std::string &name) const
+{
+    const auto it = factories_.find(name);
+    if (it == factories_.end())
+        ACT_FATAL("unknown workload: " << name);
+    return it->second();
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return factories_.count(name) != 0;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+void
+registerAllWorkloads()
+{
+    registerPredictionKernels();
+    registerBugWorkloads();
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    registerAllWorkloads();
+    return WorkloadRegistry::instance().create(name);
+}
+
+} // namespace act

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Workload models: deterministic stand-ins for the instrumented
+ * applications of Section VI-A.
+ *
+ * The paper traces SPLASH2 / PARSEC / SPEC INT 2006 / GNU coreutils
+ * binaries with PIN and injects 11 real + 5 synthetic bugs. This
+ * reproduction cannot run those binaries, so each application is
+ * modelled as a generator that emits the same interface ACT consumes: a
+ * deterministic, seeded stream of per-thread memory / branch / sync
+ * events with stable static instruction addresses. Bug workloads can
+ * produce both correct executions and the failing interleaving/input,
+ * and they export the ground-truth root-cause dependence so benches
+ * can score diagnosis ranks.
+ */
+
+#ifndef ACT_WORKLOADS_WORKLOAD_HH
+#define ACT_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "deps/raw_dependence.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** What a failing execution of a bug workload looks like. */
+enum class FailureKind : std::uint8_t
+{
+    kNone,      //!< Workload has no failure mode (prediction kernel).
+    kCrash,     //!< Execution aborts at the failure point.
+    kCompletion //!< Runs to completion with ill effects (Table V).
+};
+
+/** Per-run parameters. */
+struct WorkloadParams
+{
+    /** Seed controlling input variation and thread interleaving. */
+    std::uint64_t seed = 1;
+
+    /** Produce the failing execution (bug workloads only). */
+    bool trigger_failure = false;
+
+    /** Work multiplier (iterations scale roughly linearly). */
+    std::uint32_t scale = 1;
+};
+
+/** Classification of a bug, mirroring Table V's description column. */
+enum class BugClass : std::uint8_t
+{
+    kNone,
+    kOrderViolation,
+    kAtomicityViolation,
+    kSemantic,
+    kBufferOverflow,
+    kInjected
+};
+
+/**
+ * Abstract workload.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier, e.g. "lu" or "mysql1". */
+    virtual std::string name() const = 0;
+
+    /** One-line description for bench output. */
+    virtual std::string description() const = 0;
+
+    /** Number of threads the model spawns. */
+    virtual std::uint32_t threadCount() const = 0;
+
+    /** Whether the model is multithreaded. */
+    bool concurrent() const { return threadCount() > 1; }
+
+    /** Failure mode; kNone for pure prediction kernels. */
+    virtual FailureKind failureKind() const { return FailureKind::kNone; }
+
+    /** Bug classification (kNone for prediction kernels). */
+    virtual BugClass bugClass() const { return BugClass::kNone; }
+
+    /**
+     * Ground-truth root cause: the invalid RAW dependence the failing
+     * execution creates. Only meaningful when failureKind() != kNone.
+     */
+    virtual RawDependence buggyDependence() const { return {}; }
+
+    /** Execute once, emitting events into @p sink. */
+    virtual void run(TraceSink &sink, const WorkloadParams &params) const
+        = 0;
+
+    /** Convenience: run into a fresh in-memory trace. */
+    Trace record(const WorkloadParams &params) const;
+};
+
+/**
+ * Global name -> factory registry.
+ */
+class WorkloadRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Workload>()>;
+
+    static WorkloadRegistry &instance();
+
+    /** Register a factory; panics on duplicate names. */
+    void add(const std::string &name, Factory factory);
+
+    /** Instantiate a workload; panics if unknown. */
+    std::unique_ptr<Workload> create(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    WorkloadRegistry() = default;
+    std::map<std::string, Factory> factories_;
+};
+
+/** Register every built-in workload model (idempotent). */
+void registerAllWorkloads();
+
+/** Create a workload by name from the fully populated registry. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace act
+
+#endif // ACT_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the ACT Module: initialisation, online testing, Debug
+ * Buffer logging, mode switching and retire back-pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "act/act_module.hh"
+#include "nn/trainer.hh"
+
+namespace act
+{
+namespace
+{
+
+constexpr Pc kLoadPc = 0x401004;
+
+RawDependence
+validDep(std::uint32_t slot = 0)
+{
+    // Tight producer/consumer pair: the learned-valid shape.
+    const Pc load = kLoadPc + slot * 8;
+    return RawDependence{load - 4, load, false};
+}
+
+RawDependence
+buggyDep()
+{
+    // A far-away writer: invalid communication.
+    return RawDependence{kLoadPc - 13 * 0x1000, kLoadPc, false};
+}
+
+ActConfig
+testConfig()
+{
+    ActConfig config;
+    config.sequence_length = 1;
+    config.topology = Topology{2, 6};
+    config.interval_length = 64;
+    config.misprediction_threshold = 0.05;
+    return config;
+}
+
+/** Train a tiny network that accepts near deps and rejects far ones. */
+std::vector<double>
+trainedWeights()
+{
+    PairEncoder encoder;
+    Dataset data;
+    Rng rng(21);
+    for (int i = 0; i < 400; ++i) {
+        const auto slot = static_cast<std::uint32_t>(rng.next(8));
+        std::vector<double> pos;
+        encoder.encode(validDep(slot), pos);
+        data.add(Example{pos, 1.0});
+        std::vector<double> neg;
+        const Pc load = kLoadPc + slot * 8;
+        encoder.encode(
+            RawDependence{load - 0x1000 - rng.next(0x8000), load, false},
+            neg);
+        data.add(Example{neg, 0.0});
+    }
+    MlpNetwork net(Topology{2, 6}, rng);
+    TrainerConfig config;
+    config.max_epochs = 300;
+    trainNetwork(net, data, config, rng);
+    return net.weights();
+}
+
+WeightStore
+trainedStore()
+{
+    WeightStore store(Topology{2, 6});
+    store.set(0, trainedWeights());
+    return store;
+}
+
+TEST(ActModule, InitWithStoredWeightsStartsTesting)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    const std::size_t transferred = module.initThread(0, trainedStore());
+    EXPECT_EQ(transferred, module.network().weightCount());
+    EXPECT_EQ(module.mode(), ActMode::kTesting);
+}
+
+TEST(ActModule, InitWithoutWeightsStartsTraining)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(5, WeightStore(Topology{2, 6}));
+    EXPECT_EQ(module.mode(), ActMode::kTraining);
+}
+
+TEST(ActModule, ValidDependencePredictedValid)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    const ActOutcome outcome = module.onDependence(validDep(), 0, 100);
+    ASSERT_TRUE(outcome.classified);
+    EXPECT_FALSE(outcome.predicted_invalid);
+    EXPECT_EQ(module.debugBuffer().size(), 0u);
+}
+
+TEST(ActModule, InvalidDependenceLoggedWithOutput)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    const ActOutcome outcome = module.onDependence(buggyDep(), 0, 100);
+    ASSERT_TRUE(outcome.classified);
+    EXPECT_TRUE(outcome.predicted_invalid);
+    EXPECT_LT(outcome.output, 0.5);
+    ASSERT_EQ(module.debugBuffer().size(), 1u);
+    EXPECT_EQ(module.debugBuffer().entries().front().sequence.deps.back(),
+              buggyDep());
+}
+
+TEST(ActModule, SequenceNeedsWarmup)
+{
+    ActConfig config = testConfig();
+    config.sequence_length = 3;
+    config.topology = Topology{6, 6};
+    PairEncoder encoder;
+    ActModule module(config, encoder);
+    WeightStore store(Topology{6, 6});
+    store.set(0, std::vector<double>(store.weightCount(), 0.1));
+    module.initThread(0, store);
+    EXPECT_FALSE(module.onDependence(validDep(0), 0, 1).classified);
+    EXPECT_FALSE(module.onDependence(validDep(1), 0, 2).classified);
+    EXPECT_TRUE(module.onDependence(validDep(2), 0, 3).classified);
+}
+
+TEST(ActModule, HighMispredictionRateEntersTraining)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    ASSERT_EQ(module.mode(), ActMode::kTesting);
+    // Flood with rejected-but-presumed-valid dependences: after one
+    // interval the rate exceeds 5% and the module starts learning
+    // (the few extra dependences then exercise the training path).
+    Cycle cycle = 0;
+    for (int i = 0; i < 80; ++i)
+        module.onDependence(buggyDep(), 0, cycle += 100);
+    EXPECT_EQ(module.mode(), ActMode::kTraining);
+    EXPECT_GE(module.stats().mode_switches, 1u);
+    EXPECT_GT(module.stats().train_updates, 0u);
+}
+
+TEST(ActModule, TrainingLearnsAndReturnsToTesting)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    Cycle cycle = 0;
+    // Enter training via sustained novel dependences...
+    for (int i = 0; i < 64; ++i)
+        module.onDependence(buggyDep(), 0, cycle += 100);
+    ASSERT_EQ(module.mode(), ActMode::kTraining);
+    // ...keep seeing them; the network learns them as valid and the
+    // misprediction rate falls below the threshold again.
+    for (int i = 0; i < 64 * 40 && module.mode() == ActMode::kTraining;
+         ++i) {
+        module.onDependence(buggyDep(), 0, cycle += 100);
+    }
+    EXPECT_EQ(module.mode(), ActMode::kTesting);
+    // The previously novel dependence is now accepted.
+    const ActOutcome outcome =
+        module.onDependence(buggyDep(), 0, cycle += 100);
+    EXPECT_FALSE(outcome.predicted_invalid);
+}
+
+TEST(ActModule, FifoBackpressureStallsLoads)
+{
+    ActConfig config = testConfig();
+    config.hw.fifo_entries = 1;
+    PairEncoder encoder;
+    ActModule module(config, encoder);
+    module.initThread(0, trainedStore());
+    // Two dependences in the same cycle: the second must wait for the
+    // first to vacate the single-entry FIFO.
+    const ActOutcome first = module.onDependence(validDep(), 0, 10);
+    EXPECT_EQ(first.stall_cycles, 0u);
+    const ActOutcome second = module.onDependence(validDep(), 0, 10);
+    EXPECT_GT(second.stall_cycles, 0u);
+    EXPECT_GT(module.stats().stalled_offers, 0u);
+}
+
+TEST(ActModule, SaveRestoreWeightsRoundTrip)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    const auto saved = module.saveWeights();
+    ActModule other(testConfig(), encoder);
+    other.initThread(9, WeightStore(Topology{2, 6})); // defaults
+    other.restoreWeights(saved);
+    const ActOutcome a = module.onDependence(buggyDep(), 0, 1);
+    const ActOutcome b = other.onDependence(buggyDep(), 9, 1);
+    EXPECT_EQ(a.predicted_invalid, b.predicted_invalid);
+    EXPECT_NEAR(a.output, b.output, 1e-9);
+}
+
+TEST(ActModule, StatsCount)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    module.onDependence(validDep(), 0, 1);
+    module.onDependence(buggyDep(), 0, 2);
+    const ActModuleStats &stats = module.stats();
+    EXPECT_EQ(stats.dependences, 2u);
+    EXPECT_EQ(stats.predictions, 2u);
+    EXPECT_EQ(stats.predicted_invalid, 1u);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the Input Generator Buffer and the Debug Buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "act/buffers.hh"
+
+namespace act
+{
+namespace
+{
+
+RawDependence
+dep(Pc s, Pc l)
+{
+    return RawDependence{s, l, false};
+}
+
+TEST(InputGeneratorBuffer, LastSequenceNeedsEnoughHistory)
+{
+    InputGeneratorBuffer buffer(50);
+    buffer.push(dep(1, 2));
+    buffer.push(dep(3, 4));
+    EXPECT_FALSE(buffer.lastSequence(3).has_value());
+    buffer.push(dep(5, 6));
+    const auto seq = buffer.lastSequence(3);
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_EQ(seq->deps[0], dep(1, 2));
+    EXPECT_EQ(seq->deps[2], dep(5, 6));
+}
+
+TEST(InputGeneratorBuffer, SlidesOldestFirst)
+{
+    InputGeneratorBuffer buffer(50);
+    for (Pc p = 0; p < 5; ++p)
+        buffer.push(dep(p, p + 100));
+    const auto seq = buffer.lastSequence(3);
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_EQ(seq->deps[0], dep(2, 102));
+    EXPECT_EQ(seq->deps[2], dep(4, 104));
+}
+
+TEST(InputGeneratorBuffer, DropsOldestAtCapacity)
+{
+    InputGeneratorBuffer buffer(3);
+    for (Pc p = 0; p < 10; ++p)
+        buffer.push(dep(p, p));
+    EXPECT_EQ(buffer.size(), 3u);
+    const auto seq = buffer.lastSequence(3);
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_EQ(seq->deps[0], dep(7, 7));
+}
+
+TEST(InputGeneratorBuffer, ClearEmpties)
+{
+    InputGeneratorBuffer buffer(10);
+    buffer.push(dep(1, 1));
+    buffer.clear();
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_FALSE(buffer.lastSequence(1).has_value());
+}
+
+DebugEntry
+entry(Pc last_store, Pc last_load, double output)
+{
+    DebugEntry e;
+    e.sequence.deps = {dep(1, 2), dep(last_store, last_load)};
+    e.output = output;
+    return e;
+}
+
+TEST(DebugBuffer, LogsInOrder)
+{
+    DebugBuffer buffer(60);
+    buffer.log(entry(10, 11, 0.3));
+    buffer.log(entry(20, 21, 0.2));
+    EXPECT_EQ(buffer.size(), 2u);
+    EXPECT_EQ(buffer.entries().front().sequence.deps.back(), dep(10, 11));
+    EXPECT_EQ(buffer.entries().back().sequence.deps.back(), dep(20, 21));
+    EXPECT_EQ(buffer.totalLogged(), 2u);
+}
+
+TEST(DebugBuffer, RingDropsOldest)
+{
+    DebugBuffer buffer(3);
+    for (Pc p = 0; p < 6; ++p)
+        buffer.log(entry(p, p + 1, 0.1));
+    EXPECT_EQ(buffer.size(), 3u);
+    EXPECT_EQ(buffer.totalLogged(), 6u);
+    EXPECT_EQ(buffer.entries().front().sequence.deps.back(), dep(3, 4));
+}
+
+TEST(DebugBuffer, PositionOfCountsFromNewest)
+{
+    DebugBuffer buffer(60);
+    buffer.log(entry(10, 11, 0.3));
+    buffer.log(entry(20, 21, 0.2));
+    buffer.log(entry(30, 31, 0.1));
+    EXPECT_EQ(buffer.positionOf(dep(30, 31)), 0u);
+    EXPECT_EQ(buffer.positionOf(dep(10, 11)), 2u);
+    EXPECT_FALSE(buffer.positionOf(dep(99, 99)).has_value());
+}
+
+TEST(DebugBuffer, PositionOfFindsMostRecentOccurrence)
+{
+    DebugBuffer buffer(60);
+    buffer.log(entry(10, 11, 0.3));
+    buffer.log(entry(20, 21, 0.2));
+    buffer.log(entry(10, 11, 0.1)); // repeated root cause
+    EXPECT_EQ(buffer.positionOf(dep(10, 11)), 0u);
+}
+
+TEST(DebugBuffer, EvictionLosesRootCause)
+{
+    // The MySQL#1 scenario: enough later entries push the root cause
+    // out of the default-sized buffer.
+    DebugBuffer buffer(4);
+    buffer.log(entry(10, 11, 0.3)); // root cause
+    for (Pc p = 100; p < 104; ++p)
+        buffer.log(entry(p, p + 1, 0.2));
+    EXPECT_FALSE(buffer.positionOf(dep(10, 11)).has_value());
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for per-thread weight persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "act/weight_store.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(WeightStore, WeightCountMatchesTopology)
+{
+    const WeightStore store(Topology{6, 10});
+    EXPECT_EQ(store.weightCount(), 10u * 7u + 11u);
+}
+
+TEST(WeightStore, GetMissingReturnsNullopt)
+{
+    const WeightStore store(Topology{3, 4});
+    EXPECT_FALSE(store.has(7));
+    EXPECT_FALSE(store.get(7).has_value());
+}
+
+TEST(WeightStore, SetAndGet)
+{
+    WeightStore store(Topology{3, 4});
+    std::vector<double> weights(store.weightCount(), 0.25);
+    store.set(2, weights);
+    EXPECT_TRUE(store.has(2));
+    const auto got = store.get(2);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, weights);
+}
+
+TEST(WeightStore, SetAllCoversThreadRange)
+{
+    WeightStore store(Topology{3, 4});
+    std::vector<double> weights(store.weightCount(), -0.5);
+    store.setAll(4, weights);
+    EXPECT_EQ(store.size(), 4u);
+    for (ThreadId tid = 0; tid < 4; ++tid)
+        EXPECT_TRUE(store.has(tid));
+    EXPECT_FALSE(store.has(4));
+}
+
+TEST(WeightStore, SaveLoadRoundTrip)
+{
+    WeightStore store(Topology{4, 6});
+    std::vector<double> w0(store.weightCount());
+    std::vector<double> w1(store.weightCount());
+    for (std::size_t i = 0; i < w0.size(); ++i) {
+        w0[i] = 0.01 * static_cast<double>(i);
+        w1[i] = -0.02 * static_cast<double>(i);
+    }
+    store.set(0, w0);
+    store.set(1, w1);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "weights.bin";
+    ASSERT_TRUE(store.save(path));
+
+    WeightStore loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.topology(), (Topology{4, 6}));
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.get(0), w0);
+    EXPECT_EQ(loaded.get(1), w1);
+    std::remove(path.c_str());
+}
+
+TEST(WeightStore, LoadMissingFileFails)
+{
+    WeightStore store;
+    EXPECT_FALSE(store.load("/nonexistent/weights.bin"));
+}
+
+} // namespace
+} // namespace act

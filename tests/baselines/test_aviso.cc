@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Aviso constraint-learning baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/aviso.hh"
+
+#include "common/rng.hh"
+
+namespace act
+{
+namespace
+{
+
+void
+emit(Trace &trace, EventKind kind, ThreadId tid, Pc pc, Addr addr)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    trace.append(e);
+}
+
+/**
+ * Two threads share address 0x1000. In failing runs, thread 1's store
+ * at 0xBAD lands right before thread 0's load at 0x20.
+ */
+Trace
+sharedTrace(bool failing, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Trace trace;
+    for (int i = 0; i < 60; ++i) {
+        emit(trace, EventKind::kStore, 0, 0x10, 0x1000);
+        emit(trace, EventKind::kLoad, 1, 0x30, 0x1000);
+        if (rng.chance(0.3))
+            emit(trace, EventKind::kLock, 1, 0x40, 0x9000);
+    }
+    if (failing) {
+        emit(trace, EventKind::kStore, 1, 0xBAD, 0x1000);
+        emit(trace, EventKind::kLoad, 0, 0x20, 0x1000);
+    }
+    return trace;
+}
+
+TEST(Aviso, SequentialProgramsNotApplicable)
+{
+    AvisoDiagnoser aviso(AvisoConfig{});
+    Trace trace;
+    emit(trace, EventKind::kStore, 0, 0x10, 0x1000);
+    emit(trace, EventKind::kLoad, 0, 0x20, 0x1000);
+    aviso.addFailureTrace(trace);
+    aviso.addFailureTrace(trace);
+    const AvisoResult result = aviso.diagnose(0x10, 0x20);
+    EXPECT_FALSE(result.applicable);
+    EXPECT_FALSE(result.found);
+}
+
+TEST(Aviso, SingleFailureIsNotEnough)
+{
+    AvisoDiagnoser aviso(AvisoConfig{});
+    for (int i = 0; i < 10; ++i)
+        aviso.addCorrectTrace(sharedTrace(false, 100 + i));
+    aviso.addFailureTrace(sharedTrace(true, 999));
+    const AvisoResult result = aviso.diagnose(0xBAD, 0x20);
+    EXPECT_TRUE(result.applicable);
+    EXPECT_FALSE(result.found) << "needs the bug to recur";
+}
+
+TEST(Aviso, FindsConstraintAfterSecondFailure)
+{
+    AvisoDiagnoser aviso(AvisoConfig{});
+    for (int i = 0; i < 10; ++i)
+        aviso.addCorrectTrace(sharedTrace(false, 100 + i));
+    aviso.addFailureTrace(sharedTrace(true, 999));
+    aviso.addFailureTrace(sharedTrace(true, 998));
+    const AvisoResult result = aviso.diagnose(0xBAD, 0x20);
+    EXPECT_TRUE(result.found);
+    ASSERT_TRUE(result.rank.has_value());
+    EXPECT_LE(*result.rank, 12u);
+    EXPECT_EQ(result.failures_used, 2u);
+}
+
+TEST(Aviso, PairsSeenInCorrectRunsAreNotConstraints)
+{
+    // The producer/consumer pair (0x10 -> 0x30) happens in every run;
+    // it must never surface as a constraint.
+    AvisoDiagnoser aviso(AvisoConfig{});
+    for (int i = 0; i < 10; ++i)
+        aviso.addCorrectTrace(sharedTrace(false, 100 + i));
+    aviso.addFailureTrace(sharedTrace(true, 999));
+    aviso.addFailureTrace(sharedTrace(true, 998));
+    const AvisoResult result = aviso.diagnose(0x10, 0x30);
+    EXPECT_FALSE(result.found);
+}
+
+TEST(Aviso, DistantPairsNeverBecomeCandidates)
+{
+    // The Apache situation: hundreds of events separate the racing
+    // store from the crashing load.
+    AvisoConfig config;
+    config.pair_distance = 30;
+    AvisoDiagnoser aviso(config);
+    auto distant = [](std::uint64_t seed) {
+        Trace trace = sharedTrace(false, seed);
+        TraceEvent e;
+        emit(trace, EventKind::kStore, 1, 0xBAD, 0x1000);
+        for (int i = 0; i < 50; ++i)
+            emit(trace, EventKind::kLoad, 1, 0x30, 0x1000);
+        emit(trace, EventKind::kLoad, 0, 0x20, 0x1000);
+        (void)e;
+        return trace;
+    };
+    for (int i = 0; i < 10; ++i)
+        aviso.addCorrectTrace(sharedTrace(false, 100 + i));
+    for (int f = 0; f < 10; ++f)
+        aviso.addFailureTrace(distant(900 + f));
+    const AvisoResult result = aviso.diagnose(0xBAD, 0x20);
+    EXPECT_FALSE(result.found) << "pair outside the event window";
+}
+
+TEST(Aviso, LockEventsParticipateInPairs)
+{
+    AvisoDiagnoser aviso(AvisoConfig{});
+    auto lockTrace = [](bool failing) {
+        Trace trace;
+        for (int i = 0; i < 30; ++i) {
+            emit(trace, EventKind::kStore, 0, 0x10, 0x1000);
+            emit(trace, EventKind::kLoad, 1, 0x30, 0x1000);
+        }
+        if (failing) {
+            emit(trace, EventKind::kUnlock, 1, 0x60, 0x9000);
+            emit(trace, EventKind::kLoad, 0, 0x20, 0x1000);
+        }
+        return trace;
+    };
+    aviso.addCorrectTrace(lockTrace(false));
+    aviso.addFailureTrace(lockTrace(true));
+    aviso.addFailureTrace(lockTrace(true));
+    const AvisoResult result = aviso.diagnose(0x60, 0x20);
+    EXPECT_TRUE(result.found);
+}
+
+} // namespace
+} // namespace act

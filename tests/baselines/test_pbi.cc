@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the PBI sampling/statistical baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/pbi.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+void
+emit(Trace &trace, EventKind kind, ThreadId tid, Pc pc, Addr addr,
+     bool taken = false)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    e.taken = taken;
+    trace.append(e);
+}
+
+/** Correct runs: branch 0x50 always taken. Failing run: not taken. */
+Trace
+branchTrace(bool failing)
+{
+    Trace trace;
+    for (int i = 0; i < 20; ++i) {
+        emit(trace, EventKind::kStore, 0, 0x10, 0x1000);
+        emit(trace, EventKind::kLoad, 0, 0x20, 0x1000);
+        emit(trace, EventKind::kBranch, 0, 0x50, 0x0, true);
+    }
+    if (failing)
+        emit(trace, EventKind::kBranch, 0, 0x50, 0x0, false);
+    return trace;
+}
+
+TEST(Pbi, BranchFlipFoundAtRankOne)
+{
+    PbiDiagnoser pbi(PbiConfig{});
+    for (int i = 0; i < 15; ++i)
+        pbi.addCorrectTrace(branchTrace(false));
+    pbi.addFailureTrace(branchTrace(true));
+    const PbiResult result = pbi.diagnose({0x50});
+    EXPECT_FALSE(result.missed);
+    ASSERT_TRUE(result.rank.has_value());
+    EXPECT_EQ(*result.rank, 1u);
+    EXPECT_EQ(result.predictive, 1u);
+    EXPECT_GT(result.total_predicates, 1u);
+}
+
+TEST(Pbi, IdenticalBehaviourIsMissed)
+{
+    // The buggy instruction observes the same events in correct and
+    // failing runs: no predictive predicate exists (the Aget / gzip /
+    // seq situation).
+    PbiDiagnoser pbi(PbiConfig{});
+    for (int i = 0; i < 15; ++i)
+        pbi.addCorrectTrace(branchTrace(false));
+    pbi.addFailureTrace(branchTrace(false));
+    const PbiResult result = pbi.diagnose({0x20});
+    EXPECT_TRUE(result.missed);
+    EXPECT_FALSE(result.rank.has_value());
+}
+
+TEST(Pbi, CoherenceStateChangeIsPredictive)
+{
+    // Correct: core 0 both writes and reads (M state). Failing: the
+    // other thread wrote in between (I at the read).
+    auto makeTrace = [&](bool failing) {
+        Trace trace;
+        for (int i = 0; i < 10; ++i) {
+            emit(trace, EventKind::kStore, 0, 0x10, 0x2000);
+            if (failing && i == 8)
+                emit(trace, EventKind::kStore, 1, 0x99, 0x2000);
+            emit(trace, EventKind::kLoad, 0, 0x20, 0x2000);
+        }
+        return trace;
+    };
+    PbiDiagnoser pbi(PbiConfig{});
+    for (int i = 0; i < 15; ++i)
+        pbi.addCorrectTrace(makeTrace(false));
+    pbi.addFailureTrace(makeTrace(true));
+    const PbiResult result = pbi.diagnose({0x20});
+    EXPECT_FALSE(result.missed);
+    ASSERT_TRUE(result.rank.has_value());
+    EXPECT_LE(*result.rank, 3u);
+}
+
+TEST(Pbi, PhantomPredicatesDegradeRank)
+{
+    // Benign nondeterminism: many lines randomly written by either
+    // thread. With only 15 correct runs, the failing run exhibits
+    // state combinations never seen before, which outrank nothing in
+    // particular but dilute the list.
+    Rng rng(3);
+    auto makeTrace = [&](std::uint64_t seed, bool failing) {
+        Rng local(seed);
+        Trace trace;
+        for (int i = 0; i < 150; ++i) {
+            const Addr line = 0x4000 + local.next(150) * 64;
+            emit(trace, EventKind::kStore,
+                 static_cast<ThreadId>(local.next(2)), 0x10000 + line / 64 * 8,
+                 line);
+            emit(trace, EventKind::kLoad,
+                 static_cast<ThreadId>(local.next(2)), 0x20000 + line / 64 * 8,
+                 line);
+        }
+        emit(trace, EventKind::kStore, 0, 0x10, 0x2000);
+        if (failing)
+            emit(trace, EventKind::kStore, 1, 0x99, 0x2000);
+        emit(trace, EventKind::kLoad, 0, 0x20, 0x2000);
+        return trace;
+    };
+    PbiDiagnoser pbi(PbiConfig{});
+    for (int i = 0; i < 15; ++i)
+        pbi.addCorrectTrace(makeTrace(100 + i, false));
+    pbi.addFailureTrace(makeTrace(999, true));
+    const PbiResult result = pbi.diagnose({0x20});
+    EXPECT_FALSE(result.missed);
+    ASSERT_TRUE(result.rank.has_value());
+    // The root predicate competes with phantom failure-only
+    // predicates created by the benign nondeterminism.
+    EXPECT_GE(result.predictive, 2u);
+    EXPECT_LE(*result.rank, result.predictive);
+    EXPECT_GT(result.total_predicates, 100u);
+}
+
+TEST(Pbi, SamplingReducesPredicates)
+{
+    PbiConfig full;
+    PbiConfig sparse;
+    sparse.sample_rate = 0.05;
+    PbiDiagnoser a(full);
+    PbiDiagnoser b(sparse);
+    a.addFailureTrace(branchTrace(true));
+    b.addFailureTrace(branchTrace(true));
+    EXPECT_LT(b.diagnose({0x50}).total_predicates,
+              a.diagnose({0x50}).total_predicates);
+}
+
+TEST(Pbi, EventNamesDistinct)
+{
+    EXPECT_STRNE(pbiEventName(PbiEvent::kStateInvalid),
+                 pbiEventName(PbiEvent::kStateModified));
+    EXPECT_STRNE(pbiEventName(PbiEvent::kBranchTaken),
+                 pbiEventName(PbiEvent::kBranchNotTaken));
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the saturating fixed-point arithmetic of the hardware NN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed_point.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(FixedPoint, ZeroByDefault)
+{
+    HwFixed v;
+    EXPECT_EQ(v.raw(), 0);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 0.0);
+}
+
+TEST(FixedPoint, RoundTripWithinPrecision)
+{
+    for (const double v : {0.0, 1.0, -1.0, 0.5, -0.25, 3.14159, -2.71828,
+                           100.0, -100.0}) {
+        const HwFixed f = HwFixed::fromDouble(v);
+        EXPECT_NEAR(f.toDouble(), v, 1.0 / HwFixed::kScale);
+    }
+}
+
+TEST(FixedPoint, AdditionAndSubtraction)
+{
+    const HwFixed a = HwFixed::fromDouble(1.5);
+    const HwFixed b = HwFixed::fromDouble(2.25);
+    EXPECT_NEAR((a + b).toDouble(), 3.75, 1e-4);
+    EXPECT_NEAR((a - b).toDouble(), -0.75, 1e-4);
+}
+
+TEST(FixedPoint, Multiplication)
+{
+    const HwFixed a = HwFixed::fromDouble(1.5);
+    const HwFixed b = HwFixed::fromDouble(-2.0);
+    EXPECT_NEAR((a * b).toDouble(), -3.0, 1e-3);
+}
+
+TEST(FixedPoint, SaturatesInsteadOfWrapping)
+{
+    const HwFixed big = HwFixed::fromDouble(30000.0);
+    const HwFixed sum = big + big;
+    // Q15.16 max is ~32768; the sum saturates rather than going
+    // negative.
+    EXPECT_GT(sum.toDouble(), 30000.0);
+    const HwFixed prod = big * big;
+    EXPECT_GT(prod.toDouble(), 30000.0);
+}
+
+TEST(FixedPoint, NegationAndComparison)
+{
+    const HwFixed a = HwFixed::fromDouble(1.25);
+    EXPECT_NEAR((-a).toDouble(), -1.25, 1e-4);
+    EXPECT_LT(-a, a);
+    EXPECT_EQ(a, HwFixed::fromDouble(1.25));
+}
+
+TEST(FixedPoint, FromRaw)
+{
+    const auto v = HwFixed::fromRaw(1 << 16);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 1.0);
+}
+
+TEST(FixedPoint, DifferentPrecisions)
+{
+    using Q8 = FixedPoint<8>;
+    const Q8 v = Q8::fromDouble(0.12345);
+    // 8 fractional bits: resolution 1/256.
+    EXPECT_NEAR(v.toDouble(), 0.12345, 1.0 / 256.0);
+}
+
+/** Property sweep: (a*b) in fixed point tracks double multiply. */
+class FixedMulProperty
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(FixedMulProperty, TracksDoubleMultiply)
+{
+    const auto [a, b] = GetParam();
+    const double exact = a * b;
+    const double approx =
+        (HwFixed::fromDouble(a) * HwFixed::fromDouble(b)).toDouble();
+    EXPECT_NEAR(approx, exact,
+                std::abs(exact) * 1e-3 + 4.0 / HwFixed::kScale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FixedMulProperty,
+    ::testing::Values(std::pair{0.1, 0.1}, std::pair{-0.5, 0.25},
+                      std::pair{2.0, -3.5}, std::pair{10.0, 10.0},
+                      std::pair{-7.25, -0.125}, std::pair{0.0, 5.0}));
+
+} // namespace
+} // namespace act

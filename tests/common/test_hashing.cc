@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the deterministic hash mixers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hashing.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(Hashing, Mix64Deterministic)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Hashing, Mix64SpreadsSequentialInputs)
+{
+    // Sequential inputs must not produce sequential outputs.
+    std::set<std::uint64_t> high_bytes;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        high_bytes.insert(mix64(i) >> 56);
+    EXPECT_GT(high_bytes.size(), 150u);
+}
+
+TEST(Hashing, Mix64NoCollisionsOnSmallRange)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Hashing, CombineOrderSensitive)
+{
+    EXPECT_NE(hashCombine(mix64(1), 2), hashCombine(mix64(2), 1));
+}
+
+TEST(Hashing, Hash3DependsOnAllInputs)
+{
+    const std::uint64_t base = hash3(1, 2, 3);
+    EXPECT_NE(base, hash3(9, 2, 3));
+    EXPECT_NE(base, hash3(1, 9, 3));
+    EXPECT_NE(base, hash3(1, 2, 9));
+}
+
+TEST(Hashing, HashToUnitRange)
+{
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const double v = hashToUnit(mix64(i));
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Hashing, HashToUnitMeanIsHalf)
+{
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += hashToUnit(mix64(static_cast<std::uint64_t>(i)));
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Hashing, ConstexprUsable)
+{
+    constexpr std::uint64_t h = hash3(1, 2, 3);
+    static_assert(h == hash3(1, 2, 3));
+    EXPECT_EQ(h, hash3(1, 2, 3));
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the deterministic xoshiro256** generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next(bound), bound);
+    }
+}
+
+TEST(Rng, NextBoundOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.next(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit with 500 draws
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformWithinBounds)
+{
+    Rng rng(15);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-2.5, 4.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 4.5);
+    }
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(21);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(5.0, 2.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation)
+{
+    Rng parent1(33);
+    Rng parent2(33);
+    Rng child1 = parent1.fork(5);
+    Rng child2 = parent2.fork(5);
+    // Identical parents fork identical children.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ForkedStreamsDiffer)
+{
+    Rng parent(33);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+/** Property sweep: next(bound) distributions stay roughly uniform. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformity, RoughlyUniform)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(bound * 31 + 7);
+    std::vector<int> counts(bound, 0);
+    const int per_bucket = 400;
+    const int trials = static_cast<int>(bound) * per_bucket;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.next(bound)];
+    for (std::uint64_t b = 0; b < bound; ++b) {
+        EXPECT_GT(counts[b], per_bucket / 2) << "bucket " << b;
+        EXPECT_LT(counts[b], per_bucket * 2) << "bucket " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformity,
+                         ::testing::Values(2, 3, 5, 8, 13, 64));
+
+} // namespace
+} // namespace act

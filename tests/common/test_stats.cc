@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for OnlineStats, IntervalRate and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    OnlineStats all;
+    OnlineStats a;
+    OnlineStats b;
+    for (int i = 0; i < 100; ++i) {
+        const double v = i * 0.37 - 5.0;
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeIntoEmpty)
+{
+    OnlineStats a;
+    OnlineStats b;
+    b.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(IntervalRate, CompletesAtIntervalBoundary)
+{
+    IntervalRate rate(4);
+    EXPECT_FALSE(rate.record(true));
+    EXPECT_FALSE(rate.record(false));
+    EXPECT_FALSE(rate.record(true));
+    EXPECT_FALSE(rate.hasRate());
+    EXPECT_TRUE(rate.record(false));
+    EXPECT_TRUE(rate.hasRate());
+    EXPECT_DOUBLE_EQ(rate.lastRate(), 0.5);
+}
+
+TEST(IntervalRate, SuccessiveIntervalsIndependent)
+{
+    IntervalRate rate(2);
+    rate.record(true);
+    rate.record(true);
+    EXPECT_DOUBLE_EQ(rate.lastRate(), 1.0);
+    rate.record(false);
+    rate.record(false);
+    EXPECT_DOUBLE_EQ(rate.lastRate(), 0.0);
+    EXPECT_EQ(rate.totalEvents(), 4u);
+    EXPECT_EQ(rate.totalHits(), 2u);
+}
+
+TEST(IntervalRate, ResetIntervalKeepsTotals)
+{
+    IntervalRate rate(3);
+    rate.record(true);
+    rate.record(true);
+    rate.resetInterval();
+    EXPECT_EQ(rate.pending(), 0u);
+    EXPECT_EQ(rate.totalEvents(), 2u);
+    // A fresh interval needs a full three events again.
+    EXPECT_FALSE(rate.record(false));
+    EXPECT_FALSE(rate.record(false));
+    EXPECT_TRUE(rate.record(false));
+    EXPECT_DOUBLE_EQ(rate.lastRate(), 0.0);
+}
+
+TEST(Histogram, PercentileNearestRank)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 50);
+    EXPECT_EQ(h.percentile(0.99), 99);
+    EXPECT_EQ(h.percentile(1.0), 100);
+    EXPECT_EQ(h.percentile(0.0), 1);
+}
+
+TEST(Histogram, WeightedAdds)
+{
+    Histogram h;
+    h.add(10, 99);
+    h.add(20, 1);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.percentile(0.5), 10);
+    EXPECT_EQ(h.percentile(1.0), 20);
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(StatsHelpers, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.082), "8.2%");
+    EXPECT_EQ(formatPercent(0.0044, 2), "0.44%");
+}
+
+TEST(StatsHelpers, MeanOf)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for RawDependence and DependenceSequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deps/raw_dependence.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(RawDependence, EqualityIncludesLabel)
+{
+    const RawDependence intra{0x10, 0x20, false};
+    const RawDependence inter{0x10, 0x20, true};
+    EXPECT_EQ(intra, (RawDependence{0x10, 0x20, false}));
+    EXPECT_NE(intra, inter);
+}
+
+TEST(RawDependence, KeyDistinguishes)
+{
+    const RawDependence a{0x10, 0x20, false};
+    const RawDependence b{0x20, 0x10, false};
+    const RawDependence c{0x10, 0x20, true};
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_EQ(a.key(), (RawDependence{0x10, 0x20, false}).key());
+}
+
+TEST(RawDependence, ToStringShowsDirectionAndLabel)
+{
+    const RawDependence d{0x10, 0x20, true};
+    const std::string s = d.toString();
+    EXPECT_NE(s.find("0x10"), std::string::npos);
+    EXPECT_NE(s.find("0x20"), std::string::npos);
+    EXPECT_NE(s.find("inter"), std::string::npos);
+}
+
+DependenceSequence
+seqOf(std::initializer_list<Pc> loads)
+{
+    DependenceSequence s;
+    Pc store = 0x1000;
+    for (const Pc load : loads)
+        s.deps.push_back(RawDependence{store++, load, false});
+    return s;
+}
+
+TEST(DependenceSequence, KeyOrderSensitive)
+{
+    DependenceSequence a;
+    a.deps = {{1, 2, false}, {3, 4, false}};
+    DependenceSequence b;
+    b.deps = {{3, 4, false}, {1, 2, false}};
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_EQ(a.key(), a.key());
+}
+
+TEST(DependenceSequence, KeyLengthSensitive)
+{
+    DependenceSequence a;
+    a.deps = {{1, 2, false}};
+    DependenceSequence b;
+    b.deps = {{1, 2, false}, {1, 2, false}};
+    EXPECT_NE(a.key(), b.key());
+}
+
+TEST(DependenceSequence, PrefixMatchFullEqual)
+{
+    const auto a = seqOf({10, 11, 12});
+    EXPECT_EQ(a.prefixMatch(a), 3u);
+}
+
+TEST(DependenceSequence, PrefixMatchPartial)
+{
+    const auto a = seqOf({10, 11, 12});
+    const auto b = seqOf({10, 11, 99});
+    EXPECT_EQ(a.prefixMatch(b), 2u);
+    const auto c = seqOf({99, 11, 12});
+    EXPECT_EQ(a.prefixMatch(c), 0u);
+}
+
+TEST(DependenceSequence, PrefixMatchDifferentLengths)
+{
+    const auto a = seqOf({10, 11, 12});
+    const auto b = seqOf({10, 11});
+    EXPECT_EQ(a.prefixMatch(b), 2u);
+    EXPECT_EQ(b.prefixMatch(a), 2u);
+}
+
+TEST(DependenceSequence, ToStringJoinsDeps)
+{
+    const auto a = seqOf({10, 11});
+    const std::string s = a.toString();
+    EXPECT_EQ(s.front(), '(');
+    EXPECT_EQ(s.back(), ')');
+    EXPECT_NE(s.find(", "), std::string::npos);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for exact last-writer dependence tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deps/tracker.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+namespace
+{
+
+TraceEvent
+store(ThreadId tid, Pc pc, Addr addr)
+{
+    TraceEvent e;
+    e.kind = EventKind::kStore;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+}
+
+TraceEvent
+load(ThreadId tid, Pc pc, Addr addr, bool stack = false)
+{
+    TraceEvent e;
+    e.kind = EventKind::kLoad;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    e.stack = stack;
+    return e;
+}
+
+TEST(DependenceTracker, FormsIntraThreadDependence)
+{
+    DependenceTracker tracker;
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    const auto dep = tracker.formDependence(load(0, 0x20, 0x1000));
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->store_pc, 0x10u);
+    EXPECT_EQ(dep->load_pc, 0x20u);
+    EXPECT_FALSE(dep->inter_thread);
+}
+
+TEST(DependenceTracker, LabelsInterThread)
+{
+    DependenceTracker tracker;
+    tracker.recordStore(store(1, 0x10, 0x1000));
+    const auto dep = tracker.formDependence(load(0, 0x20, 0x1000));
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_TRUE(dep->inter_thread);
+}
+
+TEST(DependenceTracker, NoWriterNoDependence)
+{
+    DependenceTracker tracker;
+    EXPECT_FALSE(tracker.formDependence(load(0, 0x20, 0x1000)));
+}
+
+TEST(DependenceTracker, WordGranularityDistinguishesNeighbours)
+{
+    DependenceTracker tracker(Granularity::kWord);
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    tracker.recordStore(store(0, 0x11, 0x1004));
+    const auto dep = tracker.formDependence(load(0, 0x20, 0x1000));
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->store_pc, 0x10u);
+}
+
+TEST(DependenceTracker, WordGranularityNormalizesWithinWord)
+{
+    DependenceTracker tracker(Granularity::kWord);
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    const auto dep = tracker.formDependence(load(0, 0x20, 0x1002));
+    ASSERT_TRUE(dep.has_value()) << "same word, different byte";
+    EXPECT_EQ(dep->store_pc, 0x10u);
+}
+
+TEST(DependenceTracker, LineGranularityCreatesFalseSharing)
+{
+    DependenceTracker tracker(Granularity::kLine, 64);
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    tracker.recordStore(store(1, 0x30, 0x1020)); // same 64B line
+    const auto dep = tracker.formDependence(load(0, 0x20, 0x1000));
+    ASSERT_TRUE(dep.has_value());
+    // Line granularity attributes the word to the later writer of the
+    // *line* — the false-sharing imprecision of Section V.
+    EXPECT_EQ(dep->store_pc, 0x30u);
+    EXPECT_TRUE(dep->inter_thread);
+}
+
+TEST(DependenceTracker, NegativeUsesWriterBeforeLast)
+{
+    DependenceTracker tracker;
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    tracker.recordStore(store(1, 0x30, 0x1000));
+    const auto neg = tracker.formNegativeDependence(load(0, 0x20, 0x1000));
+    ASSERT_TRUE(neg.has_value());
+    EXPECT_EQ(neg->store_pc, 0x10u);
+    EXPECT_FALSE(neg->inter_thread);
+}
+
+TEST(DependenceTracker, DegenerateNegativeSkipped)
+{
+    // Same static store writes twice: the writer-before-last is the
+    // same instruction, which yields no useful negative example.
+    DependenceTracker tracker;
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    EXPECT_FALSE(tracker.formNegativeDependence(load(0, 0x20, 0x1000)));
+}
+
+TEST(DependenceTracker, NegativeRequiresHistory)
+{
+    DependenceTracker tracker;
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    EXPECT_FALSE(tracker.formNegativeDependence(load(0, 0x20, 0x1000)));
+}
+
+TEST(DependenceTracker, ObserveDispatchesAndFilters)
+{
+    DependenceTracker tracker;
+    EXPECT_FALSE(tracker.observe(store(0, 0x10, 0x1000)).has_value());
+    EXPECT_TRUE(tracker.observe(load(0, 0x20, 0x1000)).has_value());
+    // Stack loads are filtered (Section V).
+    EXPECT_FALSE(
+        tracker.observe(load(0, 0x20, 0x1000, /*stack=*/true)).has_value());
+}
+
+TEST(DependenceTracker, ClearForgetsWriters)
+{
+    DependenceTracker tracker;
+    tracker.recordStore(store(0, 0x10, 0x1000));
+    tracker.clear();
+    EXPECT_FALSE(tracker.formDependence(load(0, 0x20, 0x1000)));
+    EXPECT_EQ(tracker.trackedLocations(), 0u);
+}
+
+/** Granularity sweep: the tracker honours each line size exactly. */
+class TrackerLineSize : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TrackerLineSize, NormalizesToLineBoundary)
+{
+    const std::uint32_t line = GetParam();
+    DependenceTracker tracker(Granularity::kLine, line);
+    tracker.recordStore(store(0, 0x10, 0x2000));
+    // Last byte of the same line shares the writer...
+    EXPECT_TRUE(
+        tracker.formDependence(load(0, 0x20, 0x2000 + line - 1)));
+    // ...first byte of the next line does not.
+    EXPECT_FALSE(tracker.formDependence(load(0, 0x20, 0x2000 + line)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TrackerLineSize,
+                         ::testing::Values(4, 32, 64, 128));
+
+} // namespace
+} // namespace act

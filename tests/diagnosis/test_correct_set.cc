@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Correct Set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/correct_set.hh"
+
+namespace act
+{
+namespace
+{
+
+DependenceSequence
+seqOf(std::initializer_list<Pc> loads)
+{
+    DependenceSequence s;
+    Pc store = 0x1000;
+    for (const Pc load : loads)
+        s.deps.push_back(RawDependence{store++, load, false});
+    return s;
+}
+
+TEST(CorrectSet, ContainsExactSequences)
+{
+    CorrectSet set;
+    set.addSequence(seqOf({1, 2, 3}));
+    EXPECT_TRUE(set.contains(seqOf({1, 2, 3})));
+    EXPECT_FALSE(set.contains(seqOf({1, 2, 4})));
+    EXPECT_FALSE(set.contains(seqOf({1, 2})));
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CorrectSet, MatchedPrefixAgainstBestSequence)
+{
+    CorrectSet set;
+    set.addSequence(seqOf({1, 2, 3}));
+    set.addSequence(seqOf({1, 5, 6}));
+    EXPECT_EQ(set.matchedPrefix(seqOf({1, 2, 9})), 2u);
+    EXPECT_EQ(set.matchedPrefix(seqOf({1, 9, 9})), 1u);
+    EXPECT_EQ(set.matchedPrefix(seqOf({9, 2, 3})), 0u);
+    EXPECT_EQ(set.matchedPrefix(seqOf({1, 5, 9})), 2u);
+}
+
+TEST(CorrectSet, PaperExampleFromSectionIIID)
+{
+    // Correct Set contains (A1,A2,A3) and (B1,B2,B3); Debug Buffer has
+    // (A1,A2,A4), (B1,B2,B3) and (A1,A5,A6).
+    CorrectSet set;
+    const auto a = seqOf({0xA1, 0xA2, 0xA3});
+    const auto b = seqOf({0xB1, 0xB2, 0xB3});
+    set.addSequence(a);
+    set.addSequence(b);
+
+    const auto bad1 = seqOf({0xA1, 0xA2, 0xA4});
+    const auto bad2 = seqOf({0xA1, 0xA5, 0xA6});
+    EXPECT_TRUE(set.contains(b));       // pruned
+    EXPECT_FALSE(set.contains(bad1));
+    EXPECT_FALSE(set.contains(bad2));
+    EXPECT_EQ(set.matchedPrefix(bad1), 2u); // ranked first
+    EXPECT_EQ(set.matchedPrefix(bad2), 1u);
+}
+
+TEST(CorrectSet, AddTraceExtractsSequences)
+{
+    Trace trace;
+    for (int i = 0; i < 5; ++i) {
+        TraceEvent s;
+        s.kind = EventKind::kStore;
+        s.pc = 0x10;
+        s.addr = 0x1000;
+        trace.append(s);
+        TraceEvent l;
+        l.kind = EventKind::kLoad;
+        l.pc = 0x20;
+        l.addr = 0x1000;
+        trace.append(l);
+    }
+    CorrectSet set;
+    set.addTrace(trace, InputGenerator(2));
+    EXPECT_EQ(set.size(), 1u); // one repeated sequence
+    DependenceSequence repeated;
+    repeated.deps = {{0x10, 0x20, false}, {0x10, 0x20, false}};
+    EXPECT_TRUE(set.contains(repeated));
+}
+
+TEST(CorrectSet, PrefixesDoNotPolluteFullSet)
+{
+    CorrectSet set;
+    set.addSequence(seqOf({1, 2, 3}));
+    // The prefix (1,2) is indexed for matching but is not a "full"
+    // member, so a two-long debug sequence is not pruned by it.
+    EXPECT_FALSE(set.contains(seqOf({1, 2})));
+    EXPECT_EQ(set.matchedPrefix(seqOf({1, 2})), 2u);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the programmer-feedback refresher (Section III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/feedback.hh"
+
+namespace act
+{
+namespace
+{
+
+class FeedbackFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        registerAllWorkloads();
+        workload_ = makeWorkload("fft");
+        OfflineTrainingConfig config;
+        config.traces = 4;
+        config.max_examples = 12000;
+        config.trainer.max_epochs = 200;
+        model_ = offlineTrain(*workload_, encoder_, config);
+    }
+
+    /** A plausible-looking sequence the network accepts. */
+    DependenceSequence
+    sneakySequence()
+    {
+        // Build from real valid dependences, then perturb the last
+        // store only slightly — close enough to the valid band that
+        // the freshly trained network accepts it.
+        const InputGenerator generator(3);
+        WorkloadParams params;
+        params.seed = 42;
+        const Trace trace = workload_->record(params);
+        const GeneratedSequences sequences =
+            generator.process(trace, false);
+        MlpNetwork net(model_.topology);
+        net.setWeights(model_.weights);
+        // Deltas just below the synthetic-negative band: plausible
+        // enough to be accepted, separable enough to be unlearned.
+        for (const auto &seq : sequences.positives) {
+            for (const Pc delta : {16u, 20u, 14u, 24u, 28u}) {
+                DependenceSequence candidate = seq;
+                candidate.deps.back().store_pc =
+                    candidate.deps.back().load_pc - delta;
+                if (candidate.deps.back() == seq.deps.back())
+                    continue;
+                if (net.predictValid(encoder_.encodeSequence(candidate)))
+                    return candidate;
+            }
+        }
+        return {};
+    }
+
+    std::unique_ptr<Workload> workload_;
+    PairEncoder encoder_;
+    TrainedModel model_;
+};
+
+TEST_F(FeedbackFixture, ConfirmedSequenceBecomesInvalid)
+{
+    const DependenceSequence sneaky = sneakySequence();
+    ASSERT_FALSE(sneaky.deps.empty()) << "no accepted perturbation found";
+
+    const FeedbackResult result = applyNegativeFeedback(
+        *workload_, model_, encoder_, {sneaky});
+    EXPECT_EQ(result.fixed, 1u);
+    EXPECT_EQ(result.still_valid, 0u);
+
+    MlpNetwork updated(model_.topology);
+    updated.setWeights(result.weights);
+    EXPECT_FALSE(updated.predictValid(encoder_.encodeSequence(sneaky)));
+}
+
+TEST_F(FeedbackFixture, ValidBehaviourIsNotForgotten)
+{
+    const DependenceSequence sneaky = sneakySequence();
+    ASSERT_FALSE(sneaky.deps.empty());
+    const FeedbackResult result = applyNegativeFeedback(
+        *workload_, model_, encoder_, {sneaky});
+    // The refresher keeps false positives on normal behaviour low.
+    EXPECT_LT(result.positive_error, 0.08);
+}
+
+TEST_F(FeedbackFixture, StoreVariantPatchesAllThreads)
+{
+    const DependenceSequence sneaky = sneakySequence();
+    ASSERT_FALSE(sneaky.deps.empty());
+    WeightStore store(model_.topology);
+    store.setAll(workload_->threadCount(), model_.weights);
+    const FeedbackResult result = applyNegativeFeedback(
+        *workload_, model_, encoder_, {sneaky}, store);
+    for (ThreadId tid = 0; tid < workload_->threadCount(); ++tid) {
+        const auto weights = store.get(tid);
+        ASSERT_TRUE(weights.has_value());
+        EXPECT_EQ(*weights, result.weights);
+    }
+}
+
+} // namespace
+} // namespace act

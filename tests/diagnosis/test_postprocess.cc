@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for Debug Buffer postprocessing: pruning, de-duplication and
+ * the matched-prefix ranking with NN-output tie break.
+ */
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/postprocess.hh"
+
+namespace act
+{
+namespace
+{
+
+DependenceSequence
+seqOf(std::initializer_list<Pc> loads)
+{
+    DependenceSequence s;
+    Pc store = 0x1000;
+    for (const Pc load : loads)
+        s.deps.push_back(RawDependence{store++, load, false});
+    return s;
+}
+
+DebugEntry
+entryOf(const DependenceSequence &seq, double output)
+{
+    DebugEntry e;
+    e.sequence = seq;
+    e.output = output;
+    return e;
+}
+
+TEST(Postprocess, PaperExampleRanking)
+{
+    // Section III-D worked example: prune (B1,B2,B3); rank (A1,A2,A4)
+    // above (A1,A5,A6) because it matches 2 dependences vs 1.
+    CorrectSet correct;
+    correct.addSequence(seqOf({0xA1, 0xA2, 0xA3}));
+    correct.addSequence(seqOf({0xB1, 0xB2, 0xB3}));
+
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({0xA1, 0xA2, 0xA4}), 0.2),
+        entryOf(seqOf({0xB1, 0xB2, 0xB3}), 0.4),
+        entryOf(seqOf({0xA1, 0xA5, 0xA6}), 0.1),
+    };
+    const DiagnosisReport report = postprocess(entries, correct);
+    EXPECT_EQ(report.raw_entries, 3u);
+    EXPECT_EQ(report.pruned, 1u);
+    ASSERT_EQ(report.ranked.size(), 2u);
+    EXPECT_EQ(report.ranked[0].sequence, seqOf({0xA1, 0xA2, 0xA4}));
+    EXPECT_EQ(report.ranked[0].matched, 2u);
+    EXPECT_EQ(report.ranked[1].sequence, seqOf({0xA1, 0xA5, 0xA6}));
+    EXPECT_EQ(report.ranked[1].matched, 1u);
+}
+
+TEST(Postprocess, TieBreakByMostNegativeOutput)
+{
+    CorrectSet correct;
+    correct.addSequence(seqOf({1, 2, 3}));
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({1, 2, 7}), 0.45),
+        entryOf(seqOf({1, 2, 8}), 0.05), // equally matched, more negative
+    };
+    const DiagnosisReport report = postprocess(entries, correct);
+    ASSERT_EQ(report.ranked.size(), 2u);
+    EXPECT_EQ(report.ranked[0].sequence, seqOf({1, 2, 8}));
+}
+
+TEST(Postprocess, DuplicatesCollapseKeepingMostNegative)
+{
+    CorrectSet correct;
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({1, 2, 7}), 0.4),
+        entryOf(seqOf({1, 2, 7}), 0.1),
+        entryOf(seqOf({1, 2, 7}), 0.3),
+    };
+    const DiagnosisReport report = postprocess(entries, correct);
+    EXPECT_EQ(report.raw_entries, 3u);
+    EXPECT_EQ(report.distinct_entries, 1u);
+    ASSERT_EQ(report.ranked.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.ranked[0].output, 0.1);
+}
+
+TEST(Postprocess, FilterFraction)
+{
+    CorrectSet correct;
+    correct.addSequence(seqOf({1, 2, 3}));
+    correct.addSequence(seqOf({4, 5, 6}));
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({1, 2, 3}), 0.4),
+        entryOf(seqOf({4, 5, 6}), 0.4),
+        entryOf(seqOf({7, 8, 9}), 0.4),
+        entryOf(seqOf({1, 2, 9}), 0.4),
+    };
+    const DiagnosisReport report = postprocess(entries, correct);
+    EXPECT_EQ(report.pruned, 2u);
+    EXPECT_DOUBLE_EQ(report.filterFraction(), 0.5);
+    EXPECT_EQ(report.ranked.size(), 2u);
+}
+
+TEST(Postprocess, RankOfPrefersFinalDependence)
+{
+    CorrectSet correct;
+    correct.addSequence(seqOf({1, 2, 3}));
+    const auto root_seq = seqOf({2, 3, 9});
+    const RawDependence root = root_seq.deps.back();
+    // Another candidate merely *contains* the root dependence mid
+    // sequence; the one ending in it must win the rank lookup.
+    DependenceSequence contains_root;
+    contains_root.deps = {root, {0x55, 0x56, false}, {0x57, 0x58, false}};
+    const std::vector<DebugEntry> entries = {
+        entryOf(contains_root, 0.01),
+        entryOf(root_seq, 0.4),
+    };
+    const DiagnosisReport report = postprocess(entries, correct);
+    const auto rank = report.rankOf(root);
+    ASSERT_TRUE(rank.has_value());
+    EXPECT_EQ(report.ranked[*rank - 1].sequence, root_seq);
+}
+
+TEST(Postprocess, RankOfMissingRoot)
+{
+    CorrectSet correct;
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({1, 2, 3}), 0.4)};
+    const DiagnosisReport report = postprocess(entries, correct);
+    EXPECT_FALSE(report.rankOf(RawDependence{9, 9, false}).has_value());
+}
+
+TEST(Postprocess, DependenceLevelPruning)
+{
+    CorrectSet correct;
+    correct.addSequence(seqOf({1, 2, 3}));
+    // A flagged sequence ending in a dependence the Correct Set has
+    // seen (as a final dependence), but in a fresh context.
+    DependenceSequence fresh_context;
+    fresh_context.deps = {{0x50, 0x51, false},
+                          {0x52, 0x53, false},
+                          {0x1002, 3, false}}; // final dep of (1,2,3)
+    const std::vector<DebugEntry> entries = {
+        entryOf(fresh_context, 0.2)};
+
+    const DiagnosisReport pruned = postprocess(entries, correct);
+    EXPECT_EQ(pruned.pruned, 1u);
+    EXPECT_TRUE(pruned.ranked.empty());
+
+    PostprocessOptions paper_pure;
+    paper_pure.prune_final_dependence = false;
+    const DiagnosisReport kept =
+        postprocess(entries, correct, paper_pure);
+    EXPECT_EQ(kept.pruned, 0u);
+    EXPECT_EQ(kept.ranked.size(), 1u);
+}
+
+TEST(Postprocess, DependenceRankCollapsesRepeatedFindings)
+{
+    CorrectSet correct;
+    correct.addSequence(seqOf({1, 2, 3}));
+    correct.addSequence(seqOf({4, 5, 6}));
+    // Two sequences ending in the same suspect dependence (different
+    // but fully matched contexts), then the root. By sequence count
+    // the root ranks 3rd; by distinct final dependences it is the 2nd
+    // finding a programmer inspects.
+    const RawDependence suspect{0x90, 0x91, false};
+    DependenceSequence suspect_a = seqOf({1, 2, 3});
+    suspect_a.deps.back() = suspect;
+    DependenceSequence suspect_b = seqOf({4, 5, 6});
+    suspect_b.deps.back() = suspect;
+    const auto root_seq = seqOf({1, 2, 9});
+    const RawDependence root = root_seq.deps.back();
+    const std::vector<DebugEntry> entries = {
+        entryOf(suspect_a, 0.01),
+        entryOf(suspect_b, 0.02),
+        entryOf(root_seq, 0.4),
+    };
+    const DiagnosisReport report = postprocess(entries, correct);
+    ASSERT_TRUE(report.rankOf(root).has_value());
+    ASSERT_TRUE(report.dependenceRankOf(root).has_value());
+    EXPECT_EQ(*report.rankOf(root), 3u);
+    EXPECT_EQ(*report.dependenceRankOf(root), 2u);
+}
+
+TEST(Postprocess, DependenceRankMissingRoot)
+{
+    CorrectSet correct;
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({1, 2, 3}), 0.4)};
+    const DiagnosisReport report = postprocess(entries, correct);
+    EXPECT_FALSE(
+        report.dependenceRankOf(RawDependence{9, 9, false}).has_value());
+}
+
+TEST(Postprocess, EmptyInput)
+{
+    CorrectSet correct;
+    const DiagnosisReport report = postprocess({}, correct);
+    EXPECT_EQ(report.raw_entries, 0u);
+    EXPECT_TRUE(report.ranked.empty());
+    EXPECT_DOUBLE_EQ(report.filterFraction(), 0.0);
+}
+
+TEST(Postprocess, ToStringListsTopCandidates)
+{
+    CorrectSet correct;
+    const std::vector<DebugEntry> entries = {
+        entryOf(seqOf({1, 2, 3}), 0.4)};
+    const DiagnosisReport report = postprocess(entries, correct);
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("#1"), std::string::npos);
+    EXPECT_NE(text.find("candidates 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace act

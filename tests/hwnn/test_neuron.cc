@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the hardware neuron model: the latency knob and the
+ * fixed-point evaluate/update datapath.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwnn/neuron.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(NeuronConfig, LatencyFormula)
+{
+    // T = ceil(M / x) * T_muladd + T_rest, Section IV-A.
+    NeuronConfig c;
+    c.max_inputs = 10;
+    c.muladd_latency = 1;
+    c.accumulator_latency = 1;
+    c.sigmoid_latency = 1;
+
+    c.muladd_units = 1;
+    EXPECT_EQ(c.latency(), 12u);
+    c.muladd_units = 2;
+    EXPECT_EQ(c.latency(), 7u);
+    c.muladd_units = 5;
+    EXPECT_EQ(c.latency(), 4u);
+    c.muladd_units = 10;
+    EXPECT_EQ(c.latency(), 3u);
+}
+
+TEST(NeuronConfig, LatencyWithSlowMultiplier)
+{
+    NeuronConfig c;
+    c.max_inputs = 8;
+    c.muladd_units = 4;
+    c.muladd_latency = 3;
+    EXPECT_EQ(c.latency(), 2u * 3u + 2u);
+}
+
+class NeuronFixture : public ::testing::Test
+{
+  protected:
+    NeuronFixture() : table_(1024), neuron_(makeConfig(), table_) {}
+
+    static NeuronConfig
+    makeConfig()
+    {
+        NeuronConfig c;
+        c.max_inputs = 4;
+        c.muladd_units = 2;
+        return c;
+    }
+
+    SigmoidTable table_;
+    Neuron neuron_;
+};
+
+TEST_F(NeuronFixture, EvaluateMatchesDoubleMath)
+{
+    const std::vector<double> weights{0.1, 0.5, -0.3, 0.8, 0.0};
+    neuron_.setWeights(weights);
+    const std::vector<HwFixed> inputs{
+        HwFixed::fromDouble(1.0), HwFixed::fromDouble(-0.5),
+        HwFixed::fromDouble(0.25)};
+    const double exact =
+        1.0 / (1.0 + std::exp(-(0.1 + 0.5 * 1.0 - 0.3 * -0.5 +
+                                0.8 * 0.25)));
+    EXPECT_NEAR(neuron_.evaluate(inputs).toDouble(), exact, 0.02);
+}
+
+TEST_F(NeuronFixture, UnusedWeightsDisabledByZero)
+{
+    neuron_.setWeights(std::vector<double>{0.0, 1.0});
+    // Only input 0 participates; inputs beyond the configured weights
+    // multiply by zero.
+    const std::vector<HwFixed> inputs{
+        HwFixed::fromDouble(0.5), HwFixed::fromDouble(100.0),
+        HwFixed::fromDouble(100.0)};
+    EXPECT_NEAR(neuron_.weightedSum(inputs).toDouble(), 0.5, 1e-3);
+}
+
+TEST_F(NeuronFixture, ApplyUpdateAdjustsBiasAndWeights)
+{
+    neuron_.setWeights(std::vector<double>{0.0, 0.0});
+    const std::vector<HwFixed> inputs{HwFixed::fromDouble(2.0)};
+    neuron_.applyUpdate(HwFixed::fromDouble(0.1), inputs);
+    EXPECT_NEAR(neuron_.weightAt(0).toDouble(), 0.1, 1e-3);  // bias
+    EXPECT_NEAR(neuron_.weightAt(1).toDouble(), 0.2, 1e-3);  // w * a
+}
+
+TEST_F(NeuronFixture, WeightsAsDoubleRoundTrip)
+{
+    const std::vector<double> weights{0.25, -0.5, 0.75, 0.0, 1.0};
+    neuron_.setWeights(weights);
+    const auto back = neuron_.weightsAsDouble();
+    ASSERT_EQ(back.size(), 5u);
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        EXPECT_NEAR(back[i], weights[i], 1e-4);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the time-multiplexed NPU reference model and the design
+ * comparison of Section IV-A.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwnn/npu_reference.hh"
+#include "hwnn/pipeline.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(NpuReference, SingleRoundLatency)
+{
+    NpuConfig config; // 8 PEs, sched 4, mul-add 1, sigmoid 1, bus 1
+    const NpuReference npu(config);
+    // Hidden layer: 8 neurons in one round: 4 + (6+1)*1 + 1 + 1 = 13.
+    // Output layer: 1 neuron: 4 + (8+1)*1 + 1 + 1 = 15.
+    EXPECT_EQ(npu.inferenceLatency(Topology{6, 8}), 13u + 15u);
+}
+
+TEST(NpuReference, ExtraRoundsWhenNeuronsExceedPes)
+{
+    NpuConfig wide;
+    wide.pes = 8;
+    NpuConfig narrow;
+    narrow.pes = 4;
+    const Topology t{6, 8};
+    // Halving the PE pool forces a second hidden-layer round; the
+    // output layer is unchanged.
+    const Cycle hidden_round = 4 + 7 + 1 + 1;
+    EXPECT_EQ(NpuReference(narrow).inferenceLatency(t) -
+                  NpuReference(wide).inferenceLatency(t),
+              hidden_round);
+}
+
+TEST(NpuReference, TrainingCostsFourForwardPasses)
+{
+    const NpuReference npu(NpuConfig{});
+    const Topology t{6, 10};
+    EXPECT_EQ(npu.trainingLatency(t), 4 * npu.inferenceLatency(t));
+}
+
+TEST(DesignComparison, PipelineThroughputBeatsNpu)
+{
+    // The Section IV-A argument: the partially configurable pipeline
+    // avoids per-round scheduling overhead and overlaps S1/S2/S3, so
+    // its steady-state inference interval is far below the NPU's.
+    HwNetworkConfig pipeline;
+    pipeline.neuron.max_inputs = 10;
+    pipeline.neuron.muladd_units = 2;
+    const NpuReference npu(NpuConfig{});
+    const Topology t{6, 10};
+    EXPECT_LT(pipeline.testServiceTime(), npu.inferenceInterval(t));
+}
+
+TEST(DesignComparison, MoreMulAddUnitsShrinkTheGapButKeepIt)
+{
+    const NpuReference npu(NpuConfig{});
+    const Topology t{6, 10};
+    Cycle previous = ~Cycle{0};
+    for (const std::uint32_t units : {1u, 2u, 5u, 10u}) {
+        HwNetworkConfig pipeline;
+        pipeline.neuron.max_inputs = 10;
+        pipeline.neuron.muladd_units = units;
+        const Cycle service = pipeline.testServiceTime();
+        EXPECT_LT(service, previous);
+        EXPECT_LT(service, npu.inferenceInterval(t));
+        previous = service;
+    }
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the fixed-point sigmoid lookup table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwnn/sigmoid_table.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(SigmoidTable, CenterIsHalf)
+{
+    const SigmoidTable table;
+    EXPECT_NEAR(table.lookup(HwFixed::fromDouble(0.0)).toDouble(), 0.5,
+                0.02);
+}
+
+TEST(SigmoidTable, SaturatesAtRangeEnds)
+{
+    const SigmoidTable table;
+    EXPECT_NEAR(table.lookup(HwFixed::fromDouble(20.0)).toDouble(), 1.0,
+                0.01);
+    EXPECT_NEAR(table.lookup(HwFixed::fromDouble(-20.0)).toDouble(), 0.0,
+                0.01);
+}
+
+TEST(SigmoidTable, SymmetryProperty)
+{
+    const SigmoidTable table;
+    for (double x = 0.0; x < 8.0; x += 0.37) {
+        const double pos = table.lookup(HwFixed::fromDouble(x)).toDouble();
+        const double neg =
+            table.lookup(HwFixed::fromDouble(-x)).toDouble();
+        EXPECT_NEAR(pos + neg, 1.0, 0.002) << "x=" << x;
+    }
+}
+
+TEST(SigmoidTable, MonotoneNonDecreasing)
+{
+    const SigmoidTable table;
+    double prev = 0.0;
+    for (double x = -8.0; x <= 8.0; x += 0.05) {
+        const double v = table.lookup(HwFixed::fromDouble(x)).toDouble();
+        EXPECT_GE(v, prev - 1e-9) << "x=" << x;
+        prev = v;
+    }
+}
+
+/** Resolution sweep: more entries = tighter worst-case error. */
+class SigmoidResolution : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SigmoidResolution, ErrorBoundedByResolution)
+{
+    const SigmoidTable table(GetParam());
+    // The table uses index truncation; the worst-case error is about
+    // one slope-step: d/dx sigmoid <= 0.25, step = range / entries.
+    const double bound =
+        0.3 * SigmoidTable::kInputRange / static_cast<double>(GetParam()) +
+        0.002;
+    EXPECT_LE(table.maxAbsError(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, SigmoidResolution,
+                         ::testing::Values(64, 256, 1024));
+
+TEST(SigmoidTable, DefaultAccuracyGoodEnoughForInference)
+{
+    const SigmoidTable table;
+    EXPECT_LT(table.maxAbsError(), 0.012);
+}
+
+} // namespace
+} // namespace act

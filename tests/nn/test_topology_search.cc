@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the i x h x 1 topology search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/topology_search.hh"
+
+namespace act
+{
+namespace
+{
+
+/** Dataset factory: XOR over the first two inputs, rest is noise. */
+std::pair<Dataset, Dataset>
+xorFactory(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed + n);
+    auto make = [&](std::size_t count) {
+        Dataset data;
+        for (std::size_t i = 0; i < count; ++i) {
+            std::vector<double> in;
+            for (std::size_t j = 0; j < n; ++j)
+                in.push_back(rng.chance(0.5) ? 1.0 : -1.0);
+            double label = 1.0;
+            if (n >= 2)
+                label = (in[0] > 0) != (in[1] > 0) ? 1.0 : 0.0;
+            data.add(Example{std::move(in), label});
+        }
+        return data;
+    };
+    return {make(400), make(200)};
+}
+
+TEST(TopologySearch, FindsWorkingTopologyForXor)
+{
+    TopologySearchConfig config;
+    config.min_inputs = 2;
+    config.max_inputs = 3;
+    config.min_hidden = 1;
+    config.max_hidden = 6;
+    config.trainer.max_epochs = 300;
+    config.trainer.learning_rate = 0.5;
+
+    const TopologySearchResult result = searchTopology(
+        [](std::size_t n) { return xorFactory(n, 77); }, config);
+
+    EXPECT_EQ(result.candidates.size(), 2u * 6u);
+    EXPECT_LT(result.best_error, 0.1);
+    // XOR is not linearly separable: one hidden neuron cannot win.
+    EXPECT_GE(result.best.hidden, 2u);
+}
+
+TEST(TopologySearch, TieBreakPrefersCheaperHardware)
+{
+    // All-positive data: every topology reaches zero error; the
+    // smallest network must win.
+    auto factory = [](std::size_t n) {
+        Dataset data;
+        for (int i = 0; i < 50; ++i)
+            data.add(Example{std::vector<double>(n, 0.5), 1.0});
+        return std::make_pair(data, Dataset{});
+    };
+    TopologySearchConfig config;
+    config.min_inputs = 1;
+    config.max_inputs = 3;
+    config.min_hidden = 1;
+    config.max_hidden = 4;
+    config.trainer.max_epochs = 50;
+
+    const TopologySearchResult result = searchTopology(factory, config);
+    EXPECT_EQ(result.best.hidden, 1u);
+    EXPECT_EQ(result.best.inputs, 1u);
+    EXPECT_DOUBLE_EQ(result.best_error, 0.0);
+}
+
+TEST(TopologySearch, SkipsEmptyDatasets)
+{
+    auto factory = [](std::size_t n) {
+        if (n < 3)
+            return std::make_pair(Dataset{}, Dataset{});
+        Dataset data;
+        for (int i = 0; i < 20; ++i)
+            data.add(Example{std::vector<double>(n, 1.0), 1.0});
+        return std::make_pair(data, Dataset{});
+    };
+    TopologySearchConfig config;
+    config.min_inputs = 1;
+    config.max_inputs = 3;
+    config.min_hidden = 1;
+    config.max_hidden = 2;
+    config.trainer.max_epochs = 20;
+
+    const TopologySearchResult result = searchTopology(factory, config);
+    // Only n == 3 contributed candidates.
+    EXPECT_EQ(result.candidates.size(), 2u);
+    EXPECT_EQ(result.best.inputs, 3u);
+}
+
+TEST(TopologySearch, ToStringFormat)
+{
+    EXPECT_EQ(topologyToString(Topology{3, 5}), "3x5x1");
+    EXPECT_EQ(topologyToString(Topology{10, 10}), "10x10x1");
+}
+
+} // namespace
+} // namespace act

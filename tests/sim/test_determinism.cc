@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Reproducibility properties: identical configurations and seeds must
+ * produce bit-identical simulations — the property every bench and
+ * every EXPERIMENTS.md number relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/pipeline.hh"
+
+namespace act
+{
+namespace
+{
+
+class DeterminismFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { registerAllWorkloads(); }
+};
+
+TEST_F(DeterminismFixture, SystemRunsAreBitIdentical)
+{
+    const auto workload = makeWorkload("fft");
+    WorkloadParams params;
+    params.seed = 77;
+    const Trace trace = workload->record(params);
+
+    PairEncoder encoder;
+    SystemConfig config;
+    config.act.topology = Topology{6, 10};
+    WeightStore store(config.act.topology);
+    store.setAll(workload->threadCount(),
+                 std::vector<double>(store.weightCount(), 0.05));
+
+    System a(config, encoder, store);
+    System b(config, encoder, store);
+    a.run(trace);
+    b.run(trace);
+
+    const SystemStats sa = a.stats();
+    const SystemStats sb = b.stats();
+    EXPECT_EQ(sa.cycles, sb.cycles);
+    EXPECT_EQ(sa.instructions, sb.instructions);
+    EXPECT_EQ(sa.act.predictions, sb.act.predictions);
+    EXPECT_EQ(sa.act.predicted_invalid, sb.act.predicted_invalid);
+    EXPECT_EQ(sa.act.stall_cycles, sb.act.stall_cycles);
+
+    const auto ea = a.collectDebugEntries();
+    const auto eb = b.collectDebugEntries();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].sequence, eb[i].sequence) << i;
+        EXPECT_DOUBLE_EQ(ea[i].output, eb[i].output) << i;
+    }
+}
+
+TEST_F(DeterminismFixture, OfflineTrainingIsReproducible)
+{
+    const auto workload = makeWorkload("bc");
+    OfflineTrainingConfig config;
+    config.traces = 3;
+    config.trainer.max_epochs = 60;
+    PairEncoder enc_a;
+    PairEncoder enc_b;
+    const TrainedModel a = offlineTrain(*workload, enc_a, config);
+    const TrainedModel b = offlineTrain(*workload, enc_b, config);
+    EXPECT_EQ(a.weights, b.weights);
+    EXPECT_EQ(a.example_count, b.example_count);
+    EXPECT_EQ(a.dependence_count, b.dependence_count);
+}
+
+TEST_F(DeterminismFixture, DiagnosisIsReproducible)
+{
+    const auto workload = makeWorkload("seq");
+    DiagnosisSetup setup = defaultDiagnosisSetup();
+    setup.training.traces = 4;
+    setup.training.trainer.max_epochs = 100;
+    setup.postmortem_traces = 5;
+    const DiagnosisResult a = diagnoseFailure(*workload, setup);
+    const DiagnosisResult b = diagnoseFailure(*workload, setup);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.debug_position, b.debug_position);
+    EXPECT_EQ(a.report.ranked.size(), b.report.ranked.size());
+}
+
+/**
+ * Diagnosis keeps working across last-writer granularities and line
+ * sizes (Table III's sweep dimension).
+ */
+class DiagnosisGranularity
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+  protected:
+    void SetUp() override { registerAllWorkloads(); }
+};
+
+TEST_P(DiagnosisGranularity, GzipDiagnosedAtEveryLineSize)
+{
+    const auto workload = makeWorkload("gzip");
+    DiagnosisSetup setup = defaultDiagnosisSetup();
+    setup.training.traces = 6;
+    setup.postmortem_traces = 8;
+    setup.system.mem.line_bytes = GetParam();
+    setup.system.mem.writer_granularity =
+        GetParam() == 4 ? Granularity::kWord : Granularity::kLine;
+    const DiagnosisResult result = diagnoseFailure(*workload, setup);
+    ASSERT_TRUE(result.rank.has_value()) << GetParam() << "B lines";
+    EXPECT_LE(*result.rank, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LineSizes, DiagnosisGranularity,
+                         ::testing::Values(4, 32, 64, 128));
+
+} // namespace
+} // namespace act

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Property tests of the MESI protocol: invariants that must hold after
+ * every access of a randomized workload.
+ *
+ *  - SWMR: at most one core holds a line Modified or Exclusive, and
+ *    then no other core holds it at all;
+ *  - Shared copies co-exist only in the S state;
+ *  - loads never destroy remote ownership beyond the required
+ *    downgrade (M/E -> S), stores always leave exactly one M copy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/memsys.hh"
+
+namespace act
+{
+namespace
+{
+
+MemSystemConfig
+smallConfig(std::uint32_t cores)
+{
+    MemSystemConfig config;
+    config.cores = cores;
+    return config;
+}
+
+/** Check the single-writer / multiple-reader invariant for one line. */
+void
+checkSwmr(const MemorySystem &memory, std::uint32_t cores, Addr addr)
+{
+    std::uint32_t owners = 0;  // M or E holders
+    std::uint32_t sharers = 0; // S holders
+    for (CoreId c = 0; c < cores; ++c) {
+        switch (memory.stateOf(c, addr)) {
+          case Mesi::kModified:
+          case Mesi::kExclusive:
+            ++owners;
+            break;
+          case Mesi::kShared:
+            ++sharers;
+            break;
+          case Mesi::kInvalid:
+            break;
+        }
+    }
+    EXPECT_LE(owners, 1u) << "multiple owners of line 0x" << std::hex
+                          << addr;
+    if (owners == 1) {
+        EXPECT_EQ(sharers, 0u) << "owner co-exists with sharers";
+    }
+}
+
+/** Randomized access property sweep over core counts. */
+class MesiInvariants : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MesiInvariants, SwmrHoldsUnderRandomTraffic)
+{
+    const std::uint32_t cores = GetParam();
+    MemorySystem memory(smallConfig(cores));
+    Rng rng(cores * 1000 + 17);
+
+    constexpr int kLines = 24;
+    for (int i = 0; i < 4000; ++i) {
+        TraceEvent event;
+        event.kind = rng.chance(0.4) ? EventKind::kStore
+                                     : EventKind::kLoad;
+        event.tid = static_cast<ThreadId>(rng.next(cores));
+        event.addr = 0x10000 + rng.next(kLines) * 64 + rng.next(16) * 4;
+        event.pc = 0x100 + rng.next(64);
+        memory.access(event.tid % cores, event);
+        checkSwmr(memory, cores, event.addr);
+    }
+}
+
+TEST_P(MesiInvariants, StoreLeavesExactlyOneModifiedCopy)
+{
+    const std::uint32_t cores = GetParam();
+    MemorySystem memory(smallConfig(cores));
+    Rng rng(cores * 77 + 3);
+    for (int i = 0; i < 1000; ++i) {
+        // Random warm-up reads, then a store: the writer must end M,
+        // everyone else I.
+        const Addr addr = 0x20000 + rng.next(8) * 64;
+        for (std::uint32_t r = 0; r < cores; ++r) {
+            if (rng.chance(0.5)) {
+                TraceEvent load;
+                load.kind = EventKind::kLoad;
+                load.tid = r;
+                load.addr = addr;
+                memory.access(r, load);
+            }
+        }
+        const auto writer = static_cast<CoreId>(rng.next(cores));
+        TraceEvent store;
+        store.kind = EventKind::kStore;
+        store.tid = writer;
+        store.addr = addr;
+        memory.access(writer, store);
+        EXPECT_EQ(memory.stateOf(writer, addr), Mesi::kModified);
+        for (CoreId c = 0; c < cores; ++c) {
+            if (c != writer) {
+                EXPECT_EQ(memory.stateOf(c, addr), Mesi::kInvalid);
+            }
+        }
+    }
+}
+
+TEST_P(MesiInvariants, LoadDowngradesOwnerToShared)
+{
+    const std::uint32_t cores = GetParam();
+    if (cores < 2)
+        GTEST_SKIP();
+    MemorySystem memory(smallConfig(cores));
+    TraceEvent store;
+    store.kind = EventKind::kStore;
+    store.tid = 0;
+    store.addr = 0x30000;
+    memory.access(0, store);
+    ASSERT_EQ(memory.stateOf(0, 0x30000), Mesi::kModified);
+
+    TraceEvent load;
+    load.kind = EventKind::kLoad;
+    load.tid = 1;
+    load.addr = 0x30000;
+    memory.access(1, load);
+    EXPECT_EQ(memory.stateOf(0, 0x30000), Mesi::kShared);
+    EXPECT_EQ(memory.stateOf(1, 0x30000), Mesi::kShared);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, MesiInvariants,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace act

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the full simulated machine (cores + memory + AMs + OS).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+SystemConfig
+testConfig(bool act_on)
+{
+    SystemConfig config;
+    config.mem.cores = 4;
+    config.act_enabled = act_on;
+    config.act.topology = Topology{6, 10};
+    config.act.sequence_length = 3;
+    return config;
+}
+
+WeightStore
+zeroStore(std::uint32_t threads)
+{
+    WeightStore store(Topology{6, 10});
+    std::vector<double> weights(store.weightCount(), 0.0);
+    store.setAll(threads, weights);
+    return store;
+}
+
+Trace
+simpleTrace()
+{
+    Trace trace;
+    for (int i = 0; i < 50; ++i) {
+        for (ThreadId tid = 0; tid < 2; ++tid) {
+            TraceEvent s;
+            s.kind = EventKind::kStore;
+            s.tid = tid;
+            s.pc = 0x100 + tid;
+            s.addr = 0x1000 + tid * 64;
+            s.gap = 4;
+            trace.append(s);
+            TraceEvent l;
+            l.kind = EventKind::kLoad;
+            l.tid = tid;
+            l.pc = 0x200 + tid;
+            l.addr = 0x1000 + tid * 64;
+            l.gap = 4;
+            trace.append(l);
+        }
+    }
+    return trace;
+}
+
+TEST(System, BaselineRunsWithoutAct)
+{
+    System system(testConfig(false));
+    system.run(simpleTrace());
+    const SystemStats stats = system.stats();
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.act.dependences, 0u);
+    EXPECT_EQ(stats.weight_transfer_instructions, 0u);
+    EXPECT_EQ(system.module(0), nullptr);
+}
+
+TEST(System, ActObservesDependences)
+{
+    PairEncoder encoder;
+    System system(testConfig(true), encoder, zeroStore(2));
+    system.run(simpleTrace());
+    const SystemStats stats = system.stats();
+    EXPECT_GT(stats.act.dependences, 0u);
+    EXPECT_GT(stats.act.predictions, 0u);
+    ASSERT_NE(system.module(0), nullptr);
+}
+
+TEST(System, ActAddsOverheadOverBaseline)
+{
+    const Trace trace = simpleTrace();
+    System baseline(testConfig(false));
+    baseline.run(trace);
+    PairEncoder encoder;
+    System with_act(testConfig(true), encoder, zeroStore(2));
+    with_act.run(trace);
+    EXPECT_GE(with_act.stats().cycles, baseline.stats().cycles);
+}
+
+TEST(System, WeightTransfersChargedAtThreadStartAndExit)
+{
+    PairEncoder encoder;
+    System system(testConfig(true), encoder, zeroStore(2));
+    Trace trace = simpleTrace();
+    TraceEvent exit0;
+    exit0.kind = EventKind::kThreadExit;
+    exit0.tid = 0;
+    trace.append(exit0);
+    system.run(trace);
+    const SystemStats stats = system.stats();
+    // Two thread initialisations plus one exit save.
+    const auto per_set = IsaCostModel::weightTransferInstructions(
+        WeightStore(Topology{6, 10}).weightCount());
+    EXPECT_EQ(stats.weight_transfer_instructions, 3u * per_set);
+}
+
+TEST(System, ThreadExitPatchesWeightStore)
+{
+    PairEncoder encoder;
+    WeightStore initial(Topology{6, 10});
+    // Thread 0 has no stored weights: it starts with defaults and the
+    // exit must record whatever was learned.
+    System system(testConfig(true), encoder, initial);
+    Trace trace = simpleTrace();
+    TraceEvent exit0;
+    exit0.kind = EventKind::kThreadExit;
+    exit0.tid = 0;
+    trace.append(exit0);
+    system.run(trace);
+    EXPECT_TRUE(system.weightStore().has(0));
+}
+
+TEST(System, ContextSwitchWhenThreadsShareACore)
+{
+    SystemConfig config = testConfig(true);
+    config.mem.cores = 1; // both threads pinned to core 0
+    PairEncoder encoder;
+    System system(config, encoder, zeroStore(2));
+    system.run(simpleTrace());
+    const SystemStats stats = system.stats();
+    EXPECT_GT(stats.context_switches, 50u);
+}
+
+TEST(System, NoContextSwitchWithDedicatedCores)
+{
+    PairEncoder encoder;
+    System system(testConfig(true), encoder, zeroStore(2));
+    system.run(simpleTrace());
+    EXPECT_EQ(system.stats().context_switches, 0u);
+}
+
+TEST(System, DebugEntriesComeFromModules)
+{
+    // Default (zero) weights classify everything as valid, so feed a
+    // workload through a trained=garbage network by forcing training
+    // mode off: instead, check the plumbing via collectDebugEntries
+    // being consistent with per-module buffers.
+    registerAllWorkloads();
+    const auto workload = WorkloadRegistry::instance().create("mysql2");
+    WorkloadParams params;
+    params.seed = 1;
+    params.trigger_failure = true;
+    const Trace trace = workload->record(params);
+
+    PairEncoder encoder;
+    SystemConfig config = testConfig(true);
+    System system(config, encoder, zeroStore(workload->threadCount()));
+    system.run(trace);
+    std::size_t total = 0;
+    for (CoreId c = 0; c < config.mem.cores; ++c) {
+        ASSERT_NE(system.module(c), nullptr);
+        total += system.module(c)->debugBuffer().size();
+    }
+    EXPECT_EQ(system.collectDebugEntries().size(), total);
+}
+
+TEST(System, InstructionsMatchTraceScale)
+{
+    const Trace trace = simpleTrace();
+    System system(testConfig(false));
+    system.run(trace);
+    // Every traced event plus its gap executes exactly once.
+    EXPECT_EQ(system.stats().instructions, trace.instructionCount());
+}
+
+} // namespace
+} // namespace act

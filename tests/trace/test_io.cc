@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for binary trace serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hh"
+#include "trace/io.hh"
+
+namespace act
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+Trace
+randomTrace(std::size_t count)
+{
+    Rng rng(99);
+    Trace t;
+    for (std::size_t i = 0; i < count; ++i) {
+        TraceEvent e;
+        e.kind = static_cast<EventKind>(rng.next(7));
+        e.tid = static_cast<ThreadId>(rng.next(8));
+        e.pc = rng();
+        e.addr = rng();
+        e.size = 4;
+        e.gap = static_cast<std::uint16_t>(rng.next(32));
+        e.taken = rng.chance(0.5);
+        e.stack = rng.chance(0.1);
+        t.append(e);
+    }
+    return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const Trace original = randomTrace(500);
+    const std::string path = tempPath("roundtrip.trc");
+    ASSERT_TRUE(writeTrace(original, path));
+
+    Trace loaded;
+    ASSERT_TRUE(readTrace(path, loaded));
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].kind, original[i].kind) << i;
+        EXPECT_EQ(loaded[i].tid, original[i].tid) << i;
+        EXPECT_EQ(loaded[i].pc, original[i].pc) << i;
+        EXPECT_EQ(loaded[i].addr, original[i].addr) << i;
+        EXPECT_EQ(loaded[i].gap, original[i].gap) << i;
+        EXPECT_EQ(loaded[i].taken, original[i].taken) << i;
+        EXPECT_EQ(loaded[i].stack, original[i].stack) << i;
+    }
+    EXPECT_EQ(loaded.instructionCount(), original.instructionCount());
+    EXPECT_EQ(loaded.loadCount(), original.loadCount());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty.trc");
+    ASSERT_TRUE(writeTrace(Trace{}, path));
+    Trace loaded;
+    ASSERT_TRUE(readTrace(path, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails)
+{
+    Trace loaded;
+    EXPECT_FALSE(readTrace(tempPath("does-not-exist.trc"), loaded));
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    const std::string path = tempPath("bad.trc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACEFILE___________", f);
+    std::fclose(f);
+    Trace loaded;
+    EXPECT_FALSE(readTrace(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileFails)
+{
+    const Trace original = randomTrace(100);
+    const std::string path = tempPath("trunc.trc");
+    ASSERT_TRUE(writeTrace(original, path));
+    // Truncate mid-record.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    Trace loaded;
+    EXPECT_FALSE(readTrace(path, loaded));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for trace events, sinks and counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace act
+{
+namespace
+{
+
+TraceEvent
+makeEvent(EventKind kind, ThreadId tid, Pc pc, Addr addr,
+          std::uint16_t gap = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    e.gap = gap;
+    return e;
+}
+
+TEST(Trace, AppendAssignsSequenceNumbers)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.append(makeEvent(EventKind::kStore, 0, 3, 4));
+    EXPECT_EQ(t[0].seq, 0u);
+    EXPECT_EQ(t[1].seq, 1u);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Trace, CountsByKind)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.append(makeEvent(EventKind::kStore, 0, 3, 4));
+    t.append(makeEvent(EventKind::kBranch, 0, 5, 0));
+    EXPECT_EQ(t.loadCount(), 2u);
+    EXPECT_EQ(t.storeCount(), 1u);
+    EXPECT_EQ(t.branchCount(), 1u);
+}
+
+TEST(Trace, InstructionCountIncludesGaps)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2, 5));
+    t.append(makeEvent(EventKind::kStore, 0, 3, 4, 2));
+    // 2 traced events + 7 gap instructions.
+    EXPECT_EQ(t.instructionCount(), 9u);
+}
+
+TEST(Trace, ThreadCount)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.append(makeEvent(EventKind::kLoad, 3, 1, 2));
+    t.append(makeEvent(EventKind::kLoad, 3, 1, 2));
+    t.append(makeEvent(EventKind::kLoad, 7, 1, 2));
+    EXPECT_EQ(t.threadCount(), 3u);
+}
+
+TEST(Trace, ClearResetsEverything)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2, 10));
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.instructionCount(), 0u);
+    EXPECT_EQ(t.loadCount(), 0u);
+}
+
+TEST(TeeSink, DuplicatesEvents)
+{
+    Trace a;
+    Trace b;
+    TeeSink tee(a, b);
+    tee.append(makeEvent(EventKind::kStore, 1, 2, 3));
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0].pc, 2u);
+    EXPECT_EQ(b[0].pc, 2u);
+}
+
+TEST(NullSink, DiscardsSilently)
+{
+    NullSink sink;
+    sink.append(makeEvent(EventKind::kLoad, 0, 1, 2)); // must not crash
+}
+
+TEST(TraceEvent, FilteredLoadPredicate)
+{
+    TraceEvent stack_load = makeEvent(EventKind::kLoad, 0, 1, 2);
+    stack_load.stack = true;
+    EXPECT_TRUE(isFilteredLoad(stack_load));
+
+    TraceEvent heap_load = makeEvent(EventKind::kLoad, 0, 1, 2);
+    EXPECT_FALSE(isFilteredLoad(heap_load));
+
+    TraceEvent stack_store = makeEvent(EventKind::kStore, 0, 1, 2);
+    stack_store.stack = true;
+    EXPECT_FALSE(isFilteredLoad(stack_store));
+}
+
+TEST(TraceEvent, IsMemory)
+{
+    EXPECT_TRUE(makeEvent(EventKind::kLoad, 0, 1, 2).isMemory());
+    EXPECT_TRUE(makeEvent(EventKind::kStore, 0, 1, 2).isMemory());
+    EXPECT_FALSE(makeEvent(EventKind::kBranch, 0, 1, 2).isMemory());
+    EXPECT_FALSE(makeEvent(EventKind::kLock, 0, 1, 2).isMemory());
+}
+
+TEST(TraceEvent, ToStringMentionsKind)
+{
+    const TraceEvent e = makeEvent(EventKind::kStore, 3, 0x42, 0x100);
+    const std::string s = e.toString();
+    EXPECT_NE(s.find("store"), std::string::npos);
+    EXPECT_NE(s.find("t3"), std::string::npos);
+}
+
+TEST(TraceEvent, KindNamesDistinct)
+{
+    EXPECT_STRNE(eventKindName(EventKind::kLoad),
+                 eventKindName(EventKind::kStore));
+    EXPECT_STRNE(eventKindName(EventKind::kLock),
+                 eventKindName(EventKind::kUnlock));
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the 11 real-bug models and the injected-bug helpers: the
+ * failing run must create the documented root-cause dependence, and
+ * correct runs must never create it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deps/input_generator.hh"
+#include "workloads/bugs.hh"
+
+namespace act
+{
+namespace
+{
+
+class BugsFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { registerAllWorkloads(); }
+
+    static bool
+    traceContainsDep(const Trace &trace, const RawDependence &dep)
+    {
+        InputGenerator generator(1);
+        const GeneratedSequences out = generator.process(trace, false);
+        for (const auto &seq : out.positives) {
+            if (seq.deps.back() == dep)
+                return true;
+        }
+        return false;
+    }
+};
+
+TEST_F(BugsFixture, ElevenRealBugs)
+{
+    EXPECT_EQ(realBugNames().size(), 11u);
+}
+
+TEST_F(BugsFixture, FailingRunsCreateTheRootCause)
+{
+    for (const auto &name : realBugNames()) {
+        const auto workload = makeWorkload(name);
+        WorkloadParams params;
+        params.seed = 3;
+        params.trigger_failure = true;
+        const Trace trace = workload->record(params);
+        EXPECT_TRUE(traceContainsDep(trace, workload->buggyDependence()))
+            << name;
+    }
+}
+
+TEST_F(BugsFixture, CorrectRunsNeverCreateTheRootCause)
+{
+    for (const auto &name : realBugNames()) {
+        const auto workload = makeWorkload(name);
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            WorkloadParams params;
+            params.seed = seed;
+            const Trace trace = workload->record(params);
+            EXPECT_FALSE(
+                traceContainsDep(trace, workload->buggyDependence()))
+                << name << " seed " << seed;
+        }
+    }
+}
+
+TEST_F(BugsFixture, FailureKindsMatchTableV)
+{
+    const std::unordered_map<std::string, FailureKind> expected = {
+        {"aget", FailureKind::kCompletion},
+        {"apache", FailureKind::kCrash},
+        {"memcached", FailureKind::kCompletion},
+        {"mysql1", FailureKind::kCompletion},
+        {"mysql2", FailureKind::kCrash},
+        {"mysql3", FailureKind::kCrash},
+        {"pbzip2", FailureKind::kCrash},
+        {"gzip", FailureKind::kCompletion},
+        {"seq", FailureKind::kCompletion},
+        {"ptx", FailureKind::kCompletion},
+        {"paste", FailureKind::kCrash},
+    };
+    for (const auto &[name, kind] : expected)
+        EXPECT_EQ(makeWorkload(name)->failureKind(), kind) << name;
+}
+
+TEST_F(BugsFixture, BugClassesMatchTableV)
+{
+    EXPECT_EQ(makeWorkload("aget")->bugClass(),
+              BugClass::kOrderViolation);
+    EXPECT_EQ(makeWorkload("pbzip2")->bugClass(),
+              BugClass::kOrderViolation);
+    EXPECT_EQ(makeWorkload("apache")->bugClass(),
+              BugClass::kAtomicityViolation);
+    EXPECT_EQ(makeWorkload("gzip")->bugClass(), BugClass::kSemantic);
+    EXPECT_EQ(makeWorkload("seq")->bugClass(), BugClass::kSemantic);
+    EXPECT_EQ(makeWorkload("ptx")->bugClass(),
+              BugClass::kBufferOverflow);
+    EXPECT_EQ(makeWorkload("paste")->bugClass(),
+              BugClass::kBufferOverflow);
+}
+
+TEST_F(BugsFixture, SequentialBugsAreSingleThreaded)
+{
+    for (const char *name : {"gzip", "seq", "ptx", "paste"})
+        EXPECT_EQ(makeWorkload(name)->threadCount(), 1u) << name;
+}
+
+TEST_F(BugsFixture, ConcurrencyBugRootCausesAreInterThread)
+{
+    for (const char *name :
+         {"aget", "apache", "memcached", "mysql1", "mysql2", "mysql3",
+          "pbzip2"}) {
+        EXPECT_TRUE(makeWorkload(name)->buggyDependence().inter_thread)
+            << name;
+    }
+}
+
+TEST_F(BugsFixture, CrashTracesAreTruncated)
+{
+    const auto workload = makeWorkload("mysql2");
+    WorkloadParams correct;
+    correct.seed = 4;
+    WorkloadParams failing = correct;
+    failing.trigger_failure = true;
+    EXPECT_LT(workload->record(failing).size(),
+              workload->record(correct).size());
+}
+
+TEST_F(BugsFixture, PbzipBranchFlipsOnlyInFailingRuns)
+{
+    const auto workload = makeWorkload("pbzip2");
+    // The consumer's emptiness check (pc slot 12,4) is always taken in
+    // correct runs and takes the other arm right before the crash.
+    const AddressMap map(26);
+    const Pc check = map.pc(12, 4);
+    WorkloadParams params;
+    params.seed = 2;
+    const Trace correct = workload->record(params);
+    for (const auto &event : correct.events()) {
+        if (event.kind == EventKind::kBranch && event.pc == check) {
+            EXPECT_TRUE(event.taken);
+        }
+    }
+    params.trigger_failure = true;
+    bool saw_not_taken = false;
+    const Trace failing = workload->record(params);
+    for (const auto &event : failing.events()) {
+        if (event.kind == EventKind::kBranch && event.pc == check) {
+            saw_not_taken |= !event.taken;
+        }
+    }
+    EXPECT_TRUE(saw_not_taken);
+}
+
+TEST_F(BugsFixture, InjectedBugTargetsResolve)
+{
+    const auto targets = injectedBugTargets();
+    EXPECT_EQ(targets.size(), 5u);
+    for (const auto &target : targets) {
+        const auto workload =
+            makeInjectedWorkload(target.kernel, target.function);
+        EXPECT_EQ(workload->failureKind(), FailureKind::kCrash);
+        EXPECT_EQ(workload->bugClass(), BugClass::kInjected);
+        const RawDependence root = workload->buggyDependence();
+        EXPECT_NE(root.store_pc, kInvalidPc);
+
+        WorkloadParams params;
+        params.seed = 5;
+        params.trigger_failure = true;
+        EXPECT_TRUE(traceContainsDep(workload->record(params), root))
+            << target.kernel << "/" << target.function;
+        params.trigger_failure = false;
+        EXPECT_FALSE(traceContainsDep(workload->record(params), root))
+            << target.kernel << "/" << target.function;
+    }
+}
+
+TEST_F(BugsFixture, GzipDashPositionsMatchFigure2d)
+{
+    // Correct runs: '-' first or absent; failing run: '-' mid-input.
+    const auto workload = makeWorkload("gzip");
+    const AddressMap map(27);
+    const Pc dash_branch = map.pc(10, 8);
+    WorkloadParams params;
+    params.trigger_failure = true;
+    params.seed = 9;
+    const Trace failing = workload->record(params);
+    std::vector<bool> outcomes;
+    for (const auto &event : failing.events()) {
+        if (event.kind == EventKind::kBranch && event.pc == dash_branch)
+            outcomes.push_back(event.taken);
+    }
+    ASSERT_FALSE(outcomes.empty());
+    EXPECT_FALSE(outcomes.front()); // not first
+    bool any_taken = false;
+    for (const bool taken : outcomes)
+        any_taken |= taken;
+    EXPECT_TRUE(any_taken); // but somewhere in the middle
+}
+
+} // namespace
+} // namespace act

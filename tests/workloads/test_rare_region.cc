@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the rare-communication pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "deps/encoder.hh"
+#include "trace/trace.hh"
+#include "workloads/rare_region.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(RareRegion, ActiveSetSizeMatchesConfig)
+{
+    const AddressMap map(60);
+    RareRegionConfig config;
+    config.pool = 100;
+    config.active = 13;
+    const RareRegion region(map, config, 42);
+    EXPECT_EQ(region.activeSet().size(), 13u);
+    for (const std::uint32_t fn : region.activeSet())
+        EXPECT_LT(fn, 100u);
+}
+
+TEST(RareRegion, ActiveSetDeterministicPerSeed)
+{
+    const AddressMap map(60);
+    RareRegionConfig config;
+    const RareRegion a(map, config, 7);
+    const RareRegion b(map, config, 7);
+    const RareRegion c(map, config, 8);
+    EXPECT_EQ(a.activeSet(), b.activeSet());
+    EXPECT_NE(a.activeSet(), c.activeSet());
+}
+
+TEST(RareRegion, DependencesStableAcrossRuns)
+{
+    // Function f's dependence must be identical no matter which run
+    // activates it — otherwise training coverage would be impossible.
+    const AddressMap map(60);
+    RareRegionConfig config;
+    const RareRegion a(map, config, 1);
+    const RareRegion b(map, config, 2);
+    for (std::uint32_t fn = 0; fn < config.pool; ++fn)
+        EXPECT_EQ(a.dependenceFor(fn), b.dependenceFor(fn)) << fn;
+}
+
+TEST(RareRegion, DistancesStayInsideTheRareBand)
+{
+    // Root-cause dependences live beyond the band, so every rare
+    // distance must stay within it (Section "ranking" rationale).
+    const AddressMap map(60);
+    RareRegionConfig config;
+    config.pool = 200;
+    const RareRegion region(map, config, 3);
+    for (std::uint32_t fn = 0; fn < config.pool; ++fn) {
+        const RawDependence dep = region.dependenceFor(fn);
+        const double delta = std::abs(
+            static_cast<double>(dep.load_pc) -
+            static_cast<double>(dep.store_pc));
+        EXPECT_GE(std::log2(delta + 1), config.min_log_delta - 0.6) << fn;
+        EXPECT_LE(std::log2(delta), config.max_log_delta + 0.1) << fn;
+    }
+}
+
+TEST(RareRegion, DistancesSpreadAcrossTheBand)
+{
+    const AddressMap map(60);
+    RareRegionConfig config;
+    config.pool = 200;
+    const RareRegion region(map, config, 3);
+    std::set<long> buckets;
+    for (std::uint32_t fn = 0; fn < config.pool; ++fn) {
+        const RawDependence dep = region.dependenceFor(fn);
+        buckets.insert(std::lround(
+            PairEncoder::distanceFeature(dep) * 10.0));
+    }
+    EXPECT_GT(buckets.size(), 10u);
+}
+
+TEST(RareRegion, EmitProducesMatchingDependence)
+{
+    const AddressMap map(60);
+    RareRegionConfig config;
+    config.active = 4;
+    RareRegion region(map, config, 11);
+    Trace trace;
+    ThreadEmitter emitter(trace, 0, Rng(5));
+    region.emitOne(emitter);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].kind, EventKind::kStore);
+    EXPECT_EQ(trace[1].kind, EventKind::kLoad);
+    EXPECT_EQ(trace[0].addr, trace[1].addr);
+    bool matches_active = false;
+    for (const std::uint32_t fn : region.activeSet()) {
+        const RawDependence dep = region.dependenceFor(fn);
+        matches_active |= dep.store_pc == trace[0].pc &&
+                          dep.load_pc == trace[1].pc;
+    }
+    EXPECT_TRUE(matches_active);
+}
+
+TEST(RareRegion, MaybeEmitHonoursProbability)
+{
+    const AddressMap map(60);
+    RareRegionConfig config;
+    config.emit_prob = 0.0;
+    RareRegion region(map, config, 11);
+    Trace trace;
+    ThreadEmitter emitter(trace, 0, Rng(5));
+    for (int i = 0; i < 100; ++i)
+        region.maybeEmit(emitter);
+    EXPECT_TRUE(trace.empty());
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the workload registry and the prediction kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/kernel.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+class WorkloadsFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { registerAllWorkloads(); }
+};
+
+TEST_F(WorkloadsFixture, RegistryContainsAllKernelsAndBugs)
+{
+    const auto &registry = WorkloadRegistry::instance();
+    for (const auto &name : predictionKernelNames())
+        EXPECT_TRUE(registry.contains(name)) << name;
+    for (const char *bug :
+         {"aget", "apache", "memcached", "mysql1", "mysql2", "mysql3",
+          "pbzip2", "gzip", "seq", "ptx", "paste"}) {
+        EXPECT_TRUE(registry.contains(bug)) << bug;
+    }
+}
+
+TEST_F(WorkloadsFixture, TwelvePredictionKernels)
+{
+    EXPECT_EQ(predictionKernelNames().size(), 12u);
+    EXPECT_EQ(concurrentKernelNames().size(), 9u);
+}
+
+TEST_F(WorkloadsFixture, SameSeedSameTrace)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 7;
+    const Trace a = workload->record(params);
+    const Trace b = workload->record(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc) << i;
+        EXPECT_EQ(a[i].addr, b[i].addr) << i;
+        EXPECT_EQ(a[i].tid, b[i].tid) << i;
+    }
+}
+
+TEST_F(WorkloadsFixture, DifferentSeedsDifferentInterleavings)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams a_params;
+    a_params.seed = 1;
+    WorkloadParams b_params;
+    b_params.seed = 2;
+    const Trace a = workload->record(a_params);
+    const Trace b = workload->record(b_params);
+    bool different = a.size() != b.size();
+    for (std::size_t i = 0; !different && i < a.size(); ++i)
+        different = a[i].pc != b[i].pc || a[i].tid != b[i].tid;
+    EXPECT_TRUE(different);
+}
+
+TEST_F(WorkloadsFixture, EveryKernelProducesEvents)
+{
+    for (const auto &name : predictionKernelNames()) {
+        const auto workload = makeWorkload(name);
+        WorkloadParams params;
+        const Trace trace = workload->record(params);
+        EXPECT_GT(trace.size(), 1000u) << name;
+        EXPECT_GT(trace.loadCount(), 100u) << name;
+        EXPECT_GT(trace.storeCount(), 100u) << name;
+        EXPECT_GT(trace.branchCount(), 100u) << name;
+        EXPECT_EQ(trace.threadCount(), workload->threadCount()) << name;
+        EXPECT_EQ(workload->failureKind(), FailureKind::kNone) << name;
+    }
+}
+
+TEST_F(WorkloadsFixture, ScaleGrowsTraces)
+{
+    const auto workload = makeWorkload("fft");
+    WorkloadParams small;
+    small.scale = 1;
+    WorkloadParams large;
+    large.scale = 3;
+    EXPECT_GT(workload->record(large).size(),
+              2 * workload->record(small).size());
+}
+
+TEST_F(WorkloadsFixture, KernelsEmitFilteredStackTraffic)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    const Trace trace = workload->record(params);
+    bool any_stack_load = false;
+    for (const auto &event : trace.events())
+        any_stack_load |= isFilteredLoad(event);
+    EXPECT_TRUE(any_stack_load);
+}
+
+TEST_F(WorkloadsFixture, SharedChainsProduceInterThreadSharing)
+{
+    const auto workload = makeWorkload("ocean");
+    WorkloadParams params;
+    const Trace trace = workload->record(params);
+    // Some address must be stored by one thread and loaded by another.
+    std::set<std::pair<Addr, ThreadId>> stores;
+    for (const auto &event : trace.events()) {
+        if (event.kind == EventKind::kStore)
+            stores.insert({event.addr, event.tid});
+    }
+    bool inter = false;
+    for (const auto &event : trace.events()) {
+        if (event.kind != EventKind::kLoad)
+            continue;
+        for (ThreadId t = 0; t < workload->threadCount() && !inter; ++t) {
+            if (t != event.tid && stores.count({event.addr, t}))
+                inter = true;
+        }
+        if (inter)
+            break;
+    }
+    EXPECT_TRUE(inter);
+}
+
+TEST_F(WorkloadsFixture, ChainAccessorsConsistent)
+{
+    const KernelWorkload workload(kernelSpecFor("lu"));
+    const std::uint32_t chain = workload.chainByFunction("TouchA");
+    const auto pcs = workload.chainLoadPcs(chain);
+    EXPECT_EQ(pcs.size(), workload.spec().chains[chain].length);
+    for (std::uint32_t k = 0; k < pcs.size(); ++k)
+        EXPECT_EQ(pcs[k], workload.loadPc(chain, k));
+}
+
+TEST_F(WorkloadsFixture, UnknownWorkloadNameFatal)
+{
+    EXPECT_DEATH(
+        { WorkloadRegistry::instance().create("no-such-workload"); },
+        "unknown workload");
+}
+
+TEST_F(WorkloadsFixture, ThreadLifecycleMarkersPresent)
+{
+    const auto workload = makeWorkload("canneal");
+    WorkloadParams params;
+    const Trace trace = workload->record(params);
+    std::size_t creates = 0;
+    std::size_t exits = 0;
+    for (const auto &event : trace.events()) {
+        creates += event.kind == EventKind::kThreadCreate;
+        exits += event.kind == EventKind::kThreadExit;
+    }
+    EXPECT_EQ(creates, workload->threadCount() - 1);
+    EXPECT_EQ(exits, workload->threadCount());
+}
+
+TEST_F(WorkloadsFixture, AddressSpacesDisjointAcrossKernels)
+{
+    const auto lu = makeWorkload("lu");
+    const auto fft = makeWorkload("fft");
+    WorkloadParams params;
+    std::set<Addr> lu_lines;
+    const Trace lu_trace = lu->record(params);
+    for (const auto &event : lu_trace.events()) {
+        if (event.isMemory())
+            lu_lines.insert(event.addr / 64);
+    }
+    const Trace fft_trace = fft->record(params);
+    for (const auto &event : fft_trace.events()) {
+        if (event.isMemory()) {
+            EXPECT_EQ(lu_lines.count(event.addr / 64), 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * actctl — command-line driver for the ACT reproduction.
+ *
+ * Subcommands:
+ *   list                         workloads in the registry
+ *   record <wl> <out.trc>        record one execution trace to a file
+ *   replay <in.trc>              print statistics of a trace file
+ *   train <wl> <out.weights>     offline-train and save per-thread weights
+ *   simulate <wl> <weights>      run the machine with ACT attached
+ *   diagnose <wl>                full single-failure diagnosis loop
+ *
+ * Common flags: --seed N, --failure, --traces N, --scale N.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "act/weight_store.hh"
+#include "common/logging.hh"
+#include "diagnosis/pipeline.hh"
+#include "trace/io.hh"
+
+namespace act
+{
+namespace
+{
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    bool failure = false;
+    std::size_t traces = 10;
+    std::uint32_t scale = 1;
+    std::vector<std::string> positional;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--failure") {
+            options.failure = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            options.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--traces" && i + 1 < argc) {
+            options.traces = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--scale" && i + 1 < argc) {
+            options.scale = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg.rfind("--", 0) == 0) {
+            ACT_FATAL("unknown flag: " << arg);
+        } else {
+            options.positional.push_back(arg);
+        }
+    }
+    return options;
+}
+
+int
+cmdList()
+{
+    registerAllWorkloads();
+    std::printf("%-16s %-8s %-8s %s\n", "name", "threads", "failure",
+                "description");
+    for (const auto &name : WorkloadRegistry::instance().names()) {
+        const auto workload =
+            WorkloadRegistry::instance().create(name);
+        const char *kind = "-";
+        switch (workload->failureKind()) {
+          case FailureKind::kCrash: kind = "crash"; break;
+          case FailureKind::kCompletion: kind = "comp."; break;
+          default: break;
+        }
+        std::printf("%-16s %-8u %-8s %s\n", name.c_str(),
+                    workload->threadCount(), kind,
+                    workload->description().c_str());
+    }
+    return 0;
+}
+
+int
+cmdRecord(const Options &options)
+{
+    if (options.positional.size() != 2)
+        ACT_FATAL("usage: actctl record <workload> <out.trc>");
+    registerAllWorkloads();
+    const auto workload = makeWorkload(options.positional[0]);
+    WorkloadParams params;
+    params.seed = options.seed;
+    params.trigger_failure = options.failure;
+    params.scale = options.scale;
+    const Trace trace = workload->record(params);
+    if (!writeTrace(trace, options.positional[1]))
+        ACT_FATAL("cannot write " << options.positional[1]);
+    std::printf("wrote %zu events (%llu instructions, %u threads) to %s\n",
+                trace.size(),
+                static_cast<unsigned long long>(trace.instructionCount()),
+                trace.threadCount(), options.positional[1].c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Options &options)
+{
+    if (options.positional.size() != 1)
+        ACT_FATAL("usage: actctl replay <in.trc>");
+    Trace trace;
+    if (!readTrace(options.positional[0], trace))
+        ACT_FATAL("cannot read " << options.positional[0]);
+    std::printf("events:        %zu\n", trace.size());
+    std::printf("instructions:  %llu\n",
+                static_cast<unsigned long long>(trace.instructionCount()));
+    std::printf("loads/stores:  %llu / %llu\n",
+                static_cast<unsigned long long>(trace.loadCount()),
+                static_cast<unsigned long long>(trace.storeCount()));
+    std::printf("branches:      %llu\n",
+                static_cast<unsigned long long>(trace.branchCount()));
+    std::printf("threads:       %u\n", trace.threadCount());
+
+    const auto sequences = collectCacheSequences(trace, MemSystemConfig{}, 3);
+    std::printf("cache-formed dependence sequences: %zu\n",
+                sequences.size());
+    return 0;
+}
+
+int
+cmdTrain(const Options &options)
+{
+    if (options.positional.size() != 2)
+        ACT_FATAL("usage: actctl train <workload> <out.weights>");
+    registerAllWorkloads();
+    const auto workload = makeWorkload(options.positional[0]);
+    PairEncoder encoder;
+    OfflineTrainingConfig config;
+    config.traces = options.traces;
+    config.seed_base = options.seed;
+    const TrainedModel model = offlineTrain(*workload, encoder, config);
+    WeightStore store(model.topology);
+    store.setAll(workload->threadCount(), model.weights);
+    if (!store.save(options.positional[1]))
+        ACT_FATAL("cannot write " << options.positional[1]);
+    std::printf("trained %zux%zux1 on %zu examples (%zu RAW deps), "
+                "error %.2f%%; weights for %u threads -> %s\n",
+                model.topology.inputs, model.topology.hidden,
+                model.example_count, model.dependence_count,
+                model.training.final_error * 100.0,
+                workload->threadCount(), options.positional[1].c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const Options &options)
+{
+    if (options.positional.size() != 2)
+        ACT_FATAL("usage: actctl simulate <workload> <weights>");
+    registerAllWorkloads();
+    const auto workload = makeWorkload(options.positional[0]);
+    WeightStore store;
+    if (!store.load(options.positional[1]))
+        ACT_FATAL("cannot read " << options.positional[1]);
+
+    PairEncoder encoder;
+    SystemConfig config;
+    config.act.topology = store.topology();
+    System system(config, encoder, store);
+    WorkloadParams params;
+    params.seed = options.seed;
+    params.trigger_failure = options.failure;
+    params.scale = options.scale;
+    system.run(workload->record(params));
+
+    const SystemStats stats = system.stats();
+    std::printf("cycles:            %llu\n",
+                static_cast<unsigned long long>(stats.cycles));
+    std::printf("dependences:       %llu\n",
+                static_cast<unsigned long long>(stats.act.dependences));
+    std::printf("flagged invalid:   %llu\n",
+                static_cast<unsigned long long>(
+                    stats.act.predicted_invalid));
+    std::printf("mode switches:     %llu\n",
+                static_cast<unsigned long long>(stats.act.mode_switches));
+    std::printf("retire stalls:     %llu cycles\n",
+                static_cast<unsigned long long>(stats.act.stall_cycles));
+    std::printf("debug entries:\n");
+    for (const auto &entry : system.collectDebugEntries()) {
+        std::printf("  t%-2u out=%+.3f %s\n", entry.tid, entry.output,
+                    entry.sequence.toString().c_str());
+    }
+    return 0;
+}
+
+int
+cmdDiagnose(const Options &options)
+{
+    if (options.positional.size() != 1)
+        ACT_FATAL("usage: actctl diagnose <workload>");
+    registerAllWorkloads();
+    const auto workload = makeWorkload(options.positional[0]);
+    if (workload->failureKind() == FailureKind::kNone)
+        ACT_FATAL(options.positional[0] << " has no failure mode");
+
+    DiagnosisSetup setup = defaultDiagnosisSetup();
+    setup.training.traces = options.traces;
+    setup.failure_seed = options.seed == 1 ? 999 : options.seed;
+    const DiagnosisResult result = diagnoseFailure(*workload, setup);
+
+    std::printf("%s\n", result.report.toString(8).c_str());
+    const RawDependence root = workload->buggyDependence();
+    std::printf("ground truth: %s\n", root.toString().c_str());
+    if (result.rank) {
+        std::printf("ranked #%zu (debug-buffer position %s)\n",
+                    *result.rank,
+                    result.debug_position
+                        ? std::to_string(*result.debug_position).c_str()
+                        : "-");
+        return 0;
+    }
+    std::printf("root cause not ranked (try a larger debug buffer)\n");
+    return 1;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: actctl <list|record|replay|train|simulate|"
+                 "diagnose> [args] [--seed N] [--failure] [--traces N] "
+                 "[--scale N]\n");
+    return 2;
+}
+
+} // namespace
+} // namespace act
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    const Options options = parse(argc, argv);
+    if (command == "list")
+        return cmdList();
+    if (command == "record")
+        return cmdRecord(options);
+    if (command == "replay")
+        return cmdReplay(options);
+    if (command == "train")
+        return cmdTrain(options);
+    if (command == "simulate")
+        return cmdSimulate(options);
+    if (command == "diagnose")
+        return cmdDiagnose(options);
+    return usage();
+}
