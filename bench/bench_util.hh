@@ -10,10 +10,12 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "diagnosis/pipeline.hh"
+#include "runner/runner.hh"
 #include "workloads/bugs.hh"
 #include "workloads/kernel.hh"
 
@@ -26,17 +28,25 @@ class Table
   public:
     explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
 
-    /** Print one row; cells beyond widths.size() are ignored. */
+    /**
+     * Print one row; cells beyond widths.size() are ignored. A cell
+     * longer than its column is truncated to width-1 characters (one
+     * separating space is kept) instead of shifting the columns to its
+     * right out of alignment.
+     */
     void
     row(const std::vector<std::string> &cells) const
     {
         std::string line;
         for (std::size_t i = 0; i < widths_.size(); ++i) {
-            const std::string cell = i < cells.size() ? cells[i] : "";
-            char buf[256];
-            std::snprintf(buf, sizeof(buf), "%-*s",
-                          widths_[i], cell.c_str());
-            line += buf;
+            const std::size_t width =
+                widths_[i] > 0 ? static_cast<std::size_t>(widths_[i]) : 1;
+            std::string cell = i < cells.size() ? cells[i] : "";
+            const std::size_t limit = width > 1 ? width - 1 : width;
+            if (cell.size() > limit)
+                cell.resize(limit);
+            line += cell;
+            line.append(width - cell.size(), ' ');
         }
         std::printf("%s\n", line.c_str());
     }
@@ -127,6 +137,35 @@ seedRange(std::uint64_t base, std::size_t count)
     for (std::size_t i = 0; i < count; ++i)
         seeds[i] = base + i;
     return seeds;
+}
+
+/**
+ * Runner options for the campaign-backed benches: all cores by
+ * default, overridable via ACT_BENCH_JOBS; an on-disk trace cache is
+ * enabled by pointing ACT_TRACE_CACHE at a directory.
+ */
+inline RunOptions
+campaignRunOptions()
+{
+    RunOptions options;
+    if (const char *jobs = std::getenv("ACT_BENCH_JOBS"))
+        options.jobs = static_cast<unsigned>(
+            std::strtoul(jobs, nullptr, 0));
+    if (const char *cache = std::getenv("ACT_TRACE_CACHE"))
+        options.cache_dir = cache;
+    return options;
+}
+
+/** One-line execution summary after a campaign-backed bench table. */
+inline void
+printRunSummary(const CampaignRunResult &run)
+{
+    std::printf("\n[runner] %u threads, %.0f ms, %llu steals, trace "
+                "cache %llu hits / %llu misses\n",
+                run.threads, run.wall_ms,
+                static_cast<unsigned long long>(run.steals),
+                static_cast<unsigned long long>(run.cache.hits()),
+                static_cast<unsigned long long>(run.cache.misses));
 }
 
 } // namespace act::bench

@@ -3,9 +3,16 @@
  * Figure 7(a) reproduction: misprediction (false negative) rate when
  * the test data contains intentionally formed invalid RAW dependences
  * (dependences on a store *before* the last writer, Section VI-B).
+ *
+ * The per-kernel evaluation lives in the campaign runner
+ * (`src/runner/`, campaign "fig7a"); this bench declares the campaign,
+ * runs it across all cores, and renders the paper table.
  */
 
 #include "bench/bench_util.hh"
+
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 
 namespace act
 {
@@ -21,63 +28,24 @@ run()
                   "Fig. 7(a) (false negatives on synthesised invalid "
                   "dependences; paper average ~0.18% of instructions)");
 
+    const Campaign campaign = makeCampaign("fig7a");
+    const CampaignRunResult outcome =
+        runCampaign(campaign, bench::campaignRunOptions());
+
     const bench::Table table({16, 14, 16, 16});
     table.row({"program", "#invalid", "%missed/instr", "%missed/dep"});
     table.rule();
 
     OnlineStats instr_rate;
     OnlineStats dep_rate;
-    for (const auto &name : predictionKernelNames()) {
-        const auto workload = makeWorkload(name);
-        PairEncoder encoder;
-        const InputGenerator generator(3);
-
-        Dataset train = bench::datasetFromRuns(
-            *workload, generator, encoder, bench::seedRange(100, 10),
-            true);
-        Rng rng(0x7a);
-        train.shuffle(rng);
-        if (train.size() > 24000) {
-            Dataset capped;
-            for (std::size_t i = 0; i < 24000; ++i)
-                capped.add(train[i]);
-            train = std::move(capped);
-        }
-        MlpNetwork network(Topology{3 * encoder.width(), 10}, rng);
-        TrainerConfig trainer;
-        trainer.max_epochs = 400;
-        trainNetwork(network, train, trainer, rng);
-
-        // Held-out traces: form invalid dependences and count how many
-        // the network wrongly accepts.
-        std::uint64_t missed = 0;
-        std::uint64_t negatives = 0;
-        std::uint64_t instructions = 0;
-        for (const std::uint64_t seed : bench::seedRange(200, 10)) {
-            WorkloadParams params;
-            params.seed = seed;
-            const Trace trace = workload->record(params);
-            instructions += trace.instructionCount();
-            const GeneratedSequences sequences =
-                generator.process(trace, true);
-            for (const auto &seq : sequences.negatives) {
-                ++negatives;
-                if (network.predictValid(encoder.encodeSequence(seq)))
-                    ++missed;
-            }
-        }
-        const double per_instr =
-            instructions ? static_cast<double>(missed) /
-                               static_cast<double>(instructions)
-                         : 0.0;
-        const double per_dep =
-            negatives ? static_cast<double>(missed) /
-                            static_cast<double>(negatives)
-                      : 0.0;
+    for (const JobResult &result : outcome.results) {
+        const JobSpec &spec = campaign.jobs[result.id];
+        const double per_instr = result.metrics.at("missed_instr");
+        const double per_dep = result.metrics.at("missed_dep");
         instr_rate.add(per_instr);
         dep_rate.add(per_dep);
-        table.row({name, format("%llu",
-                                static_cast<unsigned long long>(negatives)),
+        table.row({spec.workload,
+                   format("%.0f", result.metrics.at("negatives")),
                    format("%.3f%%", per_instr * 100.0),
                    format("%.2f%%", per_dep * 100.0)});
     }
@@ -85,6 +53,7 @@ run()
     table.row({"average", "",
                format("%.3f%%", instr_rate.mean() * 100.0),
                format("%.2f%%", dep_rate.mean() * 100.0)});
+    bench::printRunSummary(outcome);
 }
 
 } // namespace

@@ -13,10 +13,16 @@
  * A second section ablates the dependence encoder (design decision 1
  * in DESIGN.md): the similarity-preserving PairEncoder against the
  * dictionary (CAM) and scatter-hash encoders.
+ *
+ * The evaluation recipe lives in the campaign runner (`src/runner/`,
+ * campaigns "table4" and "table4-ablation"); this bench runs both
+ * campaigns in parallel and renders the paper tables.
  */
 
 #include "bench/bench_util.hh"
-#include "nn/topology_search.hh"
+
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 
 namespace act
 {
@@ -25,119 +31,16 @@ namespace
 
 using bench::format;
 
-struct ProgramResult
-{
-    std::string name;
-    std::size_t deps = 0;
-    Topology topology;
-    double mispred_instr = 0.0;
-    double mispred_dep = 0.0;
-};
-
-/** Train + evaluate one kernel with the given encoder prototype. */
-ProgramResult
-evaluateProgram(const std::string &name, DependenceEncoder &encoder,
-                bool sweep_topology)
-{
-    const auto workload = makeWorkload(name);
-    const auto train_seeds = bench::seedRange(100, 10);
-    const auto test_seeds = bench::seedRange(200, 10);
-
-    ProgramResult result;
-    result.name = name;
-
-    // Topology selection on a small sweep (Section VI-B).
-    Topology best{3 * encoder.width(), 10};
-    if (sweep_topology) {
-        TopologySearchConfig search;
-        search.min_inputs = 2;
-        search.max_inputs = 4;
-        search.min_hidden = 4;
-        search.max_hidden = 10;
-        search.trainer.max_epochs = 120;
-        const TopologySearchResult sweep = searchTopology(
-            [&](std::size_t n) {
-                const InputGenerator generator(n);
-                auto enc = encoder.clone();
-                Dataset train = bench::datasetFromRuns(
-                    *workload, generator, *enc,
-                    bench::seedRange(100, 4), true);
-                Rng rng(n);
-                train.shuffle(rng);
-                if (train.size() > 6000) {
-                    Dataset capped;
-                    for (std::size_t i = 0; i < 6000; ++i)
-                        capped.add(train[i]);
-                    train = std::move(capped);
-                }
-                Dataset validation = train.splitTail(0.3);
-                return std::make_pair(train, validation);
-            },
-            search);
-        // The search already reports the true input width (sequence
-        // length times encoder features per dependence).
-        best = sweep.best;
-    }
-
-    // Final training at the selected sequence length.
-    const std::size_t n = best.inputs / encoder.width();
-    const InputGenerator generator(n);
-    auto train_enc = encoder.clone();
-    std::size_t train_deps = 0;
-    Dataset train =
-        bench::datasetFromRuns(*workload, generator, *train_enc,
-                               train_seeds, true, &train_deps);
-    result.deps = train_deps;
-
-    Rng rng(0xbe4c);
-    train.shuffle(rng);
-    if (train.size() > 24000) {
-        Dataset capped;
-        for (std::size_t i = 0; i < 24000; ++i)
-            capped.add(train[i]);
-        train = std::move(capped);
-    }
-    MlpNetwork network(best, rng);
-    TrainerConfig trainer;
-    trainer.max_epochs = 400;
-    trainNetwork(network, train, trainer, rng);
-    result.topology = best;
-
-    // Evaluation on held-out traces: false positives only (the test
-    // data contains no invalid dependences, Section VI-B).
-    std::uint64_t wrong = 0;
-    std::uint64_t predictions = 0;
-    std::uint64_t instructions = 0;
-    for (const std::uint64_t seed : test_seeds) {
-        WorkloadParams params;
-        params.seed = seed;
-        const Trace trace = workload->record(params);
-        instructions += trace.instructionCount();
-        const GeneratedSequences sequences =
-            generator.process(trace, false);
-        for (const auto &seq : sequences.positives) {
-            ++predictions;
-            if (!network.predictValid(train_enc->encodeSequence(seq)))
-                ++wrong;
-        }
-    }
-    result.mispred_instr =
-        instructions ? static_cast<double>(wrong) /
-                           static_cast<double>(instructions)
-                     : 0.0;
-    result.mispred_dep =
-        predictions ? static_cast<double>(wrong) /
-                          static_cast<double>(predictions)
-                    : 0.0;
-    return result;
-}
-
 void
 runMainTable()
 {
     bench::banner("Table IV: training of neural networks",
                   "Table IV (20 traces: 10 train / 10 test; N in 1..5, "
                   "hidden 1..10; misprediction as % of instructions)");
+
+    const Campaign campaign = makeCampaign("table4");
+    const CampaignRunResult outcome =
+        runCampaign(campaign, bench::campaignRunOptions());
 
     const bench::Table table({16, 12, 12, 12, 16, 16});
     table.row({"program", "#train", "#RAW deps", "topology",
@@ -146,15 +49,17 @@ runMainTable()
 
     OnlineStats instr_rate;
     OnlineStats dep_rate;
-    for (const auto &name : predictionKernelNames()) {
-        PairEncoder encoder;
-        const ProgramResult r = evaluateProgram(name, encoder, true);
-        instr_rate.add(r.mispred_instr);
-        dep_rate.add(r.mispred_dep);
-        table.row({r.name, "10", format("%zu", r.deps),
-                   topologyToString(r.topology),
-                   format("%.3f%%", r.mispred_instr * 100.0),
-                   format("%.2f%%", r.mispred_dep * 100.0)});
+    for (const JobResult &result : outcome.results) {
+        const JobSpec &spec = campaign.jobs[result.id];
+        const double mispred_instr = result.metrics.at("mispred_instr");
+        const double mispred_dep = result.metrics.at("mispred_dep");
+        instr_rate.add(mispred_instr);
+        dep_rate.add(mispred_dep);
+        table.row({spec.workload, "10",
+                   format("%.0f", result.metrics.at("deps")),
+                   result.labels.at("topology"),
+                   format("%.3f%%", mispred_instr * 100.0),
+                   format("%.2f%%", mispred_dep * 100.0)});
     }
     table.rule();
     table.row({"average", "", "", "",
@@ -163,31 +68,41 @@ runMainTable()
     std::printf("\npaper: average misprediction rate ~0.45%% of "
                 "instructions, worst programs (canneal/mcf-style "
                 "irregular codes) noticeably higher.\n");
+    bench::printRunSummary(outcome);
 }
 
 void
 runEncoderAblation()
 {
     std::printf("\n--- encoder ablation (design decision 1) ---\n");
+
+    const Campaign campaign = makeCampaign("table4-ablation");
+    const CampaignRunResult outcome =
+        runCampaign(campaign, bench::campaignRunOptions());
+
     const bench::Table table({16, 18, 18, 18});
     table.row({"program", "pair %/dep", "dictionary %/dep",
                "hash %/dep"});
     table.rule();
-    for (const char *kernel : {"lu", "canneal", "mcf"}) {
-        const std::string name(kernel);
-        PairEncoder pair;
-        DictionaryEncoder dictionary(64);
-        HashEncoder hash;
-        const ProgramResult a = evaluateProgram(name, pair, false);
-        const ProgramResult b = evaluateProgram(name, dictionary, false);
-        const ProgramResult c = evaluateProgram(name, hash, false);
-        table.row({name, format("%.2f%%", a.mispred_dep * 100.0),
-                   format("%.2f%%", b.mispred_dep * 100.0),
-                   format("%.2f%%", c.mispred_dep * 100.0)});
+    // Jobs are laid out kernel-major, encoder-minor (pair, dictionary,
+    // hash per kernel).
+    for (std::size_t i = 0; i + 2 < outcome.results.size(); i += 3) {
+        const JobSpec &spec = campaign.jobs[i];
+        table.row(
+            {spec.workload,
+             format("%.2f%%",
+                    outcome.results[i].metrics.at("mispred_dep") * 100.0),
+             format("%.2f%%",
+                    outcome.results[i + 1].metrics.at("mispred_dep") *
+                        100.0),
+             format("%.2f%%",
+                    outcome.results[i + 2].metrics.at("mispred_dep") *
+                        100.0)});
     }
     std::printf("\nthe similarity-preserving pair encoding is what keeps "
                 "the <=10-neuron network accurate;\nscatter encodings "
                 "turn sequence validity into rote memorisation.\n");
+    bench::printRunSummary(outcome);
 }
 
 } // namespace

@@ -15,11 +15,17 @@
  * default 60 entries the root cause is evicted, so (as in the paper)
  * its row is produced with an enlarged buffer and the position column
  * reports where the entry sat.
+ *
+ * The three schemes are three job kinds in the campaign runner
+ * (`src/runner/`, campaign "table5": 11 bugs x {ACT, Aviso, PBI} = 33
+ * jobs); the shared trace cache means each bug's correct runs are
+ * recorded once instead of three times.
  */
 
-#include "baselines/aviso.hh"
-#include "baselines/pbi.hh"
 #include "bench/bench_util.hh"
+
+#include "runner/campaign.hh"
+#include "runner/runner.hh"
 
 namespace act
 {
@@ -40,95 +46,42 @@ bugClassName(BugClass c)
     }
 }
 
-/** Run the Aviso baseline; returns (rank, failures) or misses. */
-std::string
-runAviso(const Workload &workload)
-{
-    if (!workload.concurrent())
-        return "n/a (seq.)";
-    AvisoDiagnoser aviso((AvisoConfig()));
-    for (const std::uint64_t seed : bench::seedRange(500, 15)) {
-        WorkloadParams params;
-        params.seed = seed;
-        aviso.addCorrectTrace(workload.record(params));
-    }
-    const RawDependence root = workload.buggyDependence();
-    for (std::uint32_t failure = 1; failure <= 10; ++failure) {
-        WorkloadParams params;
-        params.seed = 900 + failure;
-        params.trigger_failure = true;
-        aviso.addFailureTrace(workload.record(params));
-        const AvisoResult result =
-            aviso.diagnose(root.store_pc, root.load_pc);
-        if (result.found)
-            return format("%zu (%u)", *result.rank, failure);
-    }
-    return "- (10)";
-}
-
-/** Run the PBI baseline; returns "rank (total)" or "- (total)". */
-std::string
-runPbi(const Workload &workload, const std::vector<Pc> &root_pcs)
-{
-    PbiConfig config;
-    PbiDiagnoser pbi(config);
-    for (const std::uint64_t seed : bench::seedRange(500, 15)) {
-        WorkloadParams params;
-        params.seed = seed;
-        pbi.addCorrectTrace(workload.record(params));
-    }
-    WorkloadParams params;
-    params.seed = 999;
-    params.trigger_failure = true;
-    pbi.addFailureTrace(workload.record(params));
-    const PbiResult result = pbi.diagnose(root_pcs);
-    if (result.rank)
-        return format("%zu (%zu)", *result.rank, result.total_predicates);
-    return format("- (%zu)", result.total_predicates);
-}
-
 void
 run()
 {
     bench::banner("Table V: diagnosis of real bugs",
                   "Table V (11 real-world bugs; ACT vs Aviso vs PBI)");
 
+    const Campaign campaign = makeCampaign("table5");
+    const CampaignRunResult outcome =
+        runCampaign(campaign, bench::campaignRunOptions());
+
     const bench::Table table({11, 15, 7, 8, 9, 8, 6, 11, 12});
     table.row({"bug", "class", "status", "#train", "dbg.pos", "filter",
                "ACT", "Aviso(#f)", "PBI(total)"});
     table.rule();
 
+    // Jobs are laid out bug-major: (ACT, Aviso, PBI) per bug.
     std::size_t diagnosed = 0;
-    for (const auto &name : realBugNames()) {
-        const auto workload = makeWorkload(name);
-
-        DiagnosisSetup setup;
-        setup.training = bench::standardTraining(10);
-        if (name == "mysql1") {
-            // The paper: the buggy sequence is not in the default
-            // 60-entry buffer; a larger one is needed.
-            setup.system.act.debug_buffer_entries = 400;
-        }
-        const DiagnosisResult act = diagnoseFailure(*workload, setup);
-        if (act.rank)
+    for (std::size_t i = 0; i + 2 < outcome.results.size(); i += 3) {
+        const JobSpec &spec = campaign.jobs[i];
+        const JobResult &act = outcome.results[i];
+        const JobResult &aviso = outcome.results[i + 1];
+        const JobResult &pbi = outcome.results[i + 2];
+        if (act.metrics.at("diagnosed") > 0.0)
             ++diagnosed;
 
-        std::vector<Pc> pbi_roots{workload->buggyDependence().load_pc};
-        if (name == "pbzip2") {
-            // The consumer's emptiness check also implicates the bug.
-            pbi_roots.push_back(AddressMap(26).pc(12, 4));
-        }
-
+        const auto workload = makeWorkload(spec.workload);
         table.row(
-            {name, bugClassName(workload->bugClass()),
+            {spec.workload, bugClassName(workload->bugClass()),
              workload->failureKind() == FailureKind::kCrash ? "crash"
                                                             : "comp.",
-             "10",
-             act.debug_position ? format("%zu", *act.debug_position)
-                                : "evicted",
-             format("%.0f%%", act.report.filterFraction() * 100.0),
-             act.rank ? format("%zu", *act.rank) : "-",
-             runAviso(*workload), runPbi(*workload, pbi_roots)});
+             format("%zu", spec.knobs.train_traces),
+             act.labels.at("dbg.pos"),
+             format("%.0f%%",
+                    act.metrics.at("filter_fraction") * 100.0),
+             act.labels.at("rank"), aviso.labels.at("cell"),
+             pbi.labels.at("cell")});
     }
     table.rule();
     std::printf("\nACT diagnosed %zu / 11 failures from a single failing "
@@ -138,6 +91,7 @@ run()
                 "both semantic bugs, with generally worse ranks (paste "
                 "being its one win).\n",
                 diagnosed);
+    bench::printRunSummary(outcome);
 }
 
 } // namespace

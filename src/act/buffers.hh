@@ -83,7 +83,18 @@ class DebugBuffer
      */
     std::optional<std::size_t> positionOf(const RawDependence &dep) const;
 
-    void clear() { entries_.clear(); }
+    /**
+     * Full reset: drops the buffered entries *and* the lifetime
+     * totalLogged() counter, so a cleared buffer is indistinguishable
+     * from a freshly constructed one (reuse across campaign jobs
+     * depends on this).
+     */
+    void
+    clear()
+    {
+        entries_.clear();
+        total_logged_ = 0;
+    }
 
   private:
     std::size_t capacity_;

@@ -10,6 +10,19 @@
 namespace act
 {
 
+namespace
+{
+
+/** Record @p workload via the provider when set, directly otherwise. */
+Trace
+obtainTrace(const TraceProvider &provider, const Workload &workload,
+            const WorkloadParams &params)
+{
+    return provider ? provider(workload, params) : workload.record(params);
+}
+
+} // namespace
+
 TrainedModel
 offlineTrain(const Workload &workload, DependenceEncoder &encoder,
              const OfflineTrainingConfig &config)
@@ -32,7 +45,8 @@ offlineTrain(const Workload &workload, DependenceEncoder &encoder,
     for (std::size_t i = 0; i < config.traces; ++i) {
         WorkloadParams params;
         params.seed = config.seed_base + i;
-        const Trace trace = workload.record(params);
+        const Trace trace =
+            obtainTrace(config.trace_provider, workload, params);
         GeneratedSequences sequences = generator.process(trace);
         model.dependence_count += sequences.dependence_count;
         if (!excluded.empty()) {
@@ -170,7 +184,8 @@ diagnoseFailure(const Workload &workload, const DiagnosisSetup &setup)
     failure_params.seed = setup.failure_seed;
     failure_params.trigger_failure = true;
     failure_params.scale = setup.scale;
-    const Trace failure_trace = workload.record(failure_params);
+    const Trace failure_trace =
+        obtainTrace(setup.trace_provider, workload, failure_params);
     system.run(failure_trace);
     result.run_stats = system.stats();
 
@@ -196,7 +211,8 @@ diagnoseFailure(const Workload &workload, const DiagnosisSetup &setup)
         WorkloadParams params;
         params.seed = setup.postmortem_seed_base + i;
         params.scale = setup.scale;
-        const Trace trace = workload.record(params);
+        const Trace trace =
+            obtainTrace(setup.trace_provider, workload, params);
         correct.addSequences(collectCacheSequences(
             trace, sys_config.mem, setup.training.sequence_length));
     }

@@ -8,6 +8,7 @@
 #ifndef ACT_DIAGNOSIS_PIPELINE_HH
 #define ACT_DIAGNOSIS_PIPELINE_HH
 
+#include <functional>
 #include <optional>
 
 #include "act/weight_store.hh"
@@ -18,6 +19,15 @@
 
 namespace act
 {
+
+/**
+ * Source of execution traces for the offline phases. The default
+ * (an empty function) records the workload directly; the campaign
+ * runner plugs in its on-disk trace cache here so identical
+ * (workload, params) executions are generated only once.
+ */
+using TraceProvider =
+    std::function<Trace(const Workload &, const WorkloadParams &)>;
 
 /** Offline-training parameters (Section III-B). */
 struct OfflineTrainingConfig
@@ -48,6 +58,9 @@ struct OfflineTrainingConfig
 
     /** Fine-tuning epochs per thread when per_thread_weights is set. */
     std::size_t per_thread_epochs = 40;
+
+    /** Trace source for the training runs (empty = record directly). */
+    TraceProvider trace_provider;
 };
 
 /** Output of offline training. */
@@ -98,6 +111,13 @@ struct DiagnosisSetup
     std::uint64_t postmortem_seed_base = 500;
     std::uint64_t failure_seed = 999;
     std::uint32_t scale = 1;
+
+    /**
+     * Trace source for the failure and postmortem runs (empty = record
+     * directly). The training phase has its own provider inside
+     * `training`.
+     */
+    TraceProvider trace_provider;
 };
 
 /** Outcome of a full diagnosis. */

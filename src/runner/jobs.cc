@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Job execution: the workload → trace → train → evaluate/diagnose
+ * loops that the figure/table benches used to each implement privately,
+ * now shared, cache-fed and schedulable. The numeric recipes (seed
+ * bases, shuffle seeds, example caps, sweep bounds) are kept exactly as
+ * the original benches had them so ported campaigns reproduce the same
+ * numbers.
+ */
+
+#include "runner/job.hh"
+
+#include <chrono>
+
+#include "baselines/aviso.hh"
+#include "baselines/pbi.hh"
+#include "common/logging.hh"
+#include "diagnosis/pipeline.hh"
+#include "nn/topology_search.hh"
+#include "runner/trace_cache.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/** printf into a std::string (small local copy of bench::format). */
+template <typename... Args>
+std::string
+formatCell(const char *fmt, Args... args)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    return buf;
+}
+
+std::unique_ptr<DependenceEncoder>
+makeEncoder(const std::string &name)
+{
+    if (name == "pair")
+        return std::make_unique<PairEncoder>();
+    if (name == "dictionary")
+        return std::make_unique<DictionaryEncoder>(64);
+    if (name == "hash")
+        return std::make_unique<HashEncoder>();
+    ACT_FATAL("unknown encoder: " << name);
+}
+
+/** Seeds [base, base + count). */
+std::vector<std::uint64_t>
+seedRange(std::uint64_t base, std::size_t count)
+{
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t i = 0; i < count; ++i)
+        seeds[i] = base + i;
+    return seeds;
+}
+
+/** Cache-fed version of the benches' datasetFromRuns helper. */
+Dataset
+datasetFromRuns(TraceCache &cache, const Workload &workload,
+                const InputGenerator &generator,
+                DependenceEncoder &encoder,
+                const std::vector<std::uint64_t> &seeds, bool negatives,
+                std::size_t *deps_out = nullptr)
+{
+    Dataset data;
+    for (const std::uint64_t seed : seeds) {
+        WorkloadParams params;
+        params.seed = seed;
+        const Trace trace = cache.record(workload, params);
+        const GeneratedSequences sequences =
+            generator.process(trace, negatives);
+        if (deps_out != nullptr)
+            *deps_out += sequences.dependence_count;
+        data.merge(
+            InputGenerator::toDataset(sequences, encoder, negatives));
+    }
+    return data;
+}
+
+Dataset
+capDataset(Dataset data, std::size_t cap)
+{
+    if (data.size() <= cap)
+        return data;
+    Dataset capped;
+    for (std::size_t i = 0; i < cap; ++i)
+        capped.add(data[i]);
+    return capped;
+}
+
+/**
+ * Table IV cell: topology selection (optional), final training, false
+ * positives on held-out traces.
+ */
+void
+runPrediction(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    const JobKnobs &knobs = spec.knobs;
+    const auto workload = makeWorkload(spec.workload);
+    const auto encoder = makeEncoder(knobs.encoder);
+
+    Topology best{knobs.sequence_length * encoder->width(), 10};
+    if (knobs.sweep_topology) {
+        // Small sweep (Section VI-B): 4 traces, capped dataset, short
+        // epochs — exactly the original table4 recipe.
+        TopologySearchConfig search;
+        search.min_inputs = 2;
+        search.max_inputs = 4;
+        search.min_hidden = 4;
+        search.max_hidden = 10;
+        search.trainer.max_epochs = 120;
+        const TopologySearchResult sweep = searchTopology(
+            [&](std::size_t n) {
+                const InputGenerator generator(n);
+                auto enc = encoder->clone();
+                Dataset train = datasetFromRuns(
+                    cache, *workload, generator, *enc,
+                    seedRange(knobs.train_seed_base, 4), true);
+                Rng rng(n);
+                train.shuffle(rng);
+                train = capDataset(std::move(train), 6000);
+                Dataset validation = train.splitTail(0.3);
+                return std::make_pair(train, validation);
+            },
+            search);
+        best = sweep.best;
+    }
+
+    const std::size_t n = best.inputs / encoder->width();
+    const InputGenerator generator(n);
+    auto train_enc = encoder->clone();
+    std::size_t deps = 0;
+    Dataset train = datasetFromRuns(
+        cache, *workload, generator, *train_enc,
+        seedRange(knobs.train_seed_base, knobs.train_traces), true, &deps);
+
+    Rng rng(knobs.shuffle_seed);
+    train.shuffle(rng);
+    train = capDataset(std::move(train), knobs.max_examples);
+    MlpNetwork network(best, rng);
+    TrainerConfig trainer;
+    trainer.max_epochs = knobs.max_epochs;
+    trainNetwork(network, train, trainer, rng);
+
+    std::uint64_t wrong = 0;
+    std::uint64_t predictions = 0;
+    std::uint64_t instructions = 0;
+    for (const std::uint64_t seed :
+         seedRange(knobs.test_seed_base, knobs.test_traces)) {
+        WorkloadParams params;
+        params.seed = seed;
+        const Trace trace = cache.record(*workload, params);
+        instructions += trace.instructionCount();
+        const GeneratedSequences sequences =
+            generator.process(trace, false);
+        for (const auto &seq : sequences.positives) {
+            ++predictions;
+            if (!network.predictValid(train_enc->encodeSequence(seq)))
+                ++wrong;
+        }
+    }
+
+    result.metrics["deps"] = static_cast<double>(deps);
+    result.metrics["topology_inputs"] = static_cast<double>(best.inputs);
+    result.metrics["topology_hidden"] = static_cast<double>(best.hidden);
+    result.metrics["mispred_instr"] =
+        instructions ? static_cast<double>(wrong) /
+                           static_cast<double>(instructions)
+                     : 0.0;
+    result.metrics["mispred_dep"] =
+        predictions ? static_cast<double>(wrong) /
+                          static_cast<double>(predictions)
+                    : 0.0;
+    result.labels["topology"] = topologyToString(best);
+}
+
+/**
+ * Figure 7(a) cell: count synthesised invalid dependences the trained
+ * network wrongly accepts (false negatives).
+ */
+void
+runInvalidDeps(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    const JobKnobs &knobs = spec.knobs;
+    const auto workload = makeWorkload(spec.workload);
+    const auto encoder = makeEncoder(knobs.encoder);
+    const InputGenerator generator(knobs.sequence_length);
+
+    Dataset train = datasetFromRuns(
+        cache, *workload, generator, *encoder,
+        seedRange(knobs.train_seed_base, knobs.train_traces), true);
+    Rng rng(knobs.shuffle_seed);
+    train.shuffle(rng);
+    train = capDataset(std::move(train), knobs.max_examples);
+    MlpNetwork network(
+        Topology{knobs.sequence_length * encoder->width(), 10}, rng);
+    TrainerConfig trainer;
+    trainer.max_epochs = knobs.max_epochs;
+    trainNetwork(network, train, trainer, rng);
+
+    std::uint64_t missed = 0;
+    std::uint64_t negatives = 0;
+    std::uint64_t instructions = 0;
+    for (const std::uint64_t seed :
+         seedRange(knobs.test_seed_base, knobs.test_traces)) {
+        WorkloadParams params;
+        params.seed = seed;
+        const Trace trace = cache.record(*workload, params);
+        instructions += trace.instructionCount();
+        const GeneratedSequences sequences =
+            generator.process(trace, true);
+        for (const auto &seq : sequences.negatives) {
+            ++negatives;
+            if (network.predictValid(encoder->encodeSequence(seq)))
+                ++missed;
+        }
+    }
+
+    result.metrics["negatives"] = static_cast<double>(negatives);
+    result.metrics["missed"] = static_cast<double>(missed);
+    result.metrics["missed_instr"] =
+        instructions ? static_cast<double>(missed) /
+                           static_cast<double>(instructions)
+                     : 0.0;
+    result.metrics["missed_dep"] =
+        negatives ? static_cast<double>(missed) /
+                        static_cast<double>(negatives)
+                  : 0.0;
+}
+
+/** Table V ACT column: the full Figure 1 loop, traces via the cache. */
+void
+runDiagnoseAct(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    const JobKnobs &knobs = spec.knobs;
+    const auto workload = makeWorkload(spec.workload);
+
+    const TraceProvider provider =
+        [&cache](const Workload &w, const WorkloadParams &p) {
+            return cache.record(w, p);
+        };
+
+    DiagnosisSetup setup;
+    setup.training.traces = knobs.train_traces;
+    setup.training.max_examples = knobs.diagnosis_max_examples;
+    setup.training.trainer.max_epochs = knobs.diagnosis_epochs;
+    setup.training.trace_provider = provider;
+    setup.trace_provider = provider;
+    setup.postmortem_traces = knobs.postmortem_traces;
+    setup.failure_seed = knobs.failure_seed;
+    if (knobs.debug_buffer_entries > 0)
+        setup.system.act.debug_buffer_entries = knobs.debug_buffer_entries;
+
+    const DiagnosisResult act = diagnoseFailure(*workload, setup);
+
+    result.metrics["diagnosed"] = act.rank ? 1.0 : 0.0;
+    result.metrics["rank"] =
+        act.rank ? static_cast<double>(*act.rank) : -1.0;
+    result.metrics["debug_position"] =
+        act.debug_position ? static_cast<double>(*act.debug_position)
+                           : -1.0;
+    result.metrics["filter_fraction"] = act.report.filterFraction();
+    result.metrics["root_logged"] = act.root_logged ? 1.0 : 0.0;
+    result.metrics["flagged"] =
+        static_cast<double>(act.run_stats.act.predicted_invalid);
+    result.labels["rank"] =
+        act.rank ? formatCell("%zu", *act.rank) : std::string("-");
+    result.labels["dbg.pos"] =
+        act.debug_position ? formatCell("%zu", *act.debug_position)
+                           : std::string("evicted");
+}
+
+/** Table V Aviso column: failing runs fed one at a time. */
+void
+runDiagnoseAviso(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    const JobKnobs &knobs = spec.knobs;
+    const auto workload = makeWorkload(spec.workload);
+
+    if (!workload->concurrent()) {
+        result.metrics["applicable"] = 0.0;
+        result.metrics["rank"] = -1.0;
+        result.metrics["failures_used"] = 0.0;
+        result.labels["cell"] = "n/a (seq.)";
+        return;
+    }
+
+    AvisoDiagnoser aviso((AvisoConfig()));
+    for (const std::uint64_t seed :
+         seedRange(knobs.baseline_seed_base, knobs.baseline_correct_traces)) {
+        WorkloadParams params;
+        params.seed = seed;
+        aviso.addCorrectTrace(cache.record(*workload, params));
+    }
+    const RawDependence root = workload->buggyDependence();
+    result.metrics["applicable"] = 1.0;
+    for (std::uint32_t failure = 1; failure <= knobs.aviso_max_failures;
+         ++failure) {
+        WorkloadParams params;
+        params.seed = 900 + failure;
+        params.trigger_failure = true;
+        aviso.addFailureTrace(cache.record(*workload, params));
+        const AvisoResult outcome =
+            aviso.diagnose(root.store_pc, root.load_pc);
+        if (outcome.found) {
+            result.metrics["rank"] = static_cast<double>(*outcome.rank);
+            result.metrics["failures_used"] =
+                static_cast<double>(failure);
+            result.labels["cell"] =
+                formatCell("%zu (%u)", *outcome.rank, failure);
+            return;
+        }
+    }
+    result.metrics["rank"] = -1.0;
+    result.metrics["failures_used"] =
+        static_cast<double>(knobs.aviso_max_failures);
+    result.labels["cell"] =
+        formatCell("- (%u)", knobs.aviso_max_failures);
+}
+
+/** Table V PBI column: 15 correct runs + one fully sampled failure. */
+void
+runDiagnosePbi(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    const JobKnobs &knobs = spec.knobs;
+    const auto workload = makeWorkload(spec.workload);
+
+    PbiConfig config;
+    PbiDiagnoser pbi(config);
+    for (const std::uint64_t seed :
+         seedRange(knobs.baseline_seed_base, knobs.baseline_correct_traces)) {
+        WorkloadParams params;
+        params.seed = seed;
+        pbi.addCorrectTrace(cache.record(*workload, params));
+    }
+    WorkloadParams params;
+    params.seed = knobs.failure_seed;
+    params.trigger_failure = true;
+    pbi.addFailureTrace(cache.record(*workload, params));
+
+    std::vector<Pc> roots{workload->buggyDependence().load_pc};
+    for (const std::uint64_t pc : knobs.extra_root_pcs)
+        roots.push_back(pc);
+    const PbiResult outcome = pbi.diagnose(roots);
+
+    result.metrics["rank"] =
+        outcome.rank ? static_cast<double>(*outcome.rank) : -1.0;
+    result.metrics["total_predicates"] =
+        static_cast<double>(outcome.total_predicates);
+    result.metrics["predictive"] =
+        static_cast<double>(outcome.predictive);
+    result.labels["cell"] =
+        outcome.rank
+            ? formatCell("%zu (%zu)", *outcome.rank,
+                         outcome.total_predicates)
+            : formatCell("- (%zu)", outcome.total_predicates);
+}
+
+} // namespace
+
+const char *
+jobKindName(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::kPrediction: return "prediction";
+      case JobKind::kInvalidDeps: return "invalid-deps";
+      case JobKind::kDiagnoseAct: return "diagnose-act";
+      case JobKind::kDiagnoseAviso: return "diagnose-aviso";
+      case JobKind::kDiagnosePbi: return "diagnose-pbi";
+    }
+    return "?";
+}
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kAct: return "act";
+      case Scheme::kAviso: return "aviso";
+      case Scheme::kPbi: return "pbi";
+    }
+    return "?";
+}
+
+JobResult
+runJob(const JobSpec &spec, TraceCache &cache)
+{
+    JobResult result;
+    result.id = spec.id;
+    const auto start = std::chrono::steady_clock::now();
+    switch (spec.kind) {
+      case JobKind::kPrediction:
+        runPrediction(spec, cache, result);
+        break;
+      case JobKind::kInvalidDeps:
+        runInvalidDeps(spec, cache, result);
+        break;
+      case JobKind::kDiagnoseAct:
+        runDiagnoseAct(spec, cache, result);
+        break;
+      case JobKind::kDiagnoseAviso:
+        runDiagnoseAviso(spec, cache, result);
+        break;
+      case JobKind::kDiagnosePbi:
+        runDiagnosePbi(spec, cache, result);
+        break;
+    }
+    result.ok = true;
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+}
+
+} // namespace act

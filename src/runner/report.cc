@@ -1,0 +1,207 @@
+#include "runner/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace act
+{
+
+namespace
+{
+
+/** JSON string escaping (control characters, quotes, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** CSV cells: strip the two characters our simple reader cannot take. */
+std::string
+csvSanitise(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (c == ',' || c == '\n')
+            c = ' ';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    // Integers render as integers ("10", not the also-round-tripping
+    // but uglier "1e+01").
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    // Otherwise try increasing precision until the representation
+    // round-trips; 0.18 stays "0.18" rather than
+    // "0.18000000000000001". Deterministic for identical inputs.
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+reportJson(const Campaign &campaign, const std::vector<JobResult> &results)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"format\": 1,\n";
+    out << "  \"campaign\": \"" << jsonEscape(campaign.name) << "\",\n";
+    out << "  \"description\": \"" << jsonEscape(campaign.description)
+        << "\",\n";
+    out << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &result = results[i];
+        const JobSpec &spec = campaign.jobs[i];
+        out << "    {\n";
+        out << "      \"id\": " << spec.id << ",\n";
+        out << "      \"workload\": \"" << jsonEscape(spec.workload)
+            << "\",\n";
+        out << "      \"scheme\": \"" << schemeName(spec.scheme) << "\",\n";
+        out << "      \"kind\": \"" << jobKindName(spec.kind) << "\",\n";
+        out << "      \"seed\": " << spec.seed << ",\n";
+        out << "      \"ok\": " << (result.ok ? "true" : "false") << ",\n";
+        out << "      \"metrics\": {";
+        bool first = true;
+        for (const auto &[key, value] : result.metrics) {
+            out << (first ? "" : ", ") << "\"" << jsonEscape(key)
+                << "\": " << formatDouble(value);
+            first = false;
+        }
+        out << "},\n";
+        out << "      \"labels\": {";
+        first = true;
+        for (const auto &[key, value] : result.labels) {
+            out << (first ? "" : ", ") << "\"" << jsonEscape(key)
+                << "\": \"" << jsonEscape(value) << "\"";
+            first = false;
+        }
+        out << "}\n";
+        out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+reportCsv(const Campaign &campaign, const std::vector<JobResult> &results)
+{
+    std::ostringstream out;
+    out << "id,workload,scheme,kind,seed,key,value\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &result = results[i];
+        const JobSpec &spec = campaign.jobs[i];
+        const auto prefix = [&](std::ostringstream &row) {
+            row << spec.id << "," << csvSanitise(spec.workload) << ","
+                << schemeName(spec.scheme) << "," << jobKindName(spec.kind)
+                << "," << spec.seed << ",";
+        };
+        for (const auto &[key, value] : result.metrics) {
+            std::ostringstream row;
+            prefix(row);
+            row << csvSanitise(key) << "," << formatDouble(value) << "\n";
+            out << row.str();
+        }
+        for (const auto &[key, value] : result.labels) {
+            std::ostringstream row;
+            prefix(row);
+            row << csvSanitise(key) << "," << csvSanitise(value) << "\n";
+            out << row.str();
+        }
+        std::ostringstream row;
+        prefix(row);
+        row << "wall_ms," << formatDouble(result.wall_ms) << "\n";
+        out << row.str();
+    }
+    return out.str();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out.flush());
+}
+
+bool
+loadReportCsv(const std::string &path, std::vector<ReportRow> &rows)
+{
+    rows.clear();
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    bool header = true;
+    while (std::getline(in, line)) {
+        if (header) {
+            header = false;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells;
+        std::size_t start = 0;
+        while (cells.size() < 6) {
+            const std::size_t comma = line.find(',', start);
+            if (comma == std::string::npos)
+                break;
+            cells.push_back(line.substr(start, comma - start));
+            start = comma + 1;
+        }
+        if (cells.size() != 6)
+            return false;
+        cells.push_back(line.substr(start)); // value (never contains ',').
+        ReportRow row;
+        row.id = static_cast<std::uint32_t>(
+            std::strtoul(cells[0].c_str(), nullptr, 10));
+        row.workload = cells[1];
+        row.scheme = cells[2];
+        row.kind = cells[3];
+        row.seed = std::strtoull(cells[4].c_str(), nullptr, 10);
+        row.key = cells[5];
+        row.value = cells[6];
+        rows.push_back(std::move(row));
+    }
+    return true;
+}
+
+} // namespace act

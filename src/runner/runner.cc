@@ -1,0 +1,48 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "runner/thread_pool.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+
+CampaignRunResult
+runCampaign(const Campaign &campaign, const RunOptions &options)
+{
+    registerAllWorkloads();
+
+    CampaignRunResult run;
+    run.results.resize(campaign.jobs.size());
+
+    TraceCache cache(options.cache_dir, options.memory_cache);
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+        WorkStealingPool pool(options.jobs);
+        run.threads = pool.threadCount();
+        for (const JobSpec &spec : campaign.jobs) {
+            JobResult &slot = run.results[spec.id];
+            pool.submit([&spec, &slot, &cache, &options] {
+                slot = runJob(spec, cache);
+                if (options.verbose) {
+                    std::fprintf(stderr,
+                                 "  [%3u] %-16s %-14s %8.0f ms\n",
+                                 spec.id, spec.workload.c_str(),
+                                 jobKindName(spec.kind), slot.wall_ms);
+                }
+            });
+        }
+        pool.wait();
+        run.steals = pool.stealCount();
+    }
+    run.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    run.cache = cache.stats();
+    return run;
+}
+
+} // namespace act

@@ -1,0 +1,139 @@
+#include "runner/thread_pool.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/**
+ * Index of the worker running on this thread, or -1 on external
+ * threads. File-scope so nested pools (which the runner never creates)
+ * would simply fall back to round-robin submission.
+ */
+thread_local int tls_worker_index = -1;
+
+} // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    wait();
+    stop_.store(true);
+    wake_cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+WorkStealingPool::submit(Task task)
+{
+    const int self = tls_worker_index;
+    const std::size_t target =
+        self >= 0 && static_cast<std::size_t>(self) < workers_.size()
+            ? static_cast<std::size_t>(self)
+            : next_queue_.fetch_add(1) % workers_.size();
+    // Counters go up *before* the task becomes claimable: a worker may
+    // pop and finish it the instant the deque lock drops, and its
+    // pending_ decrement must not underflow past our increment.
+    pending_.fetch_add(1);
+    unclaimed_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->tasks.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+}
+
+void
+WorkStealingPool::wait()
+{
+    // A worker calling wait() would deadlock (it cannot both sleep and
+    // drain); help execute instead.
+    if (tls_worker_index >= 0) {
+        while (pending_.load() > 0) {
+            Task task = claim(static_cast<unsigned>(tls_worker_index));
+            if (!task) {
+                std::this_thread::yield();
+                continue;
+            }
+            task();
+            pending_.fetch_sub(1);
+        }
+        return;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    done_cv_.wait(lock, [this] { return pending_.load() == 0; });
+}
+
+WorkStealingPool::Task
+WorkStealingPool::claim(unsigned self)
+{
+    // Own deque, newest first: the task most likely still warm in this
+    // worker's cache.
+    {
+        Worker &own = *workers_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            Task task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            unclaimed_.fetch_sub(1);
+            return task;
+        }
+    }
+    // Steal the oldest task from the first non-empty victim, scanning
+    // from our right-hand neighbour so contention spreads out.
+    for (std::size_t offset = 1; offset < workers_.size(); ++offset) {
+        Worker &victim = *workers_[(self + offset) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            Task task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            unclaimed_.fetch_sub(1);
+            steals_.fetch_add(1);
+            return task;
+        }
+    }
+    return {};
+}
+
+void
+WorkStealingPool::workerLoop(unsigned index)
+{
+    tls_worker_index = static_cast<int>(index);
+    while (true) {
+        Task task = claim(index);
+        if (!task) {
+            std::unique_lock<std::mutex> lock(wake_mutex_);
+            if (stop_.load())
+                return;
+            wake_cv_.wait(lock, [this] {
+                return stop_.load() || unclaimed_.load() > 0;
+            });
+            continue;
+        }
+        task();
+        if (pending_.fetch_sub(1) == 1) {
+            // Last task down: wake wait()ers. Taking the lock orders
+            // this notify against the waiter's predicate check.
+            std::lock_guard<std::mutex> lock(wake_mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace act

@@ -1,0 +1,146 @@
+#include "runner/trace_cache.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "common/hashing.hh"
+#include "trace/io.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/**
+ * Bump when anything that feeds the cache key or the recorded stream
+ * changes shape (trace format, workload parameter semantics): stale
+ * files then simply miss instead of poisoning runs.
+ */
+constexpr std::uint64_t kCacheFormatVersion = 1;
+
+/** mkdir -p (two levels is plenty for cache directories). */
+void
+ensureDirectory(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string prefix;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (!prefix.empty() && prefix != ".")
+                ::mkdir(prefix.c_str(), 0755);
+        }
+        if (i < path.size())
+            prefix += path[i];
+    }
+}
+
+} // namespace
+
+TraceCache::TraceCache(std::string directory, bool use_memory_layer)
+    : directory_(std::move(directory)), use_memory_layer_(use_memory_layer)
+{
+    ensureDirectory(directory_);
+}
+
+std::uint64_t
+TraceCache::keyOf(const std::string &name, const WorkloadParams &params)
+{
+    std::uint64_t h = mix64(kCacheFormatVersion);
+    for (const char c : name)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    h = hashCombine(h, params.seed);
+    h = hashCombine(h, params.trigger_failure ? 1 : 0);
+    h = hashCombine(h, params.scale);
+    return h;
+}
+
+std::string
+TraceCache::pathFor(const std::string &name,
+                    const WorkloadParams &params) const
+{
+    if (directory_.empty())
+        return {};
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(keyOf(name, params)));
+    return directory_ + "/" + name + "-" + hex + ".trc";
+}
+
+Trace
+TraceCache::record(const Workload &workload, const WorkloadParams &params)
+{
+    const std::uint64_t key = keyOf(workload.name(), params);
+
+    if (use_memory_layer_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = memory_.find(key);
+        if (it != memory_.end()) {
+            ++stats_.memory_hits;
+            return *it->second;
+        }
+    }
+
+    const std::string path = pathFor(workload.name(), params);
+    if (!path.empty()) {
+        auto loaded = std::make_shared<Trace>();
+        if (readTrace(path, *loaded)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.disk_hits;
+            if (use_memory_layer_)
+                memory_.emplace(key, loaded);
+            return *loaded;
+        }
+        // readTrace failed: either the file does not exist (plain
+        // miss) or it is truncated/corrupt and must be evicted before
+        // the rewrite below.
+        if (std::remove(path.c_str()) == 0) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.evictions;
+        }
+    }
+
+    auto fresh = std::make_shared<Trace>(workload.record(params));
+
+    bool stored = false;
+    if (!path.empty()) {
+        // Unique temp name per thread, then an atomic rename: a
+        // concurrent reader sees the old file or the new one, never a
+        // torn write.
+        const std::uint64_t tid = std::hash<std::thread::id>{}(
+            std::this_thread::get_id());
+        char suffix[32];
+        std::snprintf(suffix, sizeof(suffix), ".tmp%llx",
+                      static_cast<unsigned long long>(tid));
+        const std::string tmp = path + suffix;
+        if (writeTrace(*fresh, tmp) &&
+            std::rename(tmp.c_str(), path.c_str()) == 0) {
+            stored = true;
+        } else {
+            std::remove(tmp.c_str());
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        if (stored)
+            ++stats_.stores;
+        if (use_memory_layer_)
+            memory_.emplace(key, fresh);
+    }
+    return *fresh;
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace act

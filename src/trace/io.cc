@@ -1,8 +1,10 @@
 #include "trace/io.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 namespace act
 {
@@ -44,6 +46,11 @@ writeTrace(const Trace &trace, const std::string &path)
     const std::uint64_t count = trace.size();
     if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1)
         return false;
+    // Pack and write in chunks: trace files back the campaign runner's
+    // cache, where serialisation is on the reuse hot path.
+    constexpr std::size_t kChunk = 4096;
+    std::vector<DiskEvent> block;
+    block.reserve(kChunk);
     for (const auto &event : trace.events()) {
         DiskEvent rec{};
         rec.pc = event.pc;
@@ -54,10 +61,21 @@ writeTrace(const Trace &trace, const std::string &path)
         rec.kind = static_cast<std::uint8_t>(event.kind);
         rec.flags = static_cast<std::uint8_t>((event.taken ? 1u : 0u) |
                                               (event.stack ? 2u : 0u));
-        if (std::fwrite(&rec, sizeof(rec), 1, file.get()) != 1)
-            return false;
+        block.push_back(rec);
+        if (block.size() == kChunk) {
+            if (std::fwrite(block.data(), sizeof(DiskEvent), block.size(),
+                            file.get()) != block.size()) {
+                return false;
+            }
+            block.clear();
+        }
     }
-    return true;
+    if (!block.empty() &&
+        std::fwrite(block.data(), sizeof(DiskEvent), block.size(),
+                    file.get()) != block.size()) {
+        return false;
+    }
+    return std::fflush(file.get()) == 0;
 }
 
 bool
@@ -75,20 +93,52 @@ readTrace(const std::string &path, Trace &trace)
     std::uint64_t count = 0;
     if (std::fread(&count, sizeof(count), 1, file.get()) != 1)
         return false;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        DiskEvent rec{};
-        if (std::fread(&rec, sizeof(rec), 1, file.get()) != 1)
+
+    // Validate the declared event count against the actual file size
+    // before allocating or reading anything: a truncated or corrupted
+    // file (e.g. a half-written cache entry) must fail cleanly instead
+    // of driving a multi-gigabyte allocation or reading garbage.
+    const long payload_start = std::ftell(file.get());
+    if (payload_start < 0 || std::fseek(file.get(), 0, SEEK_END) != 0)
+        return false;
+    const long end = std::ftell(file.get());
+    if (end < payload_start ||
+        std::fseek(file.get(), payload_start, SEEK_SET) != 0) {
+        return false;
+    }
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(end - payload_start);
+    if (count > payload / sizeof(DiskEvent))
+        return false;
+
+    constexpr std::size_t kChunk = 4096;
+    std::vector<DiskEvent> block(
+        static_cast<std::size_t>(std::min<std::uint64_t>(count, kChunk)));
+    trace.reserve(static_cast<std::size_t>(count));
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, kChunk));
+        if (std::fread(block.data(), sizeof(DiskEvent), n, file.get()) != n)
             return false;
-        TraceEvent event;
-        event.pc = rec.pc;
-        event.addr = rec.addr;
-        event.tid = rec.tid;
-        event.size = rec.size;
-        event.gap = rec.gap;
-        event.kind = static_cast<EventKind>(rec.kind);
-        event.taken = (rec.flags & 1u) != 0;
-        event.stack = (rec.flags & 2u) != 0;
-        trace.append(event);
+        for (std::size_t i = 0; i < n; ++i) {
+            const DiskEvent &rec = block[i];
+            if (rec.kind >
+                static_cast<std::uint8_t>(EventKind::kThreadExit)) {
+                return false; // Corrupted record.
+            }
+            TraceEvent event;
+            event.pc = rec.pc;
+            event.addr = rec.addr;
+            event.tid = rec.tid;
+            event.size = rec.size;
+            event.gap = rec.gap;
+            event.kind = static_cast<EventKind>(rec.kind);
+            event.taken = (rec.flags & 1u) != 0;
+            event.stack = (rec.flags & 2u) != 0;
+            trace.append(event);
+        }
+        remaining -= n;
     }
     return true;
 }

@@ -54,6 +54,9 @@ class Trace : public TraceSink
 
     const TraceEvent &operator[](std::size_t i) const { return events_[i]; }
 
+    /** Pre-allocate for @p count events (deserialisation fast path). */
+    void reserve(std::size_t count) { events_.reserve(count); }
+
     /** Total instructions: traced events plus their gap fillers. */
     std::uint64_t instructionCount() const { return instructions_; }
 

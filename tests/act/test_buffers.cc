@@ -112,6 +112,25 @@ TEST(DebugBuffer, PositionOfFindsMostRecentOccurrence)
     EXPECT_EQ(buffer.positionOf(dep(10, 11)), 0u);
 }
 
+TEST(DebugBuffer, ClearResetsTotalLogged)
+{
+    // clear() is a full reset: a cleared buffer must be
+    // indistinguishable from a freshly constructed one, including the
+    // lifetime totalLogged() counter that the diagnosis report uses to
+    // compute the filter fraction.
+    DebugBuffer buffer(3);
+    for (Pc p = 0; p < 6; ++p)
+        buffer.log(entry(p, p + 1, 0.1));
+    ASSERT_EQ(buffer.totalLogged(), 6u);
+
+    buffer.clear();
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(buffer.totalLogged(), 0u);
+
+    buffer.log(entry(10, 11, 0.2));
+    EXPECT_EQ(buffer.totalLogged(), 1u);
+}
+
 TEST(DebugBuffer, EvictionLosesRootCause)
 {
     // The MySQL#1 scenario: enough later entries push the root cause

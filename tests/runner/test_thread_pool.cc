@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runner/thread_pool.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(WorkStealingPool, RunsEveryTask)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(WorkStealingPool, SingleThreadPoolStillCompletes)
+{
+    WorkStealingPool pool(1);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(WorkStealingPool, WaitIsReusable)
+{
+    WorkStealingPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 51);
+}
+
+TEST(WorkStealingPool, WaitWithNoTasksReturnsImmediately)
+{
+    WorkStealingPool pool(3);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(WorkStealingPool, UsesMultipleWorkers)
+{
+    WorkStealingPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> seen;
+    std::atomic<int> gate{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&] {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                seen.insert(std::this_thread::get_id());
+            }
+            // A little real work so tasks overlap in time.
+            gate.fetch_add(1);
+            while (gate.load() < 4 && seen.size() < 2)
+                std::this_thread::yield();
+        });
+    }
+    pool.wait();
+    EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(WorkStealingPool, TasksSubmittedFromWorkersRun)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &counter] {
+            // Fan out a second generation from inside a worker; these
+            // land on the worker's own deque and may be stolen.
+            for (int j = 0; j < 10; ++j)
+                pool.submit([&counter] { counter.fetch_add(1); });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 80);
+}
+
+TEST(WorkStealingPool, DestructorDrainsOutstandingTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        WorkStealingPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        // No wait(): the destructor must drain before joining.
+    }
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(WorkStealingPool, ZeroMeansHardwareConcurrency)
+{
+    WorkStealingPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the on-disk trace cache: hit/miss accounting, round-trip
+ * fidelity, corrupt-entry eviction and key separation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "runner/trace_cache.hh"
+#include "workloads/kernel.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        registerAllWorkloads();
+        dir_ = ::testing::TempDir() + "act-trace-cache-" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        removeDir();
+    }
+
+    void TearDown() override { removeDir(); }
+
+    void
+    removeDir()
+    {
+        const std::string cmd = "rm -rf '" + dir_ + "'";
+        std::system(cmd.c_str());
+    }
+
+    std::string dir_;
+};
+
+bool
+tracesEqual(const Trace &a, const Trace &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const TraceEvent &x = a.events()[i];
+        const TraceEvent &y = b.events()[i];
+        if (x.kind != y.kind || x.tid != y.tid || x.pc != y.pc ||
+            x.addr != y.addr || x.size != y.size || x.gap != y.gap)
+            return false;
+    }
+    return true;
+}
+
+TEST_F(TraceCacheTest, MissThenMemoryHit)
+{
+    TraceCache cache(dir_);
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 42;
+
+    const Trace first = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits(), 0u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+
+    const Trace second = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().memory_hits, 1u);
+    EXPECT_TRUE(tracesEqual(first, second));
+}
+
+TEST_F(TraceCacheTest, DiskHitAcrossCacheInstances)
+{
+    const auto workload = makeWorkload("fft");
+    WorkloadParams params;
+    params.seed = 7;
+
+    Trace original;
+    {
+        TraceCache cache(dir_);
+        original = cache.record(*workload, params);
+        EXPECT_EQ(cache.stats().misses, 1u);
+    }
+    // A fresh instance simulates a second actrun invocation: the
+    // in-memory layer is empty, so this must come from disk.
+    TraceCache cache(dir_);
+    const Trace reloaded = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_TRUE(tracesEqual(original, reloaded));
+}
+
+TEST_F(TraceCacheTest, DistinctSeedsGetDistinctEntries)
+{
+    TraceCache cache(dir_);
+    const auto workload = makeWorkload("lu");
+    WorkloadParams a;
+    a.seed = 1;
+    WorkloadParams b;
+    b.seed = 2;
+    EXPECT_NE(TraceCache::keyOf("lu", a), TraceCache::keyOf("lu", b));
+    EXPECT_NE(cache.pathFor("lu", a), cache.pathFor("lu", b));
+
+    cache.record(*workload, a);
+    cache.record(*workload, b);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(TraceCacheTest, KeySeparatesWorkloads)
+{
+    WorkloadParams params;
+    params.seed = 3;
+    EXPECT_NE(TraceCache::keyOf("lu", params),
+              TraceCache::keyOf("fft", params));
+}
+
+TEST_F(TraceCacheTest, CorruptEntryIsEvictedAndRegenerated)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 11;
+
+    Trace original;
+    std::string path;
+    {
+        TraceCache cache(dir_);
+        original = cache.record(*workload, params);
+        path = cache.pathFor("lu", params);
+    }
+    ASSERT_FALSE(path.empty());
+
+    // Truncate the entry to garbage.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "not a trace";
+    }
+
+    TraceCache cache(dir_);
+    const Trace recovered = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+    EXPECT_TRUE(tracesEqual(original, recovered));
+
+    // The regenerated entry must be valid on disk again.
+    TraceCache cache2(dir_);
+    cache2.record(*workload, params);
+    EXPECT_EQ(cache2.stats().disk_hits, 1u);
+    EXPECT_EQ(cache2.stats().evictions, 0u);
+}
+
+TEST_F(TraceCacheTest, MemoryOnlyCacheNeverTouchesDisk)
+{
+    TraceCache cache; // no directory
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 5;
+
+    EXPECT_EQ(cache.pathFor("lu", params), "");
+    cache.record(*workload, params);
+    cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().memory_hits, 1u);
+    EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST_F(TraceCacheTest, MemoryLayerCanBeDisabled)
+{
+    TraceCache cache(dir_, /*use_memory_layer=*/false);
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 9;
+
+    cache.record(*workload, params);
+    cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().memory_hits, 0u);
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+} // namespace
+} // namespace act

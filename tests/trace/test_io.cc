@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "trace/io.hh"
@@ -90,6 +91,68 @@ TEST(TraceIo, BadMagicRejected)
     ASSERT_NE(f, nullptr);
     std::fputs("NOTATRACEFILE___________", f);
     std::fclose(f);
+    Trace loaded;
+    EXPECT_FALSE(readTrace(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, HugeHeaderCountRejectedWithoutAllocation)
+{
+    // A header advertising far more records than the file holds must be
+    // rejected up front (count vs payload size), not by attempting a
+    // multi-gigabyte reserve and faulting partway through the read.
+    const Trace original = randomTrace(4);
+    const std::string path = tempPath("hugecount.trc");
+    ASSERT_TRUE(writeTrace(original, path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    // The count field follows the 8-byte magic.
+    std::fseek(f, 8, SEEK_SET);
+    const std::uint64_t bogus = 1ull << 60;
+    ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+    std::fclose(f);
+
+    Trace loaded;
+    EXPECT_FALSE(readTrace(path, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CountLargerThanPayloadRejected)
+{
+    // Off-by-a-few case: count claims one extra record.
+    const Trace original = randomTrace(16);
+    const std::string path = tempPath("overcount.trc");
+    ASSERT_TRUE(writeTrace(original, path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 8, SEEK_SET);
+    const std::uint64_t bogus = 17;
+    ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+    std::fclose(f);
+
+    Trace loaded;
+    EXPECT_FALSE(readTrace(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, OutOfRangeEventKindRejected)
+{
+    const Trace original = randomTrace(8);
+    const std::string path = tempPath("badkind.trc");
+    ASSERT_TRUE(writeTrace(original, path));
+
+    // Overwrite the whole first record (starts after the 16-byte
+    // header) with 0xFF bytes; kind 0xFF is not a valid EventKind.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16, SEEK_SET);
+    const std::vector<unsigned char> junk(32, 0xFF);
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+    std::fclose(f);
+
     Trace loaded;
     EXPECT_FALSE(readTrace(path, loaded));
     std::remove(path.c_str());

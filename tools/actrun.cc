@@ -1,0 +1,207 @@
+/**
+ * @file
+ * actrun — parallel experiment campaign driver.
+ *
+ * Subcommands:
+ *   list                     built-in campaigns and their job counts
+ *   run <campaign>           execute a campaign; write JSON+CSV reports
+ *   report <dir>             pretty-print a previously written report
+ *
+ * Flags for `run`:
+ *   --jobs N        worker threads (default: hardware concurrency)
+ *   --out DIR       report directory (default: actrun-out/<campaign>)
+ *   --cache DIR     trace-cache directory (default: <out>/trace-cache;
+ *                   "none" disables the disk cache)
+ *   --no-mem-cache  drop the in-memory trace layer (stress disk path)
+ *   --verbose       per-job progress on stderr
+ */
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runner/campaign.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+
+namespace act
+{
+namespace
+{
+
+struct Options
+{
+    unsigned jobs = 0;
+    std::string out;
+    std::string cache;
+    bool memory_cache = true;
+    bool verbose = false;
+    std::vector<std::string> positional;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            options.jobs =
+                static_cast<unsigned>(std::strtoul(text, &end, 0));
+            if (end == text || *end != '\0')
+                ACT_FATAL("--jobs expects a number, got: " << text);
+        } else if (arg == "--out" && i + 1 < argc) {
+            options.out = argv[++i];
+        } else if (arg == "--cache" && i + 1 < argc) {
+            options.cache = argv[++i];
+        } else if (arg == "--no-mem-cache") {
+            options.memory_cache = false;
+        } else if (arg == "--verbose") {
+            options.verbose = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            ACT_FATAL("unknown flag: " << arg);
+        } else {
+            options.positional.push_back(arg);
+        }
+    }
+    return options;
+}
+
+int
+cmdList()
+{
+    std::printf("%-16s %-6s %s\n", "campaign", "jobs", "description");
+    for (const auto &name : campaignNames()) {
+        const Campaign campaign = makeCampaign(name);
+        std::printf("%-16s %-6zu %s\n", name.c_str(),
+                    campaign.jobs.size(), campaign.description.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Options &options)
+{
+    if (options.positional.size() != 1)
+        ACT_FATAL("usage: actrun run <campaign> [--jobs N] [--out DIR] "
+                  "[--cache DIR]");
+    const std::string name = options.positional[0];
+    if (!campaignExists(name))
+        ACT_FATAL("unknown campaign: " << name
+                                       << " (see `actrun list`)");
+    const Campaign campaign = makeCampaign(name);
+
+    const std::string out =
+        options.out.empty() ? "actrun-out/" + name : options.out;
+    // mkdir -p for the output directory.
+    std::string prefix;
+    for (std::size_t i = 0; i <= out.size(); ++i) {
+        if (i == out.size() || out[i] == '/') {
+            if (!prefix.empty() && prefix != ".")
+                ::mkdir(prefix.c_str(), 0755);
+        }
+        if (i < out.size())
+            prefix += out[i];
+    }
+
+    RunOptions run_options;
+    run_options.jobs = options.jobs;
+    run_options.memory_cache = options.memory_cache;
+    run_options.verbose = options.verbose;
+    if (options.cache == "none")
+        run_options.cache_dir.clear();
+    else if (!options.cache.empty())
+        run_options.cache_dir = options.cache;
+    else
+        run_options.cache_dir = out + "/trace-cache";
+
+    std::printf("campaign %s: %zu jobs\n", name.c_str(),
+                campaign.jobs.size());
+    const CampaignRunResult run = runCampaign(campaign, run_options);
+
+    const std::string json_path = out + "/report.json";
+    const std::string csv_path = out + "/report.csv";
+    if (!writeTextFile(json_path, reportJson(campaign, run.results)))
+        ACT_FATAL("cannot write " << json_path);
+    if (!writeTextFile(csv_path, reportCsv(campaign, run.results)))
+        ACT_FATAL("cannot write " << csv_path);
+
+    std::printf("threads:      %u (steals: %llu)\n", run.threads,
+                static_cast<unsigned long long>(run.steals));
+    std::printf("wall clock:   %.0f ms\n", run.wall_ms);
+    std::printf("trace cache:  %llu hits (%llu memory, %llu disk), "
+                "%llu misses, %llu stored, %llu evicted\n",
+                static_cast<unsigned long long>(run.cache.hits()),
+                static_cast<unsigned long long>(run.cache.memory_hits),
+                static_cast<unsigned long long>(run.cache.disk_hits),
+                static_cast<unsigned long long>(run.cache.misses),
+                static_cast<unsigned long long>(run.cache.stores),
+                static_cast<unsigned long long>(run.cache.evictions));
+    std::printf("report:       %s, %s\n", json_path.c_str(),
+                csv_path.c_str());
+    return 0;
+}
+
+int
+cmdReport(const Options &options)
+{
+    if (options.positional.size() != 1)
+        ACT_FATAL("usage: actrun report <dir>");
+    const std::string path = options.positional[0] + "/report.csv";
+    std::vector<ReportRow> rows;
+    if (!loadReportCsv(path, rows))
+        ACT_FATAL("cannot read " << path);
+
+    // Group rows back into jobs (rows arrive in job order).
+    std::uint32_t current = ~0u;
+    for (const auto &row : rows) {
+        if (row.id != current) {
+            current = row.id;
+            std::printf("\n[%u] %s / %s (%s, seed %llu)\n", row.id,
+                        row.workload.c_str(), row.scheme.c_str(),
+                        row.kind.c_str(),
+                        static_cast<unsigned long long>(row.seed));
+        }
+        std::printf("    %-18s %s\n", row.key.c_str(), row.value.c_str());
+    }
+    std::printf("\n%zu rows\n", rows.size());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: actrun <list|run|report> [args] [--jobs N] "
+                 "[--out DIR] [--cache DIR] [--no-mem-cache] "
+                 "[--verbose]\n");
+    return 2;
+}
+
+} // namespace
+} // namespace act
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    const Options options = parse(argc, argv);
+    if (command == "list")
+        return cmdList();
+    if (command == "run")
+        return cmdRun(options);
+    if (command == "report")
+        return cmdReport(options);
+    return usage();
+}
