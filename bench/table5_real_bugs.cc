@@ -56,9 +56,9 @@ run()
     const CampaignRunResult outcome =
         runCampaign(campaign, bench::campaignRunOptions());
 
-    const bench::Table table({11, 15, 7, 8, 9, 8, 6, 11, 12});
+    const bench::Table table({11, 15, 7, 8, 9, 8, 6, 7, 11, 12});
     table.row({"bug", "class", "status", "#train", "dbg.pos", "filter",
-               "ACT", "Aviso(#f)", "PBI(total)"});
+               "ACT", "oracle", "Aviso(#f)", "PBI(total)"});
     table.rule();
 
     // Jobs are laid out bug-major: (ACT, Aviso, PBI) per bug.
@@ -80,8 +80,8 @@ run()
              act.labels.at("dbg.pos"),
              format("%.0f%%",
                     act.metrics.at("filter_fraction") * 100.0),
-             act.labels.at("rank"), aviso.labels.at("cell"),
-             pbi.labels.at("cell")});
+             act.labels.at("rank"), act.labels.at("oracle"),
+             aviso.labels.at("cell"), pbi.labels.at("cell")});
     }
     table.rule();
     std::printf("\nACT diagnosed %zu / 11 failures from a single failing "
@@ -89,7 +89,10 @@ run()
                 "(worst 8); Aviso needs multiple failures, misses Apache "
                 "and all sequential bugs; PBI misses Aget, MySQL#3 and "
                 "both semantic bugs, with generally worse ranks (paste "
-                "being its one win).\n",
+                "being its one win).\noracle column: vector-clock "
+                "happens-before label of the root-cause dependence on "
+                "the failing trace — \"race\" for every concurrency bug, "
+                "\"none\" for the sequential ones.\n",
                 diagnosed);
     bench::printRunSummary(outcome);
 }

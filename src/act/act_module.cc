@@ -1,21 +1,39 @@
 #include "act/act_module.hh"
 
+#include "analysis/config_check.hh"
 #include "common/logging.hh"
 
 namespace act
 {
 
+namespace
+{
+
+/**
+ * Gate construction on the full configuration contract. Runs before
+ * any member is built (the hardware network asserts on bad topologies)
+ * and reports every violation, naming the offending knob and value,
+ * instead of tripping a bare assert on the first one.
+ */
+const ActConfig &
+checkedConfig(const ActConfig &config, const DependenceEncoder &encoder)
+{
+    const auto findings = validateActConfig(config, encoder.width());
+    if (!clean(findings))
+        ACT_FATAL("invalid ActConfig:\n" << formatFindings(findings));
+    return config;
+}
+
+} // namespace
+
 ActModule::ActModule(const ActConfig &config,
                      const DependenceEncoder &encoder)
-    : config_(config), encoder_(encoder.clone()),
+    : config_(checkedConfig(config, encoder)), encoder_(encoder.clone()),
       network_(config.hw, config.topology),
       input_buffer_(config.input_buffer_entries),
       debug_(config.debug_buffer_entries),
       rate_(config.interval_length)
-{
-    ACT_ASSERT(config_.topology.inputs ==
-               config_.sequence_length * encoder_->width());
-}
+{}
 
 std::size_t
 ActModule::initThread(ThreadId tid, const WeightStore &store)

@@ -1,5 +1,6 @@
 #include "act/weight_store.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -41,6 +42,17 @@ WeightStore::setAll(std::uint32_t count, const std::vector<double> &weights)
 {
     for (ThreadId tid = 0; tid < count; ++tid)
         set(tid, weights);
+}
+
+std::vector<ThreadId>
+WeightStore::tids() const
+{
+    std::vector<ThreadId> ids;
+    ids.reserve(weights_.size());
+    for (const auto &[tid, w] : weights_)
+        ids.push_back(tid);
+    std::sort(ids.begin(), ids.end());
+    return ids;
 }
 
 std::size_t

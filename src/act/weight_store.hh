@@ -52,6 +52,9 @@ class WeightStore
     /** Number of threads with stored weights. */
     std::size_t size() const { return weights_.size(); }
 
+    /** Thread ids with stored weights, sorted (for iteration/audits). */
+    std::vector<ThreadId> tids() const;
+
     /** Number of weight registers per thread for the topology. */
     std::size_t weightCount() const;
 

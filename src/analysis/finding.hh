@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structured diagnostics shared by every analysis pass.
+ *
+ * The trace linter, the race oracle and the config validator all
+ * report through the same Finding record so that `actlint` (and the
+ * library callers that embed a pass, e.g. the trace cache) can merge,
+ * format and gate on results uniformly instead of each pass inventing
+ * its own error side-channel.
+ */
+
+#ifndef ACT_ANALYSIS_FINDING_HH
+#define ACT_ANALYSIS_FINDING_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace act
+{
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t
+{
+    kWarning, //!< Suspicious, but the artifact is still usable.
+    kError    //!< Invariant violated; the artifact must be rejected.
+};
+
+inline const char *
+severityName(Severity severity)
+{
+    return severity == Severity::kError ? "error" : "warning";
+}
+
+/** One diagnostic produced by an analysis pass. */
+struct Finding
+{
+    /** Pass that produced it ("trace-lint", "config", "weights"). */
+    std::string pass;
+
+    /** Stable machine-matchable rule code, e.g. "lock-balance". */
+    std::string code;
+
+    Severity severity = Severity::kError;
+
+    /** Human-readable explanation with the offending values. */
+    std::string message;
+
+    /** Event index the finding anchors to (kNoSeq when not trace-tied). */
+    SeqNum seq = kNoSeq;
+
+    static constexpr SeqNum kNoSeq = ~SeqNum{0};
+
+    std::string
+    toString() const
+    {
+        std::ostringstream out;
+        out << severityName(severity) << " [" << pass << "/" << code
+            << "]";
+        if (seq != kNoSeq)
+            out << " @" << seq;
+        out << ": " << message;
+        return out.str();
+    }
+};
+
+/** Number of error-severity findings in @p findings. */
+inline std::size_t
+errorCount(const std::vector<Finding> &findings)
+{
+    std::size_t errors = 0;
+    for (const Finding &finding : findings) {
+        if (finding.severity == Severity::kError)
+            ++errors;
+    }
+    return errors;
+}
+
+/** True when @p findings contains no errors (warnings are tolerated). */
+inline bool
+clean(const std::vector<Finding> &findings)
+{
+    return errorCount(findings) == 0;
+}
+
+/** One finding per line, for fatal messages and CLI output. */
+inline std::string
+formatFindings(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &finding : findings) {
+        out += finding.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+/** Convenience builder used by the passes. */
+inline Finding
+makeFinding(std::string pass, std::string code, Severity severity,
+            std::string message, SeqNum seq = Finding::kNoSeq)
+{
+    Finding finding;
+    finding.pass = std::move(pass);
+    finding.code = std::move(code);
+    finding.severity = severity;
+    finding.message = std::move(message);
+    finding.seq = seq;
+    return finding;
+}
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_FINDING_HH

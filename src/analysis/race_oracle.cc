@@ -1,0 +1,275 @@
+#include "analysis/race_oracle.hh"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "analysis/vector_clock.hh"
+#include "common/hashing.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/** Last access to one address by one thread (a FastTrack-style epoch). */
+struct Access
+{
+    std::uint64_t clock = 0; //!< Owner's vector-clock component.
+    Pc pc = kInvalidPc;
+    SeqNum seq = 0;
+    bool valid = false;
+};
+
+/** Per-address detector state. */
+struct Location
+{
+    ThreadId write_tid = 0;
+    Access write;
+
+    /** Last read per thread since the last ordered write. */
+    std::unordered_map<ThreadId, Access> reads;
+};
+
+/**
+ * Did thread @p tid (clock @p now) observe the access by @p other at
+ * component clock @p access_clock? If so, the access happens-before
+ * every current event of @p tid.
+ */
+bool
+ordered(const VectorClock &now, ThreadId other,
+        std::uint64_t access_clock)
+{
+    return now.get(other) >= access_clock;
+}
+
+} // namespace
+
+const char *
+raceKindName(RaceKind kind)
+{
+    switch (kind) {
+      case RaceKind::kWriteWrite: return "write-write";
+      case RaceKind::kWriteRead: return "write-read";
+      case RaceKind::kReadWrite: return "read-write";
+    }
+    return "unknown";
+}
+
+std::string
+Race::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s race 0x%llx (t%u) -> 0x%llx (t%u) on 0x%llx "
+                  "(%llu instance%s)",
+                  raceKindName(kind),
+                  static_cast<unsigned long long>(prior_pc), prior_tid,
+                  static_cast<unsigned long long>(later_pc), later_tid,
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(count),
+                  count == 1 ? "" : "s");
+    return buf;
+}
+
+std::uint64_t
+RaceReport::pairKey(RaceKind kind, Pc prior, Pc later)
+{
+    return hash3(prior, later, static_cast<std::uint64_t>(kind));
+}
+
+void
+RaceReport::addRace(Race race)
+{
+    ++racy_instances;
+    const std::uint64_t key =
+        pairKey(race.kind, race.prior_pc, race.later_pc);
+    if (!seen_.insert(key).second) {
+        for (Race &existing : races_) {
+            if (existing.kind == race.kind &&
+                existing.prior_pc == race.prior_pc &&
+                existing.later_pc == race.later_pc) {
+                ++existing.count;
+                return;
+            }
+        }
+        return;
+    }
+    race.count = 1;
+    races_.push_back(race);
+}
+
+std::vector<Race>
+RaceReport::rawRaces() const
+{
+    std::vector<Race> raw;
+    for (const Race &race : races_) {
+        if (race.kind == RaceKind::kWriteRead)
+            raw.push_back(race);
+    }
+    return raw;
+}
+
+bool
+RaceReport::isRacyPair(Pc store_pc, Pc load_pc) const
+{
+    return seen_.count(pairKey(RaceKind::kWriteRead, store_pc, load_pc)) !=
+           0;
+}
+
+bool
+RaceReport::isRacy(const RawDependence &dep) const
+{
+    return dep.inter_thread && isRacyPair(dep.store_pc, dep.load_pc);
+}
+
+OracleScore
+RaceReport::score(const std::vector<RawDependence> &predictions) const
+{
+    OracleScore result;
+    std::unordered_set<std::uint64_t> predicted;
+    for (const RawDependence &dep : predictions) {
+        if (!dep.inter_thread)
+            continue;
+        if (!predicted.insert(pairKey(RaceKind::kWriteRead, dep.store_pc,
+                                      dep.load_pc))
+                 .second) {
+            continue; // Count each static pair once.
+        }
+        ++result.considered;
+        if (isRacyPair(dep.store_pc, dep.load_pc))
+            ++result.true_positives;
+        else
+            ++result.false_positives;
+    }
+    for (const Race &race : races_) {
+        if (race.kind != RaceKind::kWriteRead)
+            continue;
+        if (predicted.count(
+                pairKey(RaceKind::kWriteRead, race.prior_pc,
+                        race.later_pc)) == 0) {
+            ++result.false_negatives;
+        }
+    }
+    return result;
+}
+
+RaceReport
+detectRaces(const Trace &trace)
+{
+    RaceReport report;
+
+    std::unordered_map<ThreadId, VectorClock> clocks;
+    std::unordered_map<Addr, VectorClock> lock_clocks;
+    std::unordered_map<Addr, Location> locations;
+
+    // Every thread starts with one epoch of its own so access clocks
+    // are non-zero (an absent vector-clock component reads as zero).
+    const auto threadClock = [&clocks](ThreadId tid) -> VectorClock & {
+        auto [it, inserted] = clocks.try_emplace(tid);
+        if (inserted)
+            it->second.tick(tid);
+        return it->second;
+    };
+
+    for (const TraceEvent &event : trace.events()) {
+        const ThreadId tid = event.tid;
+        VectorClock &now = threadClock(tid);
+
+        switch (event.kind) {
+          case EventKind::kLock: {
+            ++report.sync_events;
+            const auto it = lock_clocks.find(event.addr);
+            if (it != lock_clocks.end())
+                now.merge(it->second); // Acquire: see the last release.
+            break;
+          }
+          case EventKind::kUnlock: {
+            ++report.sync_events;
+            lock_clocks[event.addr] = now; // Release: publish.
+            now.tick(tid); // New epoch: later accesses are unordered.
+            break;
+          }
+          case EventKind::kThreadCreate: {
+            ++report.sync_events;
+            const auto child = static_cast<ThreadId>(event.addr);
+            VectorClock &child_clock = threadClock(child);
+            child_clock.merge(now); // Child sees everything pre-spawn.
+            child_clock.tick(child);
+            now.tick(tid);
+            break;
+          }
+          case EventKind::kThreadExit:
+            ++report.sync_events;
+            // No join event exists in the trace format: the exit
+            // publishes nothing anyone can acquire.
+            break;
+          case EventKind::kBranch:
+            break;
+          case EventKind::kLoad:
+          case EventKind::kStore: {
+            ++report.memory_events;
+            if (event.stack)
+                break; // Thread-private by construction.
+            Location &loc = locations[event.addr];
+            const bool is_store = event.kind == EventKind::kStore;
+
+            // Conflict with the last write.
+            if (loc.write.valid && loc.write_tid != tid) {
+                ++report.checked_pairs;
+                if (!ordered(now, loc.write_tid, loc.write.clock)) {
+                    Race race;
+                    race.kind = is_store ? RaceKind::kWriteWrite
+                                         : RaceKind::kWriteRead;
+                    race.prior_pc = loc.write.pc;
+                    race.later_pc = event.pc;
+                    race.addr = event.addr;
+                    race.prior_tid = loc.write_tid;
+                    race.later_tid = tid;
+                    race.prior_seq = loc.write.seq;
+                    race.later_seq = event.seq;
+                    report.addRace(race);
+                }
+            }
+
+            if (is_store) {
+                // A store also conflicts with reads since the last
+                // ordered write.
+                for (const auto &[reader, read] : loc.reads) {
+                    if (reader == tid)
+                        continue;
+                    ++report.checked_pairs;
+                    if (!ordered(now, reader, read.clock)) {
+                        Race race;
+                        race.kind = RaceKind::kReadWrite;
+                        race.prior_pc = read.pc;
+                        race.later_pc = event.pc;
+                        race.addr = event.addr;
+                        race.prior_tid = reader;
+                        race.later_tid = tid;
+                        race.prior_seq = read.seq;
+                        race.later_seq = event.seq;
+                        report.addRace(race);
+                    }
+                }
+                loc.write_tid = tid;
+                loc.write.clock = now.get(tid);
+                loc.write.pc = event.pc;
+                loc.write.seq = event.seq;
+                loc.write.valid = true;
+                loc.reads.clear();
+            } else {
+                Access &read = loc.reads[tid];
+                read.clock = now.get(tid);
+                read.pc = event.pc;
+                read.seq = event.seq;
+                read.valid = true;
+            }
+            break;
+          }
+        }
+    }
+    return report;
+}
+
+} // namespace act

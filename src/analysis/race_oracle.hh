@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Vector-clock happens-before race detector over recorded traces.
+ *
+ * ACT's neural network flags *anomalous* RAW-dependence sequences
+ * (Sections III-V); whether a flagged dependence is also a data race
+ * is a separate, exactly decidable question. This pass derives the
+ * happens-before relation of a trace from its synchronisation events
+ * (kLock/kUnlock release-acquire pairs, kThreadCreate edges, program
+ * order) and labels every conflicting access pair as ordered or racy,
+ * giving the Table IV/V/VI benches and the diagnosis tests an
+ * independent ground-truth oracle to score ACT's predictions against:
+ * the concurrency bugs of `src/workloads/bugs.hh` must show a race on
+ * their failure path, the sequential/semantic bugs must show none.
+ */
+
+#ifndef ACT_ANALYSIS_RACE_ORACLE_HH
+#define ACT_ANALYSIS_RACE_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "deps/raw_dependence.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Direction of a conflicting, unordered access pair. */
+enum class RaceKind : std::uint8_t
+{
+    kWriteWrite, //!< Two unordered stores.
+    kWriteRead,  //!< Store then load (the RAW-dependence direction).
+    kReadWrite   //!< Load then store.
+};
+
+const char *raceKindName(RaceKind kind);
+
+/** One racy static access pair (dynamic instances are deduplicated). */
+struct Race
+{
+    RaceKind kind = RaceKind::kWriteRead;
+    Pc prior_pc = kInvalidPc;  //!< Earlier access in trace order.
+    Pc later_pc = kInvalidPc;  //!< Later access in trace order.
+
+    /** First dynamic instance, for reporting. */
+    Addr addr = 0;
+    ThreadId prior_tid = 0;
+    ThreadId later_tid = 0;
+    SeqNum prior_seq = 0;
+    SeqNum later_seq = 0;
+
+    /** Dynamic occurrences of this static pair. */
+    std::uint64_t count = 0;
+
+    std::string toString() const;
+};
+
+/** Precision/recall of a prediction set against the oracle. */
+struct OracleScore
+{
+    std::size_t considered = 0;      //!< Inter-thread predictions scored.
+    std::size_t true_positives = 0;  //!< Predicted pairs the oracle races.
+    std::size_t false_positives = 0; //!< Predicted pairs the oracle orders.
+    std::size_t false_negatives = 0; //!< Oracle RAW races never predicted.
+
+    double
+    precision() const
+    {
+        return considered == 0 ? 0.0
+                               : static_cast<double>(true_positives) /
+                                     static_cast<double>(considered);
+    }
+
+    double
+    recall() const
+    {
+        const std::size_t racy = true_positives + false_negatives;
+        return racy == 0 ? 0.0
+                         : static_cast<double>(true_positives) /
+                               static_cast<double>(racy);
+    }
+};
+
+/** Everything the detector learned about one trace. */
+class RaceReport
+{
+  public:
+    /** All racy static pairs, in first-occurrence order. */
+    const std::vector<Race> &races() const { return races_; }
+
+    /** Racy pairs restricted to the store->load (RAW) direction. */
+    std::vector<Race> rawRaces() const;
+
+    bool empty() const { return races_.empty(); }
+
+    /** Was this static store->load pair racy anywhere in the trace? */
+    bool isRacyPair(Pc store_pc, Pc load_pc) const;
+
+    /**
+     * Oracle label for a RAW dependence: racy iff inter-thread and its
+     * (store_pc, load_pc) pair raced. Intra-thread dependences are
+     * ordered by definition.
+     */
+    bool isRacy(const RawDependence &dep) const;
+
+    /**
+     * Score a set of predicted root-cause dependences (e.g. the final
+     * dependences of ACT's ranked Debug Buffer candidates): a predicted
+     * inter-thread dependence is a true positive when the oracle saw a
+     * store->load race on its pair. False negatives count the oracle's
+     * RAW races the prediction set missed — the benign races the
+     * workload models emit on purpose land there, so recall measures
+     * "share of all races flagged", not diagnosis quality; precision
+     * is the interesting direction (flagged dependences that are real
+     * races).
+     */
+    OracleScore score(const std::vector<RawDependence> &predictions) const;
+
+    // Detector-side counters.
+    std::uint64_t memory_events = 0;
+    std::uint64_t sync_events = 0;
+    std::uint64_t checked_pairs = 0; //!< Conflicting pairs examined.
+    std::uint64_t racy_instances = 0; //!< Dynamic races before dedup.
+
+    /** Detector use only. */
+    void addRace(Race race);
+
+  private:
+    static std::uint64_t pairKey(RaceKind kind, Pc prior, Pc later);
+
+    std::vector<Race> races_;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+/**
+ * Run the vector-clock detector over @p trace.
+ *
+ * Happens-before edges: per-thread program order; kUnlock ->
+ * next kLock of the same lock address (release/acquire); kThreadCreate
+ * -> every event of the created thread. There is no join event in the
+ * trace format, so a child's exit orders nothing after it — exactly
+ * the information an online detector would have.
+ *
+ * Stack-flagged accesses are thread-private by construction and are
+ * skipped (they can never conflict).
+ */
+RaceReport detectRaces(const Trace &trace);
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_RACE_ORACLE_HH

@@ -1,0 +1,221 @@
+#include "analysis/trace_lint.hh"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace act
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMaxAccessSize = 64;
+
+bool
+powerOfTwo(std::uint32_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Collects findings and enforces the cap. */
+class Reporter
+{
+  public:
+    Reporter(std::vector<Finding> &findings, std::size_t max_findings)
+        : findings_(findings), max_findings_(max_findings)
+    {}
+
+    bool
+    full() const
+    {
+        return findings_.size() >= max_findings_;
+    }
+
+    template <typename... Args>
+    void
+    report(SeqNum seq, const char *code, const char *fmt, Args... args)
+    {
+        if (full())
+            return;
+        char buf[192];
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        findings_.push_back(
+            makeFinding("trace-lint", code, Severity::kError, buf, seq));
+        if (full()) {
+            findings_.push_back(makeFinding(
+                "trace-lint", "too-many-findings", Severity::kWarning,
+                "lint stopped early; further findings suppressed", seq));
+        }
+    }
+
+  private:
+    std::vector<Finding> &findings_;
+    std::size_t max_findings_;
+};
+
+/** Lifecycle/lock state of one thread. */
+struct ThreadState
+{
+    bool ran = false;     //!< Emitted at least one event.
+    bool created = false; //!< Named by a kThreadCreate.
+    bool exited = false;  //!< Emitted kThreadExit.
+    std::unordered_set<Addr> held; //!< Currently held locks.
+};
+
+} // namespace
+
+std::vector<Finding>
+lintTrace(const Trace &trace, const TraceLintOptions &options)
+{
+    std::vector<Finding> findings;
+    Reporter out(findings, options.max_findings);
+
+    std::unordered_map<ThreadId, ThreadState> threads;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t instructions = 0;
+
+    // The first event's thread is the root: it exists without a create.
+    const ThreadId root =
+        trace.empty() ? ThreadId{0} : trace.events().front().tid;
+
+    for (std::size_t i = 0; i < trace.size() && !out.full(); ++i) {
+        const TraceEvent &event = trace[i];
+        const SeqNum at = static_cast<SeqNum>(i);
+        instructions += 1 + event.gap;
+
+        if (event.seq != at) {
+            out.report(at, "seq-monotone",
+                       "event %zu has seq %llu (expected %llu)", i,
+                       static_cast<unsigned long long>(event.seq),
+                       static_cast<unsigned long long>(at));
+        }
+
+        const auto raw_kind = static_cast<std::uint8_t>(event.kind);
+        if (raw_kind > static_cast<std::uint8_t>(EventKind::kThreadExit)) {
+            out.report(at, "kind-range", "event kind %u out of range",
+                       raw_kind);
+            continue; // Nothing else about this record is trustworthy.
+        }
+
+        ThreadState &state = threads[event.tid];
+        if (!state.ran && !state.created && event.tid != root) {
+            out.report(at, "create-before-run",
+                       "thread %u runs before any create names it",
+                       event.tid);
+        }
+        if (state.exited) {
+            out.report(at, "event-after-exit",
+                       "thread %u emits %s after its exit", event.tid,
+                       eventKindName(event.kind));
+        }
+        state.ran = true;
+
+        if (event.taken && event.kind != EventKind::kBranch) {
+            out.report(at, "flag-taken", "taken flag on %s event",
+                       eventKindName(event.kind));
+        }
+        if (event.stack && !event.isMemory()) {
+            out.report(at, "flag-stack", "stack flag on %s event",
+                       eventKindName(event.kind));
+        }
+
+        switch (event.kind) {
+          case EventKind::kLoad:
+          case EventKind::kStore:
+            event.kind == EventKind::kLoad ? ++loads : ++stores;
+            if (event.size > kMaxAccessSize || !powerOfTwo(event.size)) {
+                out.report(at, "size-range",
+                           "memory access size %u (want power of two "
+                           "in 1..%u)",
+                           event.size, kMaxAccessSize);
+            }
+            break;
+          case EventKind::kBranch:
+            ++branches;
+            break;
+          case EventKind::kLock:
+            if (!state.held.insert(event.addr).second) {
+                out.report(at, "lock-balance",
+                           "thread %u re-acquires lock 0x%llx it "
+                           "already holds",
+                           event.tid,
+                           static_cast<unsigned long long>(event.addr));
+            }
+            break;
+          case EventKind::kUnlock:
+            if (state.held.erase(event.addr) == 0) {
+                out.report(at, "lock-balance",
+                           "thread %u releases lock 0x%llx it does "
+                           "not hold",
+                           event.tid,
+                           static_cast<unsigned long long>(event.addr));
+            }
+            break;
+          case EventKind::kThreadCreate: {
+            if (event.addr > kInvalidThread - 1) {
+                out.report(at, "create-invalid",
+                           "child id 0x%llx does not fit ThreadId",
+                           static_cast<unsigned long long>(event.addr));
+                break;
+            }
+            const auto child = static_cast<ThreadId>(event.addr);
+            if (child == event.tid) {
+                out.report(at, "create-invalid",
+                           "thread %u creates itself", event.tid);
+                break;
+            }
+            ThreadState &child_state = threads[child];
+            if (child_state.created || child_state.ran) {
+                out.report(at, "create-invalid",
+                           "thread %u created twice or after it "
+                           "already ran",
+                           child);
+            }
+            child_state.created = true;
+            break;
+          }
+          case EventKind::kThreadExit:
+            if (!state.held.empty()) {
+                out.report(at, "exit-holding-lock",
+                           "thread %u exits holding %zu lock(s)",
+                           event.tid, state.held.size());
+            }
+            state.exited = true;
+            break;
+        }
+    }
+
+    // Crash traces legitimately end mid-flight (locks held, no exits),
+    // so end-of-trace adds no lock/exit findings — but the summary
+    // counters must match the stream regardless of how it ended.
+    if (!out.full()) {
+        const struct
+        {
+            const char *name;
+            std::uint64_t expect;
+            std::uint64_t got;
+        } counters[] = {
+            {"loads", loads, trace.loadCount()},
+            {"stores", stores, trace.storeCount()},
+            {"branches", branches, trace.branchCount()},
+            {"instructions", instructions, trace.instructionCount()},
+        };
+        for (const auto &counter : counters) {
+            if (counter.expect != counter.got) {
+                out.report(Finding::kNoSeq, "counter-mismatch",
+                           "%s counter is %llu but the event stream "
+                           "has %llu",
+                           counter.name,
+                           static_cast<unsigned long long>(counter.got),
+                           static_cast<unsigned long long>(
+                               counter.expect));
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace act

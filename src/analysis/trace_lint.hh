@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Well-formedness linter for execution traces.
+ *
+ * Every consumer in the pipeline — the dependence tracker, the cycle
+ * simulator, the baselines, the campaign cache — assumes structural
+ * invariants the workload models maintain by construction: dense
+ * monotone sequence numbers, balanced lock/unlock per thread, threads
+ * that run only between their create and exit markers, flags used only
+ * on the event kinds that define them, and summary counters that match
+ * the event stream. A cached `.trc` file (or a hand-built trace in a
+ * test) can violate any of these without failing `readTrace`, so the
+ * linter makes the contract machine-checked: the trace cache lints
+ * every disk hit and treats failures like corruption, and `actlint`
+ * applies the same pass to trace files and campaign report dirs.
+ *
+ * Crash traces are legal: a failing execution may end without
+ * kThreadExit markers (and with locks still held at the abrupt end of
+ * the trace); the lock-balance and exit rules therefore only fire at
+ * explicit exit events, never at end-of-trace.
+ */
+
+#ifndef ACT_ANALYSIS_TRACE_LINT_HH
+#define ACT_ANALYSIS_TRACE_LINT_HH
+
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Lint knobs. */
+struct TraceLintOptions
+{
+    /** Stop after this many findings (a corrupt file repeats itself). */
+    std::size_t max_findings = 64;
+};
+
+/**
+ * Check @p trace against the well-formedness rules. Returns the
+ * findings, empty when the trace is clean. Rule codes:
+ *
+ *  - "seq-monotone":   event seq numbers are not the dense 0..n-1 run
+ *                      Trace::append assigns;
+ *  - "kind-range":     event kind outside the EventKind enum;
+ *  - "size-range":     memory access size not a power of two in 1..64;
+ *  - "flag-taken":     taken flag on a non-branch event;
+ *  - "flag-stack":     stack flag on a non-memory event;
+ *  - "lock-balance":   unlock without a matching acquire, or a second
+ *                      acquire of a lock the thread already holds;
+ *  - "exit-holding-lock": thread exits while holding locks;
+ *  - "event-after-exit":  events from a thread after its exit marker;
+ *  - "create-before-run": a non-root thread runs before any
+ *                      kThreadCreate names it;
+ *  - "create-invalid": create of self, of an already-created or
+ *                      already-running thread, or a child id that does
+ *                      not fit ThreadId;
+ *  - "counter-mismatch": Trace summary counters (loads, stores,
+ *                      branches, instructions) disagree with the
+ *                      event stream;
+ *  - "too-many-findings": lint stopped early (warning).
+ */
+std::vector<Finding> lintTrace(const Trace &trace,
+                               const TraceLintOptions &options = {});
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_TRACE_LINT_HH

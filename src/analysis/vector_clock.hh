@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Vector clocks over deterministic thread ids.
+ *
+ * The race oracle derives happens-before ground truth from recorded
+ * traces (program order + lock release/acquire + thread creation), and
+ * vector clocks are its partial-order representation: component t of a
+ * clock counts the synchronisation epochs of thread t that the owner
+ * has (transitively) observed. Thread ids in this codebase are small
+ * and dense (Section IV-C derives them from spawn order), so a plain
+ * dense vector indexed by tid is both the simplest and the fastest
+ * encoding.
+ */
+
+#ifndef ACT_ANALYSIS_VECTOR_CLOCK_HH
+#define ACT_ANALYSIS_VECTOR_CLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace act
+{
+
+/** One vector timestamp; components default to zero. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** Component for @p tid (zero when never touched). */
+    std::uint64_t
+    get(ThreadId tid) const
+    {
+        return tid < clocks_.size() ? clocks_[tid] : 0;
+    }
+
+    /** Set component @p tid to @p value (grows the vector). */
+    void
+    set(ThreadId tid, std::uint64_t value)
+    {
+        grow(tid);
+        clocks_[tid] = value;
+    }
+
+    /** Increment component @p tid (a new epoch of that thread). */
+    std::uint64_t
+    tick(ThreadId tid)
+    {
+        grow(tid);
+        return ++clocks_[tid];
+    }
+
+    /** Component-wise maximum (join) with @p other. */
+    void
+    merge(const VectorClock &other)
+    {
+        if (other.clocks_.size() > clocks_.size())
+            clocks_.resize(other.clocks_.size(), 0);
+        for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+            clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+
+    /**
+     * True when this clock is componentwise <= @p other: everything
+     * the owner had seen, the other clock's owner has seen too.
+     */
+    bool
+    leq(const VectorClock &other) const
+    {
+        for (std::size_t i = 0; i < clocks_.size(); ++i) {
+            if (clocks_[i] > other.get(static_cast<ThreadId>(i)))
+                return false;
+        }
+        return true;
+    }
+
+    bool operator==(const VectorClock &) const = default;
+
+    /** Render e.g. "[2,0,1]" for debugging. */
+    std::string
+    toString() const
+    {
+        std::string out = "[";
+        for (std::size_t i = 0; i < clocks_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += std::to_string(clocks_[i]);
+        }
+        out += ']';
+        return out;
+    }
+
+  private:
+    void
+    grow(ThreadId tid)
+    {
+        if (tid >= clocks_.size())
+            clocks_.resize(static_cast<std::size_t>(tid) + 1, 0);
+    }
+
+    std::vector<std::uint64_t> clocks_;
+};
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_VECTOR_CLOCK_HH

@@ -12,6 +12,7 @@
 
 #include <chrono>
 
+#include "analysis/race_oracle.hh"
 #include "baselines/aviso.hh"
 #include "baselines/pbi.hh"
 #include "common/logging.hh"
@@ -256,7 +257,31 @@ runDiagnoseAct(const JobSpec &spec, TraceCache &cache, JobResult &result)
 
     const DiagnosisResult act = diagnoseFailure(*workload, setup);
 
+    // Score ACT's ranked candidates against the vector-clock race
+    // oracle on the same failing trace the run consumed (a cache hit).
+    WorkloadParams failure_params;
+    failure_params.seed = knobs.failure_seed;
+    failure_params.trigger_failure = true;
+    const RaceReport oracle =
+        detectRaces(cache.record(*workload, failure_params));
+    const RawDependence root = workload->buggyDependence();
+    std::vector<RawDependence> predicted;
+    for (const auto &candidate : act.report.ranked) {
+        if (!candidate.sequence.deps.empty())
+            predicted.push_back(candidate.sequence.deps.back());
+    }
+    const OracleScore score = oracle.score(predicted);
+
     result.metrics["diagnosed"] = act.rank ? 1.0 : 0.0;
+    result.metrics["oracle_root_racy"] = oracle.isRacy(root) ? 1.0 : 0.0;
+    result.metrics["oracle_races"] =
+        static_cast<double>(oracle.races().size());
+    result.metrics["oracle_tp"] =
+        static_cast<double>(score.true_positives);
+    result.metrics["oracle_fp"] =
+        static_cast<double>(score.false_positives);
+    result.metrics["oracle_precision"] = score.precision();
+    result.labels["oracle"] = oracle.isRacy(root) ? "race" : "none";
     result.metrics["rank"] =
         act.rank ? static_cast<double>(*act.rank) : -1.0;
     result.metrics["debug_position"] =

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <thread>
 
+#include "analysis/trace_lint.hh"
 #include "common/hashing.hh"
+#include "common/logging.hh"
 #include "trace/io.hh"
 
 namespace act
@@ -89,15 +91,26 @@ TraceCache::record(const Workload &workload, const WorkloadParams &params)
     if (!path.empty()) {
         auto loaded = std::make_shared<Trace>();
         if (readTrace(path, *loaded)) {
+            // readTrace only checks framing; a bit-rotted or
+            // foreign-format entry can still decode into a trace no
+            // workload could have emitted. Lint the stream and treat
+            // failures exactly like corruption: evict + regenerate.
+            const auto findings = lintTrace(*loaded);
+            if (clean(findings)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.disk_hits;
+                if (use_memory_layer_)
+                    memory_.emplace(key, loaded);
+                return *loaded;
+            }
+            debugLog("trace cache: lint rejected " + path + ":\n" +
+                     formatFindings(findings));
             std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.disk_hits;
-            if (use_memory_layer_)
-                memory_.emplace(key, loaded);
-            return *loaded;
+            ++stats_.lint_rejects;
         }
-        // readTrace failed: either the file does not exist (plain
-        // miss) or it is truncated/corrupt and must be evicted before
-        // the rewrite below.
+        // readTrace failed or the lint rejected the entry: either the
+        // file does not exist (plain miss) or it is truncated, corrupt
+        // or malformed and must be evicted before the rewrite below.
         if (std::remove(path.c_str()) == 0) {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.evictions;

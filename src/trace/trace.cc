@@ -18,7 +18,9 @@ eventKindName(EventKind kind)
       case EventKind::kThreadCreate: return "create";
       case EventKind::kThreadExit: return "exit";
     }
-    return "?";
+    // Stable name for out-of-range kinds (e.g. from a corrupt trace
+    // file) so diagnostics never print garbage.
+    return "unknown";
 }
 
 std::string

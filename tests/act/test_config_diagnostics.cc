@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the ACT Module's structured configuration diagnostics: a
+ * bad config must die with findings that name the offending knobs,
+ * not with a bare assert.
+ */
+
+#include <gtest/gtest.h>
+
+#include "act/act_module.hh"
+#include "analysis/config_check.hh"
+#include "deps/encoder.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(ConfigDiagnostics, ValidConfigConstructs)
+{
+    const PairEncoder encoder;
+    ActConfig config; // Table III defaults: 6 inputs = 3 x width 2.
+    const ActModule module(config, encoder);
+    EXPECT_EQ(module.config().sequence_length, 3u);
+}
+
+TEST(ConfigDiagnosticsDeathTest, MismatchedTopologyNamesTheRule)
+{
+    const PairEncoder encoder;
+    ActConfig config;
+    config.sequence_length = 4; // 4 x 2 = 8, topology still 6 inputs.
+    EXPECT_EXIT({ ActModule module(config, encoder); },
+                ::testing::ExitedWithCode(1), "topology-mismatch");
+}
+
+TEST(ConfigDiagnosticsDeathTest, ReportsEveryViolation)
+{
+    const PairEncoder encoder;
+    ActConfig config;
+    config.sequence_length = 4;    // topology-mismatch
+    config.debug_buffer_entries = 0; // debug-buffer
+    config.learning_rate = 0.0;      // learning-rate
+    EXPECT_EXIT({ ActModule module(config, encoder); },
+                ::testing::ExitedWithCode(1),
+                "topology-mismatch.*debug-buffer.*learning-rate");
+}
+
+TEST(ConfigDiagnosticsDeathTest, HardwareFanInViolationIsFatal)
+{
+    const PairEncoder encoder;
+    ActConfig config;
+    config.hw.neuron.max_inputs = 4; // 6x10 topology cannot fit.
+    EXPECT_EXIT({ ActModule module(config, encoder); },
+                ::testing::ExitedWithCode(1), "fan-in");
+}
+
+/**
+ * The diagnostics come from the same validator actlint's config pass
+ * uses, so the module and the CLI can never disagree.
+ */
+TEST(ConfigDiagnostics, ValidatorMatchesModuleContract)
+{
+    const PairEncoder encoder;
+    ActConfig config;
+    EXPECT_TRUE(validateActConfig(config, encoder.width()).empty());
+    config.sequence_length = 4;
+    EXPECT_FALSE(validateActConfig(config, encoder.width()).empty());
+}
+
+} // namespace
+} // namespace act

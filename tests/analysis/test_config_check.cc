@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the static config/weight validators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "act/weight_store.hh"
+#include "analysis/config_check.hh"
+
+namespace act
+{
+namespace
+{
+
+bool
+hasCode(const std::vector<Finding> &findings, const std::string &code)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&code](const Finding &finding) {
+                           return finding.code == code;
+                       });
+}
+
+/** Width 2 matches the PairEncoder the default config is sized for. */
+constexpr std::size_t kPairWidth = 2;
+
+TEST(ConfigCheck, DefaultConfigIsClean)
+{
+    EXPECT_TRUE(validateActConfig(ActConfig{}, kPairWidth).empty());
+}
+
+TEST(ConfigCheck, TopologyMismatchIsFlagged)
+{
+    ActConfig config;
+    config.sequence_length = 4; // 4 x 2 = 8 != 6 inputs.
+    const auto findings = validateActConfig(config, kPairWidth);
+    EXPECT_TRUE(hasCode(findings, "topology-mismatch"));
+}
+
+TEST(ConfigCheck, EncoderWidthChangesTheRequiredInputs)
+{
+    ActConfig config; // 6 inputs, N = 3.
+    EXPECT_TRUE(hasCode(validateActConfig(config, 1),
+                        "topology-mismatch")); // Needs 3.
+    config.topology.inputs = 3;
+    EXPECT_TRUE(validateActConfig(config, 1).empty());
+}
+
+TEST(ConfigCheck, InvalidTopologyIsFlagged)
+{
+    ActConfig config;
+    config.topology = Topology{0, 10};
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "topology"));
+    config.topology = Topology{6, kMaxFanIn + 1};
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "topology"));
+}
+
+TEST(ConfigCheck, BufferAndRateKnobsAreRangeChecked)
+{
+    ActConfig config;
+    config.input_buffer_entries = 2; // Below sequence_length = 3.
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "input-buffer"));
+
+    config = ActConfig{};
+    config.debug_buffer_entries = 0;
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "debug-buffer"));
+
+    config = ActConfig{};
+    config.misprediction_threshold = 1.5;
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "threshold"));
+
+    config = ActConfig{};
+    config.interval_length = 0;
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "interval"));
+
+    config = ActConfig{};
+    config.learning_rate = 0.0;
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth),
+                        "learning-rate"));
+
+    config = ActConfig{};
+    config.hw.fifo_entries = 0;
+    EXPECT_TRUE(hasCode(validateActConfig(config, kPairWidth), "fifo"));
+}
+
+TEST(ConfigCheck, HardwareFanInIsChecked)
+{
+    ActConfig config;
+    config.hw.neuron.max_inputs = 4; // Topology 6x10 no longer fits.
+    const auto findings = validateActConfig(config, kPairWidth);
+    EXPECT_TRUE(hasCode(findings, "fan-in"));
+}
+
+TEST(ConfigCheck, EveryViolationIsReportedNotJustTheFirst)
+{
+    ActConfig config;
+    config.sequence_length = 0;
+    config.debug_buffer_entries = 0;
+    config.learning_rate = -1.0;
+    const auto findings = validateActConfig(config, kPairWidth);
+    EXPECT_TRUE(hasCode(findings, "sequence-length"));
+    EXPECT_TRUE(hasCode(findings, "debug-buffer"));
+    EXPECT_TRUE(hasCode(findings, "learning-rate"));
+    EXPECT_GE(errorCount(findings), 3u);
+}
+
+TEST(ConfigCheck, WeightCountMismatchIsFlagged)
+{
+    const Topology topology{6, 10};
+    const std::vector<double> wrong(10, 0.0);
+    EXPECT_TRUE(hasCode(validateWeights(topology, wrong),
+                        "weight-count"));
+
+    // 10 * 7 + 11 = 81 weights for 6x10.
+    const std::vector<double> right(81, 0.25);
+    EXPECT_TRUE(validateWeights(topology, right).empty());
+}
+
+TEST(ConfigCheck, OutOfRangeWeightValuesAreFlagged)
+{
+    const Topology topology{6, 10};
+    std::vector<double> weights(81, 0.0);
+    weights[3] = kHwWeightLimit * 2.0; // Saturates in Q15.16.
+    EXPECT_TRUE(hasCode(validateWeights(topology, weights),
+                        "weight-value"));
+
+    weights[3] = std::nan("");
+    EXPECT_TRUE(hasCode(validateWeights(topology, weights),
+                        "weight-value"));
+
+    weights[3] = -kHwWeightLimit * 0.5; // Representable.
+    EXPECT_TRUE(validateWeights(topology, weights).empty());
+}
+
+TEST(ConfigCheck, WeightStoreValidationCoversEveryThread)
+{
+    WeightStore store((Topology{6, 10}));
+    std::vector<double> good(store.weightCount(), 0.5);
+    store.set(0, good);
+    std::vector<double> bad = good;
+    bad[7] = kHwWeightLimit * 4.0;
+    store.set(3, bad);
+
+    const auto findings = validateWeightStore(store);
+    EXPECT_TRUE(hasCode(findings, "weight-value"));
+    // The message names the offending thread.
+    const auto offender = std::find_if(
+        findings.begin(), findings.end(), [](const Finding &finding) {
+            return finding.code == "weight-value";
+        });
+    ASSERT_NE(offender, findings.end());
+    EXPECT_NE(offender->message.find("tid 3"), std::string::npos);
+
+    store.set(3, good);
+    EXPECT_TRUE(validateWeightStore(store).empty());
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the vector-clock happens-before race oracle: hand-built
+ * traces with known orderings, plus agreement with the bug catalog
+ * over every real-bug workload's failing execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "analysis/race_oracle.hh"
+#include "workloads/bugs.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+constexpr Addr kLockAddr = 0x1000;
+constexpr Addr kData = 0x2000;
+
+TraceEvent
+makeEvent(EventKind kind, ThreadId tid, Pc pc, Addr addr)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+}
+
+/** t0 creates t1; then the callback emits the body; both exit. */
+Trace
+twoThreadTrace(const std::function<void(Trace &)> &body)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    body(t);
+    t.append(makeEvent(EventKind::kThreadExit, 1, 2, 0));
+    t.append(makeEvent(EventKind::kThreadExit, 0, 3, 0));
+    return t;
+}
+
+TEST(RaceOracle, UnsynchronisedConflictIsRacy)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    });
+    const RaceReport report = detectRaces(t);
+    ASSERT_EQ(report.races().size(), 1u);
+    EXPECT_EQ(report.races()[0].kind, RaceKind::kWriteRead);
+    EXPECT_TRUE(report.isRacyPair(0x10, 0x20));
+    EXPECT_FALSE(report.isRacyPair(0x20, 0x10));
+}
+
+TEST(RaceOracle, LockOrderedConflictIsNotRacy)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kLock, 0, 4, kLockAddr));
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kUnlock, 0, 5, kLockAddr));
+        trace.append(makeEvent(EventKind::kLock, 1, 6, kLockAddr));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+        trace.append(makeEvent(EventKind::kUnlock, 1, 7, kLockAddr));
+    });
+    const RaceReport report = detectRaces(t);
+    EXPECT_TRUE(report.empty());
+    EXPECT_GT(report.checked_pairs, 0u);
+}
+
+TEST(RaceOracle, DifferentLocksDoNotOrder)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kLock, 0, 4, kLockAddr));
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kUnlock, 0, 5, kLockAddr));
+        trace.append(makeEvent(EventKind::kLock, 1, 6, kLockAddr + 1));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+        trace.append(makeEvent(EventKind::kUnlock, 1, 7, kLockAddr + 1));
+    });
+    EXPECT_FALSE(detectRaces(t).empty());
+}
+
+TEST(RaceOracle, CreateEdgeOrdersPreSpawnWrites)
+{
+    // Parent writes before the spawn: ordered. After: racy.
+    Trace t;
+    t.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    t.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    t.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    EXPECT_TRUE(detectRaces(t).empty());
+
+    Trace racy;
+    racy.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    racy.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    racy.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    EXPECT_FALSE(detectRaces(racy).empty());
+}
+
+TEST(RaceOracle, SameThreadConflictNeverRaces)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    t.append(makeEvent(EventKind::kLoad, 0, 0x20, kData));
+    t.append(makeEvent(EventKind::kStore, 0, 0x11, kData));
+    EXPECT_TRUE(detectRaces(t).empty());
+}
+
+TEST(RaceOracle, StackAccessesAreSkipped)
+{
+    Trace t = twoThreadTrace([](Trace &trace) {
+        TraceEvent store = makeEvent(EventKind::kStore, 0, 0x10, kData);
+        store.stack = true;
+        trace.append(store);
+        TraceEvent load = makeEvent(EventKind::kLoad, 1, 0x20, kData);
+        load.stack = true;
+        trace.append(load);
+    });
+    EXPECT_TRUE(detectRaces(t).empty());
+}
+
+TEST(RaceOracle, WriteWriteAndReadWriteDirections)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kStore, 1, 0x20, kData));
+    });
+    const RaceReport ww = detectRaces(t);
+    ASSERT_EQ(ww.races().size(), 1u);
+    EXPECT_EQ(ww.races()[0].kind, RaceKind::kWriteWrite);
+
+    const Trace t2 = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kLoad, 0, 0x15, kData));
+        trace.append(makeEvent(EventKind::kStore, 1, 0x20, kData));
+    });
+    const RaceReport rw = detectRaces(t2);
+    // Write-write 0x10->0x20 plus read-write 0x15->0x20.
+    ASSERT_EQ(rw.races().size(), 2u);
+    EXPECT_EQ(rw.rawRaces().size(), 0u); // Neither is store->load.
+}
+
+TEST(RaceOracle, DynamicInstancesDeduplicateIntoCounts)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        for (int i = 0; i < 5; ++i) {
+            trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+            trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+        }
+    });
+    const RaceReport report = detectRaces(t);
+    // Two static pairs: store->load (5 instances) and the next
+    // iteration's store racing the previous load (4 instances).
+    ASSERT_EQ(report.races().size(), 2u);
+    const std::vector<Race> raw = report.rawRaces();
+    ASSERT_EQ(raw.size(), 1u);
+    EXPECT_EQ(raw[0].prior_pc, 0x10u);
+    EXPECT_EQ(raw[0].later_pc, 0x20u);
+    EXPECT_EQ(raw[0].count, 5u);
+    EXPECT_EQ(report.racy_instances, 9u);
+}
+
+TEST(RaceOracle, ScorePrecisionRecall)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+        trace.append(makeEvent(EventKind::kStore, 0, 0x30, kData + 8));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x40, kData + 8));
+    });
+    const RaceReport report = detectRaces(t);
+    ASSERT_EQ(report.races().size(), 2u);
+
+    RawDependence hit;
+    hit.store_pc = 0x10;
+    hit.load_pc = 0x20;
+    hit.inter_thread = true;
+    RawDependence miss;
+    miss.store_pc = 0x50;
+    miss.load_pc = 0x60;
+    miss.inter_thread = true;
+    RawDependence local; // Intra-thread: never scored.
+    local.store_pc = 0x10;
+    local.load_pc = 0x20;
+    local.inter_thread = false;
+
+    const OracleScore score = report.score({hit, miss, local, hit});
+    EXPECT_EQ(score.considered, 2u); // Duplicate + intra dropped.
+    EXPECT_EQ(score.true_positives, 1u);
+    EXPECT_EQ(score.false_positives, 1u);
+    EXPECT_EQ(score.false_negatives, 1u); // 0x30->0x40 unpredicted.
+    EXPECT_DOUBLE_EQ(score.precision(), 0.5);
+    EXPECT_DOUBLE_EQ(score.recall(), 0.5);
+}
+
+/**
+ * Catalog agreement: every concurrency bug's root-cause dependence is
+ * a happens-before race on the failing path; sequential bugs (one
+ * thread) show no race anywhere.
+ */
+TEST(RaceOracle, AgreesWithBugCatalogOnFailingRuns)
+{
+    registerAllWorkloads();
+    for (const std::string &name : realBugNames()) {
+        const auto workload = makeWorkload(name);
+        WorkloadParams params;
+        params.seed = 999;
+        params.trigger_failure = true;
+        const RaceReport oracle =
+            detectRaces(workload->record(params));
+        if (workload->concurrent()) {
+            EXPECT_TRUE(oracle.isRacy(workload->buggyDependence()))
+                << name << ": root dependence must race";
+        } else {
+            EXPECT_TRUE(oracle.empty())
+                << name << ": sequential bug must show no race";
+        }
+    }
+}
+
+/** The correct interleaving of a concurrency bug avoids the root race. */
+TEST(RaceOracle, RootDependenceNotRacyOnCorrectRunOfAget)
+{
+    registerAllWorkloads();
+    const auto workload = makeWorkload("aget");
+    WorkloadParams params;
+    params.seed = 1;
+    const RaceReport oracle = detectRaces(workload->record(params));
+    EXPECT_FALSE(oracle.isRacy(workload->buggyDependence()));
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the trace well-formedness linter: every rule fires on a
+ * hand-broken trace and stays silent on every workload model's output,
+ * including crash traces that end mid-flight.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/trace_lint.hh"
+#include "workloads/bugs.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+TraceEvent
+makeEvent(EventKind kind, ThreadId tid, Pc pc, Addr addr)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+}
+
+bool
+hasCode(const std::vector<Finding> &findings, const std::string &code)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&code](const Finding &finding) {
+                           return finding.code == code;
+                       });
+}
+
+TEST(TraceLint, EmptyTraceIsClean)
+{
+    EXPECT_TRUE(lintTrace(Trace{}).empty());
+}
+
+TEST(TraceLint, WellFormedTwoThreadTraceIsClean)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    t.append(makeEvent(EventKind::kLock, 1, 2, 0x100));
+    t.append(makeEvent(EventKind::kStore, 1, 3, 0x200));
+    t.append(makeEvent(EventKind::kUnlock, 1, 4, 0x100));
+    t.append(makeEvent(EventKind::kThreadExit, 1, 5, 0));
+    t.append(makeEvent(EventKind::kThreadExit, 0, 6, 0));
+    EXPECT_TRUE(lintTrace(t).empty());
+}
+
+TEST(TraceLint, CrashTraceWithHeldLocksAndNoExitsIsClean)
+{
+    // A failing run may end abruptly: locks held, no exit markers.
+    Trace t;
+    t.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    t.append(makeEvent(EventKind::kLock, 1, 2, 0x100));
+    t.append(makeEvent(EventKind::kStore, 1, 3, 0x200));
+    EXPECT_TRUE(lintTrace(t).empty());
+}
+
+TEST(TraceLint, SeqMismatchIsFlagged)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.events()[1].seq = 7;
+    EXPECT_TRUE(hasCode(lintTrace(t), "seq-monotone"));
+}
+
+TEST(TraceLint, OutOfRangeKindIsFlagged)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.events()[0].kind = static_cast<EventKind>(200);
+    EXPECT_TRUE(hasCode(lintTrace(t), "kind-range"));
+}
+
+TEST(TraceLint, BadAccessSizeIsFlagged)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    t.events()[0].size = 3; // Not a power of two.
+    EXPECT_TRUE(hasCode(lintTrace(t), "size-range"));
+
+    Trace big;
+    big.append(makeEvent(EventKind::kStore, 0, 1, 2));
+    big.events()[0].size = 128; // Beyond any real access.
+    EXPECT_TRUE(hasCode(lintTrace(big), "size-range"));
+}
+
+TEST(TraceLint, MisplacedFlagsAreFlagged)
+{
+    Trace taken;
+    taken.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    taken.events()[0].taken = true;
+    EXPECT_TRUE(hasCode(lintTrace(taken), "flag-taken"));
+
+    Trace stack;
+    stack.append(makeEvent(EventKind::kBranch, 0, 1, 0));
+    stack.events()[0].stack = true;
+    EXPECT_TRUE(hasCode(lintTrace(stack), "flag-stack"));
+}
+
+TEST(TraceLint, LockImbalanceIsFlagged)
+{
+    Trace unheld;
+    unheld.append(makeEvent(EventKind::kUnlock, 0, 1, 0x100));
+    EXPECT_TRUE(hasCode(lintTrace(unheld), "lock-balance"));
+
+    Trace twice;
+    twice.append(makeEvent(EventKind::kLock, 0, 1, 0x100));
+    twice.append(makeEvent(EventKind::kLock, 0, 2, 0x100));
+    EXPECT_TRUE(hasCode(lintTrace(twice), "lock-balance"));
+}
+
+TEST(TraceLint, ExitHoldingLockIsFlagged)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLock, 0, 1, 0x100));
+    t.append(makeEvent(EventKind::kThreadExit, 0, 2, 0));
+    EXPECT_TRUE(hasCode(lintTrace(t), "exit-holding-lock"));
+}
+
+TEST(TraceLint, EventAfterExitIsFlagged)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kThreadExit, 0, 1, 0));
+    t.append(makeEvent(EventKind::kLoad, 0, 2, 3));
+    EXPECT_TRUE(hasCode(lintTrace(t), "event-after-exit"));
+}
+
+TEST(TraceLint, UncreatedThreadIsFlagged)
+{
+    // Thread 5 runs, but only thread 1 was ever created. Thread 0 is
+    // the root (first event) and needs no create.
+    Trace t;
+    t.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    t.append(makeEvent(EventKind::kLoad, 5, 2, 3));
+    EXPECT_TRUE(hasCode(lintTrace(t), "create-before-run"));
+}
+
+TEST(TraceLint, InvalidCreatesAreFlagged)
+{
+    Trace self;
+    self.append(makeEvent(EventKind::kThreadCreate, 0, 1, 0));
+    EXPECT_TRUE(hasCode(lintTrace(self), "create-invalid"));
+
+    Trace dup;
+    dup.append(makeEvent(EventKind::kThreadCreate, 0, 1, 1));
+    dup.append(makeEvent(EventKind::kThreadCreate, 0, 2, 1));
+    EXPECT_TRUE(hasCode(lintTrace(dup), "create-invalid"));
+}
+
+TEST(TraceLint, CounterMismatchIsFlagged)
+{
+    Trace t;
+    t.append(makeEvent(EventKind::kLoad, 0, 1, 2));
+    // Mutating the stream behind Trace's back desyncs the counters.
+    t.events()[0].kind = EventKind::kStore;
+    const auto findings = lintTrace(t);
+    EXPECT_TRUE(hasCode(findings, "counter-mismatch"));
+}
+
+TEST(TraceLint, FindingCapStopsEarly)
+{
+    Trace t;
+    for (int i = 0; i < 100; ++i)
+        t.append(makeEvent(EventKind::kUnlock, 0, 1, 0x100));
+    TraceLintOptions options;
+    options.max_findings = 10;
+    const auto findings = lintTrace(t, options);
+    EXPECT_LE(findings.size(), 11u); // Cap + the stopped-early marker.
+    EXPECT_TRUE(hasCode(findings, "too-many-findings"));
+}
+
+/**
+ * The workload models define well-formedness: every registered
+ * workload's correct and failing runs must lint clean.
+ */
+TEST(TraceLint, AllRegisteredWorkloadTracesAreClean)
+{
+    registerAllWorkloads();
+    for (const std::string &name : WorkloadRegistry::instance().names()) {
+        const auto workload = makeWorkload(name);
+        WorkloadParams correct;
+        const auto correct_findings = lintTrace(workload->record(correct));
+        EXPECT_TRUE(correct_findings.empty())
+            << name << " (correct):\n" << formatFindings(correct_findings);
+
+        if (workload->failureKind() == FailureKind::kNone)
+            continue;
+        WorkloadParams failing;
+        failing.seed = 999;
+        failing.trigger_failure = true;
+        const auto fail_findings = lintTrace(workload->record(failing));
+        EXPECT_TRUE(fail_findings.empty())
+            << name << " (failing):\n" << formatFindings(fail_findings);
+    }
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the vector-clock primitive behind the race oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/vector_clock.hh"
+
+namespace act
+{
+namespace
+{
+
+TEST(VectorClock, DefaultsToZero)
+{
+    const VectorClock clock;
+    EXPECT_EQ(clock.get(0), 0u);
+    EXPECT_EQ(clock.get(100), 0u);
+}
+
+TEST(VectorClock, TickIncrementsAndReturnsNewValue)
+{
+    VectorClock clock;
+    EXPECT_EQ(clock.tick(2), 1u);
+    EXPECT_EQ(clock.tick(2), 2u);
+    EXPECT_EQ(clock.get(2), 2u);
+    EXPECT_EQ(clock.get(0), 0u); // Other components untouched.
+}
+
+TEST(VectorClock, SetGrowsAndOverwrites)
+{
+    VectorClock clock;
+    clock.set(5, 7);
+    EXPECT_EQ(clock.get(5), 7u);
+    clock.set(5, 3);
+    EXPECT_EQ(clock.get(5), 3u);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax)
+{
+    VectorClock a;
+    a.set(0, 4);
+    a.set(1, 1);
+    VectorClock b;
+    b.set(1, 5);
+    b.set(2, 2);
+
+    a.merge(b);
+    EXPECT_EQ(a.get(0), 4u);
+    EXPECT_EQ(a.get(1), 5u);
+    EXPECT_EQ(a.get(2), 2u);
+    // Merge must not modify the source.
+    EXPECT_EQ(b.get(0), 0u);
+    EXPECT_EQ(b.get(1), 5u);
+}
+
+TEST(VectorClock, LeqIsThePartialOrder)
+{
+    VectorClock lo;
+    lo.set(0, 1);
+    VectorClock hi;
+    hi.set(0, 2);
+    hi.set(1, 1);
+
+    EXPECT_TRUE(lo.leq(hi));
+    EXPECT_FALSE(hi.leq(lo));
+
+    // Incomparable pair: each is ahead on one component.
+    VectorClock other;
+    other.set(1, 9);
+    EXPECT_FALSE(hi.leq(other));
+    EXPECT_FALSE(other.leq(hi));
+
+    // Reflexive; differing trailing zeros do not matter.
+    EXPECT_TRUE(hi.leq(hi));
+    VectorClock padded = lo;
+    padded.set(7, 0);
+    EXPECT_TRUE(lo.leq(padded));
+    EXPECT_TRUE(padded.leq(lo));
+}
+
+TEST(VectorClock, HappensBeforeViaMergeModelsReleaseAcquire)
+{
+    // Thread 0 releases after two epochs; thread 1 acquires.
+    VectorClock t0;
+    t0.tick(0);
+    t0.tick(0);
+    VectorClock lock = t0; // Release publishes the clock.
+    t0.tick(0);            // Post-release epoch.
+
+    VectorClock t1;
+    t1.tick(1);
+    t1.merge(lock); // Acquire.
+    EXPECT_GE(t1.get(0), 2u);      // Saw everything pre-release...
+    EXPECT_LT(t1.get(0), t0.get(0)); // ...but not the new epoch.
+}
+
+TEST(VectorClock, ToStringRendersComponents)
+{
+    VectorClock clock;
+    clock.set(0, 2);
+    clock.set(2, 1);
+    EXPECT_EQ(clock.toString(), "[2,0,1]");
+    EXPECT_EQ(VectorClock{}.toString(), "[]");
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Scoring ACT's diagnosis output against the vector-clock race oracle:
+ * on a concurrency bug, the oracle must label the root dependence racy
+ * on the failing trace, and ACT's ranked candidates must contain at
+ * least one oracle-confirmed race (the root cause itself).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/race_oracle.hh"
+#include "diagnosis/pipeline.hh"
+
+namespace act
+{
+namespace
+{
+
+class OracleScoringFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { registerAllWorkloads(); }
+};
+
+TEST_F(OracleScoringFixture, ActPredictionsScoreAgainstOracleOnMysql2)
+{
+    const auto workload = makeWorkload("mysql2");
+    DiagnosisSetup setup = defaultDiagnosisSetup();
+    setup.training.traces = 8;
+    setup.postmortem_traces = 10;
+    const DiagnosisResult result = diagnoseFailure(*workload, setup);
+    ASSERT_TRUE(result.rank.has_value());
+
+    WorkloadParams failing;
+    failing.seed = setup.failure_seed;
+    failing.trigger_failure = true;
+    const RaceReport oracle =
+        detectRaces(workload->record(failing));
+
+    // Ground truth: the catalog's root dependence races.
+    const RawDependence root = workload->buggyDependence();
+    EXPECT_TRUE(root.inter_thread);
+    EXPECT_TRUE(oracle.isRacy(root));
+
+    // Score the final dependence of every ranked candidate. ACT found
+    // the root cause (rank above), so at least one prediction must be
+    // an oracle-confirmed race.
+    std::vector<RawDependence> predicted;
+    for (const auto &candidate : result.report.ranked) {
+        if (!candidate.sequence.deps.empty())
+            predicted.push_back(candidate.sequence.deps.back());
+    }
+    ASSERT_FALSE(predicted.empty());
+    const OracleScore score = oracle.score(predicted);
+    EXPECT_GE(score.true_positives, 1u);
+    EXPECT_GT(score.precision(), 0.0);
+    EXPECT_LE(score.precision(), 1.0);
+}
+
+TEST_F(OracleScoringFixture, SequentialBugShowsNoRaceAnywhere)
+{
+    const auto workload = makeWorkload("gzip");
+    WorkloadParams failing;
+    failing.seed = 999;
+    failing.trigger_failure = true;
+    const RaceReport oracle =
+        detectRaces(workload->record(failing));
+    EXPECT_TRUE(oracle.empty());
+    EXPECT_FALSE(oracle.isRacy(workload->buggyDependence()));
+}
+
+} // namespace
+} // namespace act

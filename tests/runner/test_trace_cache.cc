@@ -12,6 +12,7 @@
 #include <string>
 
 #include "runner/trace_cache.hh"
+#include "trace/io.hh"
 #include "workloads/kernel.hh"
 #include "workloads/workload.hh"
 
@@ -157,6 +158,49 @@ TEST_F(TraceCacheTest, CorruptEntryIsEvictedAndRegenerated)
     cache2.record(*workload, params);
     EXPECT_EQ(cache2.stats().disk_hits, 1u);
     EXPECT_EQ(cache2.stats().evictions, 0u);
+}
+
+TEST_F(TraceCacheTest, LintRejectedEntryIsEvictedAndRegenerated)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 13;
+
+    Trace original;
+    std::string path;
+    {
+        TraceCache cache(dir_);
+        original = cache.record(*workload, params);
+        path = cache.pathFor("lu", params);
+    }
+    ASSERT_FALSE(path.empty());
+
+    // Rewrite the entry as a structurally decodable but malformed
+    // trace: an unlock of a never-acquired lock fails the linter while
+    // readTrace stays perfectly happy.
+    {
+        Trace broken = original;
+        TraceEvent unlock;
+        unlock.kind = EventKind::kUnlock;
+        unlock.tid = original.events().front().tid;
+        unlock.addr = 0xdead;
+        broken.append(unlock);
+        ASSERT_TRUE(writeTrace(broken, path));
+    }
+
+    TraceCache cache(dir_);
+    const Trace recovered = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().lint_rejects, 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_TRUE(tracesEqual(original, recovered));
+
+    // The regenerated entry is clean again.
+    TraceCache cache2(dir_);
+    cache2.record(*workload, params);
+    EXPECT_EQ(cache2.stats().disk_hits, 1u);
+    EXPECT_EQ(cache2.stats().lint_rejects, 0u);
 }
 
 TEST_F(TraceCacheTest, MemoryOnlyCacheNeverTouchesDisk)

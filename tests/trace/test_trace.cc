@@ -132,5 +132,15 @@ TEST(TraceEvent, KindNamesDistinct)
                  eventKindName(EventKind::kUnlock));
 }
 
+TEST(TraceEvent, OutOfRangeKindNameIsStable)
+{
+    // Corrupt kinds (e.g. from a damaged trace file) must render as a
+    // fixed placeholder, never garbage or a crash.
+    EXPECT_STREQ(eventKindName(static_cast<EventKind>(7)), "unknown");
+    EXPECT_STREQ(eventKindName(static_cast<EventKind>(255)), "unknown");
+    TraceEvent e = makeEvent(static_cast<EventKind>(123), 0, 1, 2);
+    EXPECT_NE(e.toString().find("unknown"), std::string::npos);
+}
+
 } // namespace
 } // namespace act

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * actlint — static/trace analysis driver over the repo's artifacts.
+ *
+ * Subcommands:
+ *   trace <file.trc>...      lint trace files; --races also prints the
+ *                            vector-clock oracle's racy pairs
+ *   workloads [name...]      record correct + failing runs of the
+ *                            registered workloads (all by default),
+ *                            lint every trace, and check the race
+ *                            oracle against the bug catalog: concurrent
+ *                            bugs must race on their failure path,
+ *                            sequential ones must show no race at all
+ *   report <dir>             validate a campaign report directory
+ *                            (report.json, report.csv) and lint every
+ *                            .trc in its trace cache
+ *                            [--cache DIR: cache location, default
+ *                             <dir>/trace-cache]
+ *   config                   validate the default ActConfig against
+ *                            every built-in encoder
+ *   weights <file>           validate a WeightStore blob against its
+ *                            topology and the Q15.16 register range
+ *
+ * Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
+ */
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "act/act_config.hh"
+#include "act/weight_store.hh"
+#include "analysis/config_check.hh"
+#include "analysis/race_oracle.hh"
+#include "analysis/trace_lint.hh"
+#include "deps/encoder.hh"
+#include "runner/report.hh"
+#include "trace/io.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: actlint <command> [args]\n"
+        "  trace <file.trc>... [--races]   lint trace files\n"
+        "  workloads [name...]             lint + oracle-check workload"
+        " runs\n"
+        "  report <dir> [--cache DIR]      validate a campaign report"
+        " dir\n"
+        "  config                          validate the default"
+        " ActConfig\n"
+        "  weights <file>                  validate a WeightStore"
+        " blob\n");
+}
+
+/** Print findings under a heading; returns the number of errors. */
+std::size_t
+emit(const std::string &subject, const std::vector<Finding> &findings)
+{
+    if (findings.empty())
+        return 0;
+    std::printf("%s:\n", subject.c_str());
+    for (const Finding &finding : findings)
+        std::printf("  %s\n", finding.toString().c_str());
+    return errorCount(findings);
+}
+
+int
+cmdTrace(const std::vector<std::string> &args, bool show_races)
+{
+    if (args.empty()) {
+        usage();
+        return kExitUsage;
+    }
+    std::size_t errors = 0;
+    for (const std::string &path : args) {
+        Trace trace;
+        if (!readTrace(path, trace)) {
+            std::printf("%s: unreadable (missing, truncated or not a "
+                        "trace file)\n",
+                        path.c_str());
+            ++errors;
+            continue;
+        }
+        errors += emit(path, lintTrace(trace));
+        if (show_races) {
+            const RaceReport report = detectRaces(trace);
+            std::printf("%s: %zu racy pair(s), %llu sync / %llu memory "
+                        "events\n",
+                        path.c_str(), report.races().size(),
+                        static_cast<unsigned long long>(
+                            report.sync_events),
+                        static_cast<unsigned long long>(
+                            report.memory_events));
+            for (const Race &race : report.races())
+                std::printf("  %s\n", race.toString().c_str());
+        }
+    }
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+/**
+ * Lint one recorded run and, for bug workloads, check the oracle
+ * labels against the catalog. Returns the number of errors.
+ */
+std::size_t
+checkWorkload(const std::string &name)
+{
+    const auto workload = makeWorkload(name);
+    std::size_t errors = 0;
+
+    WorkloadParams correct;
+    const Trace correct_trace = workload->record(correct);
+    errors += emit(name + " (correct run)", lintTrace(correct_trace));
+
+    if (workload->failureKind() == FailureKind::kNone) {
+        std::printf("%-12s kernel         lint ok\n", name.c_str());
+        return errors;
+    }
+
+    WorkloadParams failing;
+    failing.seed = 999;
+    failing.trigger_failure = true;
+    const Trace failing_trace = workload->record(failing);
+    errors += emit(name + " (failing run)", lintTrace(failing_trace));
+
+    // Oracle vs catalog: the root-cause dependence of a concurrency
+    // bug must be a happens-before race on the failure path; a
+    // sequential bug's traces must contain no race at all.
+    const RaceReport oracle = detectRaces(failing_trace);
+    const RawDependence root = workload->buggyDependence();
+    const bool root_racy = oracle.isRacy(root);
+    if (workload->concurrent() && !root_racy) {
+        std::printf("%s: oracle disagrees with the bug catalog: root "
+                    "dependence %s is not racy on the failing trace\n",
+                    name.c_str(), root.toString().c_str());
+        ++errors;
+    }
+    if (!workload->concurrent() && !oracle.empty()) {
+        std::printf("%s: oracle disagrees with the bug catalog: "
+                    "sequential bug shows %zu racy pair(s)\n",
+                    name.c_str(), oracle.races().size());
+        ++errors;
+    }
+    std::printf("%-12s %-14s lint ok, root %s, %zu racy pair(s)\n",
+                name.c_str(),
+                workload->concurrent() ? "concurrent bug"
+                                       : "sequential bug",
+                root_racy ? "racy" : "ordered", oracle.races().size());
+    return errors;
+}
+
+int
+cmdWorkloads(const std::vector<std::string> &args)
+{
+    registerAllWorkloads();
+    std::vector<std::string> names = args;
+    if (names.empty())
+        names = WorkloadRegistry::instance().names();
+    std::size_t errors = 0;
+    for (const std::string &name : names) {
+        if (!WorkloadRegistry::instance().contains(name)) {
+            std::printf("unknown workload: %s\n", name.c_str());
+            ++errors;
+            continue;
+        }
+        errors += checkWorkload(name);
+    }
+    std::printf("%zu workload(s) checked, %zu error(s)\n", names.size(),
+                errors);
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+/** All regular files under @p dir with suffix @p suffix, sorted. */
+std::vector<std::string>
+listFiles(const std::string &dir, const std::string &suffix)
+{
+    std::vector<std::string> paths;
+    DIR *handle = ::opendir(dir.c_str());
+    if (handle == nullptr)
+        return paths;
+    while (const struct dirent *entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            paths.push_back(dir + "/" + name);
+        }
+    }
+    ::closedir(handle);
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+/** Whole file into @p out; false when unreadable. */
+bool
+slurp(const std::string &path, std::string &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return false;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.append(buf, n);
+    std::fclose(file);
+    return true;
+}
+
+/**
+ * Structural check of the deterministic JSON report: non-empty, one
+ * top-level object, balanced braces/brackets outside strings.
+ */
+bool
+jsonBalanced(const std::string &text)
+{
+    long depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    bool saw_object = false;
+    for (const char c : text) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; break;
+          case '{': case '[': ++depth; saw_object = true; break;
+          case '}': case ']': --depth; break;
+          default: break;
+        }
+        if (depth < 0)
+            return false;
+    }
+    return depth == 0 && !in_string && saw_object;
+}
+
+int
+cmdReport(const std::vector<std::string> &args, std::string cache_dir)
+{
+    if (args.size() != 1) {
+        usage();
+        return kExitUsage;
+    }
+    const std::string &dir = args.front();
+    std::size_t errors = 0;
+
+    std::string json;
+    if (!slurp(dir + "/report.json", json)) {
+        std::printf("%s/report.json: unreadable\n", dir.c_str());
+        ++errors;
+    } else if (!jsonBalanced(json)) {
+        std::printf("%s/report.json: malformed (unbalanced structure)\n",
+                    dir.c_str());
+        ++errors;
+    }
+
+    std::vector<ReportRow> rows;
+    if (!loadReportCsv(dir + "/report.csv", rows)) {
+        std::printf("%s/report.csv: missing or malformed\n", dir.c_str());
+        ++errors;
+    } else if (rows.empty()) {
+        std::printf("%s/report.csv: no data rows\n", dir.c_str());
+        ++errors;
+    }
+
+    if (cache_dir.empty())
+        cache_dir = dir + "/trace-cache";
+    const std::vector<std::string> traces = listFiles(cache_dir, ".trc");
+    for (const std::string &path : traces) {
+        Trace trace;
+        if (!readTrace(path, trace)) {
+            std::printf("%s: unreadable trace\n", path.c_str());
+            ++errors;
+            continue;
+        }
+        errors += emit(path, lintTrace(trace));
+    }
+    std::printf("%s: %zu csv row(s), %zu cached trace(s), %zu "
+                "error(s)\n",
+                dir.c_str(), rows.size(), traces.size(), errors);
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+int
+cmdConfig()
+{
+    const ActConfig config;
+    std::size_t errors = 0;
+    const PairEncoder pair;
+    const DictionaryEncoder dictionary(64);
+    const HashEncoder hash;
+    const struct
+    {
+        const char *name;
+        const DependenceEncoder *encoder;
+    } encoders[] = {{"pair", &pair},
+                    {"dictionary", &dictionary},
+                    {"hash", &hash}};
+    for (const auto &[name, encoder] : encoders) {
+        ActConfig adjusted = config;
+        // Each encoder implies its own input width for the same N.
+        adjusted.topology.inputs =
+            config.sequence_length * encoder->width();
+        errors += emit(std::string("default ActConfig (") + name + ")",
+                       validateActConfig(adjusted, encoder->width()));
+    }
+    if (errors == 0)
+        std::printf("default ActConfig: ok for all encoders\n");
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+int
+cmdWeights(const std::vector<std::string> &args)
+{
+    if (args.size() != 1) {
+        usage();
+        return kExitUsage;
+    }
+    const std::string &path = args.front();
+    WeightStore store;
+    if (!store.load(path)) {
+        std::printf("%s: unreadable weight store\n", path.c_str());
+        return kExitUsage;
+    }
+    const std::size_t errors = emit(path, validateWeightStore(store));
+    std::printf("%s: %zu thread weight set(s), topology %zux%zu, %zu "
+                "error(s)\n",
+                path.c_str(), store.size(), store.topology().inputs,
+                store.topology().hidden, errors);
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return kExitUsage;
+    }
+    const std::string command = argv[1];
+
+    bool show_races = false;
+    std::string cache_dir;
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--races") {
+            show_races = true;
+        } else if (arg == "--cache" && i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return kExitUsage;
+        } else {
+            args.push_back(arg);
+        }
+    }
+
+    if (command == "trace")
+        return cmdTrace(args, show_races);
+    if (command == "workloads")
+        return cmdWorkloads(args);
+    if (command == "report")
+        return cmdReport(args, cache_dir);
+    if (command == "config")
+        return cmdConfig();
+    if (command == "weights")
+        return cmdWeights(args);
+    usage();
+    return kExitUsage;
+}
+
+} // namespace
+} // namespace act
+
+int
+main(int argc, char **argv)
+{
+    return act::run(argc, argv);
+}
