@@ -1,0 +1,322 @@
+#include "bench/bench_json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace act::bench
+{
+
+namespace
+{
+
+/** Shortest float rendering that round-trips (mirrors report.cc). */
+std::string
+num(double v)
+{
+    char buf[64];
+    for (int precision = 6; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/**
+ * Minimal recursive-descent scanner for the subset of JSON this module
+ * emits: objects, arrays, strings without escapes, numbers. It only
+ * has to read files written by toJson(), but fails cleanly (returns
+ * false) on anything malformed rather than asserting.
+ */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &text) : text_(text) {}
+
+    bool
+    literal(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        const std::size_t end = text_.find('"', pos_ + 1);
+        if (end == std::string::npos)
+            return false;
+        out = text_.substr(pos_ + 1, end - pos_ - 1);
+        pos_ = end + 1;
+        return true;
+    }
+
+    bool
+    number(double &out)
+    {
+        skipSpace();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool
+    key(std::string &out)
+    {
+        return string(out) && literal(':');
+    }
+
+    /** Skip one value of any supported type (unknown keys). */
+    bool
+    skipValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '"') {
+            std::string s;
+            return string(s);
+        }
+        if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            ++pos_;
+            if (peek(close))
+                return literal(close);
+            do {
+                if (c == '{') {
+                    std::string k;
+                    if (!key(k))
+                        return false;
+                }
+                if (!skipValue())
+                    return false;
+            } while (literal(','));
+            return literal(close);
+        }
+        double d = 0;
+        return number(d);
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+parseMicro(Scanner &scan, MicroResult &out)
+{
+    if (!scan.literal('{'))
+        return false;
+    if (scan.peek('}'))
+        return scan.literal('}');
+    do {
+        std::string k;
+        if (!scan.key(k))
+            return false;
+        if (k == "name") {
+            if (!scan.string(out.name))
+                return false;
+        } else if (k == "ns_per_op") {
+            if (!scan.number(out.ns_per_op))
+                return false;
+        } else if (k == "events_per_s") {
+            if (!scan.number(out.events_per_s))
+                return false;
+        } else if (k == "iterations") {
+            double d = 0;
+            if (!scan.number(d))
+                return false;
+            out.iterations = static_cast<std::uint64_t>(d);
+        } else if (!scan.skipValue()) {
+            return false;
+        }
+    } while (scan.literal(','));
+    return scan.literal('}');
+}
+
+bool
+parseWall(Scanner &scan, WallClockResult &out)
+{
+    if (!scan.literal('{'))
+        return false;
+    if (scan.peek('}'))
+        return scan.literal('}');
+    do {
+        std::string k;
+        if (!scan.key(k))
+            return false;
+        if (k == "name") {
+            if (!scan.string(out.name))
+                return false;
+        } else if (k == "ms") {
+            if (!scan.number(out.ms))
+                return false;
+        } else if (!scan.skipValue()) {
+            return false;
+        }
+    } while (scan.literal(','));
+    return scan.literal('}');
+}
+
+} // namespace
+
+const MicroResult *
+BenchReport::find(const std::string &name) const
+{
+    for (const auto &result : results) {
+        if (result.name == name)
+            return &result;
+    }
+    return nullptr;
+}
+
+std::string
+toJson(const BenchReport &report)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"" << report.schema << "\",\n";
+    out << "  \"build_type\": \"" << report.build_type << "\",\n";
+    out << "  \"results\": [\n";
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const MicroResult &r = report.results[i];
+        out << "    {\"name\": \"" << r.name
+            << "\", \"ns_per_op\": " << num(r.ns_per_op)
+            << ", \"events_per_s\": " << num(r.events_per_s)
+            << ", \"iterations\": " << r.iterations << "}"
+            << (i + 1 < report.results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"wall_clock\": [\n";
+    for (std::size_t i = 0; i < report.wall_clock.size(); ++i) {
+        const WallClockResult &w = report.wall_clock[i];
+        out << "    {\"name\": \"" << w.name << "\", \"ms\": " << num(w.ms)
+            << "}" << (i + 1 < report.wall_clock.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+bool
+loadBenchReport(const std::string &path, BenchReport &out)
+{
+    std::ifstream file(path);
+    if (!file)
+        return false;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+
+    out = BenchReport{};
+    out.schema.clear();
+    Scanner scan(text);
+    if (!scan.literal('{'))
+        return false;
+    if (scan.peek('}'))
+        return false; // An empty report is not a report.
+    do {
+        std::string k;
+        if (!scan.key(k))
+            return false;
+        if (k == "schema") {
+            if (!scan.string(out.schema))
+                return false;
+        } else if (k == "build_type") {
+            if (!scan.string(out.build_type))
+                return false;
+        } else if (k == "results") {
+            if (!scan.literal('['))
+                return false;
+            if (!scan.peek(']')) {
+                do {
+                    MicroResult r;
+                    if (!parseMicro(scan, r))
+                        return false;
+                    out.results.push_back(std::move(r));
+                } while (scan.literal(','));
+            }
+            if (!scan.literal(']'))
+                return false;
+        } else if (k == "wall_clock") {
+            if (!scan.literal('['))
+                return false;
+            if (!scan.peek(']')) {
+                do {
+                    WallClockResult w;
+                    if (!parseWall(scan, w))
+                        return false;
+                    out.wall_clock.push_back(std::move(w));
+                } while (scan.literal(','));
+            }
+            if (!scan.literal(']'))
+                return false;
+        } else if (!scan.skipValue()) {
+            return false;
+        }
+    } while (scan.literal(','));
+    return scan.literal('}') && out.schema == "act-bench-trend-v1";
+}
+
+bool
+writeBenchReport(const BenchReport &report, const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    file << toJson(report);
+    return static_cast<bool>(file.flush());
+}
+
+std::vector<TrendEntry>
+compareReports(const BenchReport &current, const BenchReport &baseline,
+               double threshold)
+{
+    std::vector<TrendEntry> entries;
+    for (const MicroResult &now : current.results) {
+        const MicroResult *base = baseline.find(now.name);
+        if (base == nullptr || base->events_per_s <= 0.0)
+            continue;
+        TrendEntry entry;
+        entry.name = now.name;
+        entry.current_events_per_s = now.events_per_s;
+        entry.baseline_events_per_s = base->events_per_s;
+        entry.ratio = now.events_per_s / base->events_per_s;
+        entry.regression = entry.ratio < 1.0 - threshold;
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+} // namespace act::bench

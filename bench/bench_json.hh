@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Machine-readable benchmark results.
+ *
+ * Every performance artefact in the repo used to be console tables
+ * only; nothing could diff two builds. This header gives the benches a
+ * tiny shared vocabulary — a micro-benchmark result (name, ns/op,
+ * events/s), a wall-clock entry (name, ms) and a whole-run report —
+ * plus JSON serialisation, a parser for the same format, and the
+ * trend comparison `tools/benchtrend --check` gates CI on. The format
+ * is deliberately flat so a committed baseline stays reviewable in a
+ * plain diff.
+ */
+
+#ifndef ACT_BENCH_BENCH_JSON_HH
+#define ACT_BENCH_BENCH_JSON_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace act::bench
+{
+
+/** One micro-benchmark measurement. */
+struct MicroResult
+{
+    std::string name;
+    double ns_per_op = 0.0;   //!< Nanoseconds per operation (best rep).
+    double events_per_s = 0.0; //!< Throughput in events (ops) per second.
+    std::uint64_t iterations = 0; //!< Iterations of the fastest rep.
+};
+
+/** One coarse wall-clock measurement (campaign or bench run). */
+struct WallClockResult
+{
+    std::string name;
+    double ms = 0.0;
+};
+
+/** A full benchmark run: micro results plus wall-clock entries. */
+struct BenchReport
+{
+    std::string schema = "act-bench-trend-v1";
+    std::string build_type; //!< e.g. "Release".
+    std::vector<MicroResult> results;
+    std::vector<WallClockResult> wall_clock;
+
+    const MicroResult *find(const std::string &name) const;
+};
+
+/** Serialise @p report (stable key order, one result per line). */
+std::string toJson(const BenchReport &report);
+
+/**
+ * Parse a report previously produced by toJson().
+ *
+ * @return false when the file is missing, unparsable or carries an
+ *         unknown schema tag.
+ */
+bool loadBenchReport(const std::string &path, BenchReport &out);
+
+/** Write @p report to @p path. @return false on I/O failure. */
+bool writeBenchReport(const BenchReport &report, const std::string &path);
+
+/** Outcome of comparing one micro result against its baseline. */
+struct TrendEntry
+{
+    std::string name;
+    double current_events_per_s = 0.0;
+    double baseline_events_per_s = 0.0;
+    double ratio = 0.0;      //!< current / baseline (>1 = faster).
+    bool regression = false; //!< ratio < 1 - threshold.
+};
+
+/**
+ * Compare every micro result present in both reports.
+ *
+ * @param threshold Tolerated fractional slowdown (0.3 = fail when more
+ *                  than 30% slower than the baseline).
+ */
+std::vector<TrendEntry> compareReports(const BenchReport &current,
+                                       const BenchReport &baseline,
+                                       double threshold);
+
+// --- Self-timed micro-benchmark harness ----------------------------
+
+/**
+ * Calibrating micro-benchmark driver shared by `tools/benchtrend` (and
+ * usable from any bench binary): runs @p body(iterations) repeatedly,
+ * scaling the iteration count until one repetition takes at least
+ * `min_rep_ms`, then keeps the fastest of `reps` repetitions — the
+ * standard best-of-N estimator that filters scheduler noise.
+ */
+class MicroHarness
+{
+  public:
+    double min_rep_ms = 50.0;
+    int reps = 5;
+
+    /**
+     * Measure @p body.
+     *
+     * @param name            Result name.
+     * @param events_per_iter How many logical events one iteration of
+     *                        the body's inner loop processes.
+     * @param body            Callable `void(std::uint64_t iterations)`.
+     */
+    template <typename Body>
+    MicroResult
+    run(const std::string &name, double events_per_iter, Body &&body) const
+    {
+        using Clock = std::chrono::steady_clock;
+        std::uint64_t iters = 64;
+        double best_ns = 0.0;
+
+        // Calibrate: grow until one repetition is long enough to time.
+        for (;;) {
+            const auto t0 = Clock::now();
+            body(iters);
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count();
+            if (ms >= min_rep_ms) {
+                best_ns = ms * 1e6;
+                break;
+            }
+            const double grow =
+                ms > 0.1 ? (min_rep_ms * 1.2) / ms : 8.0;
+            iters = static_cast<std::uint64_t>(
+                static_cast<double>(iters) * (grow > 8.0 ? 8.0 : grow));
+            if (iters < 64)
+                iters = 64;
+        }
+
+        for (int r = 1; r < reps; ++r) {
+            const auto t0 = Clock::now();
+            body(iters);
+            const double ns =
+                std::chrono::duration<double, std::nano>(Clock::now() - t0)
+                    .count();
+            if (ns < best_ns)
+                best_ns = ns;
+        }
+
+        MicroResult result;
+        result.name = name;
+        result.iterations = iters;
+        const double ops =
+            static_cast<double>(iters) * events_per_iter;
+        result.ns_per_op = best_ns / ops;
+        result.events_per_s = ops / (best_ns * 1e-9);
+        return result;
+    }
+};
+
+/** Compiler barrier: forces @p value to be materialised. */
+template <typename T>
+inline void
+keep(T &&value)
+{
+    asm volatile("" : : "g"(value) : "memory");
+}
+
+} // namespace act::bench
+
+#endif // ACT_BENCH_BENCH_JSON_HH

@@ -52,6 +52,26 @@ BM_HardwareInference(benchmark::State &state)
 BENCHMARK(BM_HardwareInference);
 
 void
+BM_HardwareInferenceBatch(benchmark::State &state)
+{
+    Rng rng(1);
+    MlpNetwork proto(Topology{6, 10}, rng);
+    HwNeuralNetwork hw(HwNetworkConfig{}, Topology{6, 10});
+    hw.loadWeights(proto.weights());
+    std::vector<std::vector<double>> batch;
+    for (int i = 0; i < 64; ++i)
+        batch.push_back(randomInputs(6, rng));
+    std::vector<double> out;
+    for (auto _ : state) {
+        hw.inferBatch(batch, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_HardwareInferenceBatch);
+
+void
 BM_Backpropagation(benchmark::State &state)
 {
     Rng rng(1);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "act/buffers.hh"
 #include "hwnn/pipeline.hh"
 #include "nn/network.hh"
 
@@ -21,10 +22,10 @@ struct ActConfig
     std::size_t sequence_length = 3;
 
     /** Input Generator Buffer entries (Table III: 50). */
-    std::size_t input_buffer_entries = 50;
+    std::size_t input_buffer_entries = kInputGeneratorBufferEntries;
 
     /** Debug Buffer entries (Table III: 60). */
-    std::size_t debug_buffer_entries = 60;
+    std::size_t debug_buffer_entries = kDebugBufferEntries;
 
     /** Misprediction-rate threshold driving mode switches (5%). */
     double misprediction_threshold = 0.05;

@@ -93,10 +93,9 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
         ++stats_.training_dependences;
 
     input_buffer_.push(dep);
-    const auto sequence =
-        input_buffer_.lastSequence(config_.sequence_length);
-    if (!sequence)
+    if (!input_buffer_.lastSequence(config_.sequence_length, seq_scratch_))
         return outcome;
+    const DependenceSequence &sequence = seq_scratch_;
 
     // Timing: the load retires only once the input FIFO accepts the
     // sequence. A full FIFO stalls it (Section III-C / IV-A).
@@ -115,11 +114,13 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
 
     // Function: classify the sequence (and learn from it in training
     // mode).
-    const std::vector<double> inputs = encoder_->encodeSequence(*sequence);
+    encoder_->encodeSequenceInto(sequence, input_scratch_);
+    const std::vector<double> &inputs = input_scratch_;
     outcome.classified = true;
     ++stats_.predictions;
 
     double output = 0.0;
+    double raw = 0.0;
     if (training) {
         // All dependences are presumed valid; the network learns the
         // ones it would have rejected.
@@ -129,7 +130,7 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
             ++stats_.train_updates;
         }
     } else {
-        output = network_.infer(inputs);
+        output = network_.inferWithRaw(inputs, raw);
     }
     outcome.output = output;
     outcome.predicted_invalid = output < 0.5;
@@ -138,8 +139,13 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
         ++stats_.predicted_invalid;
         // The Debug Buffer records the raw accumulator value: the
         // ranking tie-break wants "the most negative output", which
-        // the saturated sigmoid cannot resolve.
-        debug_.log(DebugEntry{*sequence, network_.rawOutput(inputs),
+        // the saturated sigmoid cannot resolve. In training mode the
+        // weights just moved, so the raw value is re-read from the
+        // updated network (matching what the hardware would log after
+        // the back-propagation pass); in testing mode the forward pass
+        // already produced it.
+        debug_.log(DebugEntry{sequence,
+                              training ? network_.rawOutput(inputs) : raw,
                               stats_.predictions, tid});
     }
 

@@ -125,6 +125,11 @@ class ActModule
     IntervalRate rate_;
     ActMode mode_ = ActMode::kTesting;
     ActModuleStats stats_;
+
+    // Scratch reused across onDependence calls: the hot loop runs once
+    // per tracked load and must not allocate per call.
+    DependenceSequence seq_scratch_;
+    std::vector<double> input_scratch_;
 };
 
 } // namespace act

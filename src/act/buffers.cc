@@ -1,36 +1,52 @@
 #include "act/buffers.hh"
 
+#include "act/act_config.hh"
 #include "common/logging.hh"
 
 namespace act
 {
 
+// The Table III constants above are the single source for the
+// ActConfig defaults; a divergence here means someone re-hardcoded one
+// of them.
+static_assert(ActConfig{}.input_buffer_entries ==
+                  kInputGeneratorBufferEntries,
+              "ActConfig default must come from kInputGeneratorBufferEntries");
+static_assert(ActConfig{}.debug_buffer_entries == kDebugBufferEntries,
+              "ActConfig default must come from kDebugBufferEntries");
+
 InputGeneratorBuffer::InputGeneratorBuffer(std::size_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity), slots_(capacity)
 {
     ACT_ASSERT(capacity_ >= 1);
-}
-
-void
-InputGeneratorBuffer::push(const RawDependence &dep)
-{
-    if (entries_.size() == capacity_)
-        entries_.pop_front();
-    entries_.push_back(dep);
 }
 
 std::optional<DependenceSequence>
 InputGeneratorBuffer::lastSequence(std::size_t n) const
 {
-    if (entries_.size() < n)
-        return std::nullopt;
     DependenceSequence seq;
-    seq.deps.assign(entries_.end() - static_cast<long>(n), entries_.end());
+    if (!lastSequence(n, seq))
+        return std::nullopt;
     return seq;
 }
 
+bool
+InputGeneratorBuffer::lastSequence(std::size_t n,
+                                   DependenceSequence &out) const
+{
+    if (size_ < n)
+        return false;
+    out.deps.resize(n);
+    std::size_t i = wrap(head_ + (size_ - n));
+    for (std::size_t k = 0; k < n; ++k) {
+        out.deps[k] = slots_[i];
+        i = next(i);
+    }
+    return true;
+}
+
 DebugBuffer::DebugBuffer(std::size_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity), slots_(capacity)
 {
     ACT_ASSERT(capacity_ >= 1);
 }
@@ -38,17 +54,31 @@ DebugBuffer::DebugBuffer(std::size_t capacity)
 void
 DebugBuffer::log(DebugEntry entry)
 {
-    if (entries_.size() == capacity_)
-        entries_.pop_front();
-    entries_.push_back(std::move(entry));
+    if (size_ == capacity_) {
+        slots_[head_] = std::move(entry);
+        head_ = wrap(head_ + 1);
+    } else {
+        slots_[wrap(head_ + size_)] = std::move(entry);
+        ++size_;
+    }
     ++total_logged_;
+}
+
+std::vector<DebugEntry>
+DebugBuffer::entries() const
+{
+    std::vector<DebugEntry> out;
+    out.reserve(size_);
+    for (std::size_t k = 0; k < size_; ++k)
+        out.push_back(slots_[wrap(head_ + k)]);
+    return out;
 }
 
 std::optional<std::size_t>
 DebugBuffer::positionOf(const RawDependence &dep) const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const auto &entry = entries_[entries_.size() - 1 - i];
+    for (std::size_t i = 0; i < size_; ++i) {
+        const auto &entry = slots_[wrap(head_ + (size_ - 1 - i))];
         if (!entry.sequence.deps.empty() &&
             entry.sequence.deps.back() == dep) {
             return i;

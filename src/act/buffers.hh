@@ -3,13 +3,18 @@
  * The two small SRAM buffers inside an ACT Module (Figure 4(b)):
  * the Input Generator Buffer holding recent RAW dependences, and the
  * Debug Buffer logging recently flagged (predicted-invalid) sequences.
+ *
+ * Both are fixed-capacity rings over storage preallocated at
+ * construction — the hardware they model is SRAM, and the simulator's
+ * hot loop pushes one dependence per tracked load, so neither may
+ * allocate after construction.
  */
 
 #ifndef ACT_ACT_BUFFERS_HH
 #define ACT_ACT_BUFFERS_HH
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -18,6 +23,14 @@
 
 namespace act
 {
+
+/**
+ * Table III buffer sizes. These are the single source of truth:
+ * ActConfig's defaults are defined in terms of them, and
+ * validateActConfig() warns when a configuration diverges.
+ */
+inline constexpr std::size_t kInputGeneratorBufferEntries = 50;
+inline constexpr std::size_t kDebugBufferEntries = 60;
 
 /**
  * FIFO of the most recent RAW dependences observed by this core
@@ -30,9 +43,19 @@ class InputGeneratorBuffer
     explicit InputGeneratorBuffer(std::size_t capacity);
 
     /** Insert a dependence; the oldest entry drops when full. */
-    void push(const RawDependence &dep);
+    void
+    push(const RawDependence &dep)
+    {
+        if (size_ == capacity_) {
+            slots_[head_] = dep;
+            head_ = next(head_);
+        } else {
+            slots_[wrap(head_ + size_)] = dep;
+            ++size_;
+        }
+    }
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
 
     /**
@@ -41,11 +64,31 @@ class InputGeneratorBuffer
      */
     std::optional<DependenceSequence> lastSequence(std::size_t n) const;
 
-    void clear() { entries_.clear(); }
+    /**
+     * Non-allocating variant: fill @p out with the most recent @p n
+     * dependences, oldest first (reusing its storage). Returns false —
+     * leaving @p out untouched — when fewer than @p n are buffered.
+     */
+    bool lastSequence(std::size_t n, DependenceSequence &out) const;
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
 
   private:
+    std::size_t next(std::size_t i) const { return wrap(i + 1); }
+    std::size_t wrap(std::size_t i) const
+    {
+        return i >= capacity_ ? i - capacity_ : i;
+    }
+
     std::size_t capacity_;
-    std::deque<RawDependence> entries_;
+    std::vector<RawDependence> slots_; //!< Preallocated ring storage.
+    std::size_t head_ = 0;             //!< Index of the oldest entry.
+    std::size_t size_ = 0;
 };
 
 /** One Debug Buffer record. */
@@ -68,11 +111,11 @@ class DebugBuffer
     /** Log a flagged sequence; the oldest entry drops when full. */
     void log(DebugEntry entry);
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
 
-    /** Entries, oldest first. */
-    const std::deque<DebugEntry> &entries() const { return entries_; }
+    /** Entries, oldest first (materialised from the ring). */
+    std::vector<DebugEntry> entries() const;
 
     /** Total entries ever logged (including overwritten ones). */
     std::uint64_t totalLogged() const { return total_logged_; }
@@ -92,13 +135,21 @@ class DebugBuffer
     void
     clear()
     {
-        entries_.clear();
+        head_ = 0;
+        size_ = 0;
         total_logged_ = 0;
     }
 
   private:
+    std::size_t wrap(std::size_t i) const
+    {
+        return i >= capacity_ ? i - capacity_ : i;
+    }
+
     std::size_t capacity_;
-    std::deque<DebugEntry> entries_;
+    std::vector<DebugEntry> slots_; //!< Preallocated ring storage.
+    std::size_t head_ = 0;          //!< Index of the oldest entry.
+    std::size_t size_ = 0;
     std::uint64_t total_logged_ = 0;
 };
 

@@ -56,6 +56,14 @@ addConfigFinding(std::vector<Finding> &findings, const char *code,
                                    std::move(message)));
 }
 
+inline void
+addConfigWarning(std::vector<Finding> &findings, const char *code,
+                 std::string message)
+{
+    findings.push_back(makeFinding("config", code, Severity::kWarning,
+                                   std::move(message)));
+}
+
 } // namespace detail
 
 /**
@@ -63,7 +71,10 @@ addConfigFinding(std::vector<Finding> &findings, const char *code,
  * @p encoder_width values per dependence. Returns all violations
  * (empty = valid). Rule codes: "sequence-length", "topology",
  * "topology-mismatch", "fan-in", "input-buffer", "debug-buffer",
- * "threshold", "interval", "learning-rate", "fifo", "muladd".
+ * "threshold", "interval", "learning-rate", "fifo", "muladd", plus the
+ * kWarning code "table3-divergence" when a buffer size departs from
+ * the Table III defaults (legal — fig9 sweeps do it on purpose — but
+ * worth flagging in a config under review).
  */
 inline std::vector<Finding>
 validateActConfig(const ActConfig &config, std::size_t encoder_width)
@@ -134,6 +145,24 @@ validateActConfig(const ActConfig &config, std::size_t encoder_width)
                 std::to_string(config.hw.neuron.muladd_units) +
                 " outside [1, M=" +
                 std::to_string(config.hw.neuron.max_inputs) + "]");
+    }
+    if (config.input_buffer_entries != kInputGeneratorBufferEntries &&
+        config.input_buffer_entries >= config.sequence_length) {
+        detail::addConfigWarning(
+            findings, "table3-divergence",
+            "input_buffer_entries " +
+                std::to_string(config.input_buffer_entries) +
+                " diverges from the Table III default of " +
+                std::to_string(kInputGeneratorBufferEntries));
+    }
+    if (config.debug_buffer_entries != kDebugBufferEntries &&
+        config.debug_buffer_entries >= 1) {
+        detail::addConfigWarning(
+            findings, "table3-divergence",
+            "debug_buffer_entries " +
+                std::to_string(config.debug_buffer_entries) +
+                " diverges from the Table III default of " +
+                std::to_string(kDebugBufferEntries));
     }
     return findings;
 }

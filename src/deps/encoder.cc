@@ -10,10 +10,18 @@ std::vector<double>
 DependenceEncoder::encodeSequence(const DependenceSequence &seq)
 {
     std::vector<double> inputs;
-    inputs.reserve(seq.deps.size() * width());
-    for (const auto &dep : seq.deps)
-        encode(dep, inputs);
+    encodeSequenceInto(seq, inputs);
     return inputs;
+}
+
+void
+DependenceEncoder::encodeSequenceInto(const DependenceSequence &seq,
+                                      std::vector<double> &out)
+{
+    out.clear();
+    out.reserve(seq.deps.size() * width());
+    for (const auto &dep : seq.deps)
+        encode(dep, out);
 }
 
 double

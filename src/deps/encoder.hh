@@ -76,6 +76,13 @@ class DependenceEncoder
     /** Encode a whole sequence (most recent dependence last). */
     std::vector<double> encodeSequence(const DependenceSequence &seq);
 
+    /**
+     * Non-allocating variant: encode into @p out, reusing its storage
+     * (cleared first). Hot path of ActModule::onDependence.
+     */
+    void encodeSequenceInto(const DependenceSequence &seq,
+                            std::vector<double> &out);
+
     /** Deep copy (each AM owns its encoder state snapshot). */
     virtual std::unique_ptr<DependenceEncoder> clone() const = 0;
 };

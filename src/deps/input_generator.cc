@@ -17,6 +17,52 @@ InputGenerator::InputGenerator(std::size_t sequence_length,
     ACT_ASSERT(sequence_length_ >= 1 && sequence_length_ <= kMaxFanIn);
 }
 
+namespace
+{
+
+/**
+ * Fixed-capacity sliding window of one thread's recent dependences.
+ * Ring storage sized at sequence length: once warm it never allocates,
+ * and the workloads run a handful of threads, so the containing list
+ * is a small vector scanned linearly rather than a hash map.
+ */
+struct ThreadWindow
+{
+    ThreadWindow(ThreadId thread, std::size_t length)
+        : tid(thread), ring(length)
+    {}
+
+    void
+    push(const RawDependence &dep)
+    {
+        ring[next] = dep;
+        next = next + 1 == ring.size() ? 0 : next + 1;
+        if (size < ring.size())
+            ++size;
+    }
+
+    /** Copy the window, oldest first, into @p out (requires full()). */
+    void
+    copyTo(std::vector<RawDependence> &out) const
+    {
+        out.resize(ring.size());
+        std::size_t i = next; // Oldest slot once the ring is full.
+        for (std::size_t k = 0; k < ring.size(); ++k) {
+            out[k] = ring[i];
+            i = i + 1 == ring.size() ? 0 : i + 1;
+        }
+    }
+
+    bool full() const { return size == ring.size(); }
+
+    ThreadId tid;
+    std::vector<RawDependence> ring;
+    std::size_t size = 0;
+    std::size_t next = 0; //!< Slot the next dependence lands in.
+};
+
+} // namespace
+
 GeneratedSequences
 InputGenerator::process(const Trace &trace, bool with_negatives) const
 {
@@ -25,7 +71,25 @@ InputGenerator::process(const Trace &trace, bool with_negatives) const
 
     // Sliding window of recent dependences, per thread (the paper
     // assigns a dependence to the processor executing the load).
-    std::unordered_map<ThreadId, std::deque<RawDependence>> history;
+    std::vector<ThreadWindow> history;
+    const auto windowFor = [&](ThreadId tid) -> ThreadWindow & {
+        for (auto &window : history) {
+            if (window.tid == tid)
+                return window;
+        }
+        history.emplace_back(tid, sequence_length_);
+        return history.back();
+    };
+
+    // Every load can yield at most one positive (and one negative), so
+    // the load counter bounds the output sizes.
+    const auto load_bound = static_cast<std::size_t>(trace.loadCount());
+    out.positives.reserve(load_bound);
+    out.positive_tids.reserve(load_bound);
+    if (with_negatives) {
+        out.negatives.reserve(load_bound);
+        out.negative_tids.reserve(load_bound);
+    }
 
     Rng negative_rng(hashCombine(0x9e6a71fe5ULL, trace.size()));
 
@@ -69,15 +133,13 @@ InputGenerator::process(const Trace &trace, bool with_negatives) const
             continue;
         ++out.dependence_count;
 
-        auto &window = history[event.tid];
-        window.push_back(*dep);
-        if (window.size() > sequence_length_)
-            window.pop_front();
-        if (window.size() < sequence_length_)
+        auto &window = windowFor(event.tid);
+        window.push(*dep);
+        if (!window.full())
             continue;
 
         DependenceSequence positive;
-        positive.deps.assign(window.begin(), window.end());
+        window.copyTo(positive.deps);
         out.positives.push_back(positive);
         out.positive_tids.push_back(event.tid);
 

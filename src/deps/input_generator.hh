@@ -21,8 +21,6 @@
 #ifndef ACT_DEPS_INPUT_GENERATOR_HH
 #define ACT_DEPS_INPUT_GENERATOR_HH
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "deps/encoder.hh"

@@ -1,7 +1,6 @@
 #include "deps/tracker.hh"
 
 #include "common/logging.hh"
-#include "trace/trace.hh"
 
 namespace act
 {
@@ -11,78 +10,31 @@ DependenceTracker::DependenceTracker(Granularity granularity,
     : granularity_(granularity), line_size_(line_size)
 {
     ACT_ASSERT(line_size_ >= 4 && (line_size_ & (line_size_ - 1)) == 0);
-}
-
-Addr
-DependenceTracker::normalize(Addr addr) const
-{
-    if (granularity_ == Granularity::kWord)
-        return addr & ~Addr{3};
-    return addr & ~static_cast<Addr>(line_size_ - 1);
-}
-
-void
-DependenceTracker::recordStore(const TraceEvent &event)
-{
-    ACT_ASSERT(event.kind == EventKind::kStore);
-    const Addr loc = normalize(event.addr);
-    auto &last = last_[loc];
-    if (last.valid())
-        previous_[loc] = last;
-    last = WriterRecord{event.pc, event.tid};
-}
-
-std::optional<RawDependence>
-DependenceTracker::formDependence(const TraceEvent &event) const
-{
-    ACT_ASSERT(event.kind == EventKind::kLoad);
-    const auto it = last_.find(normalize(event.addr));
-    if (it == last_.end() || !it->second.valid())
-        return std::nullopt;
-    return RawDependence{it->second.pc, event.pc,
-                         it->second.tid != event.tid};
+    normalize_mask_ = granularity_ == Granularity::kWord
+                          ? ~Addr{3}
+                          : ~static_cast<Addr>(line_size_ - 1);
 }
 
 std::optional<RawDependence>
 DependenceTracker::formNegativeDependence(const TraceEvent &event) const
 {
     ACT_ASSERT(event.kind == EventKind::kLoad);
-    const Addr loc = normalize(event.addr);
-    const auto it = previous_.find(loc);
-    if (it == previous_.end() || !it->second.valid())
+    const WriterEntry *entry = writers_.find(normalize(event.addr));
+    if (entry == nullptr || !entry->prev.valid())
         return std::nullopt;
     // Skip degenerate negatives identical to the positive dependence.
-    const auto last_it = last_.find(loc);
-    if (last_it != last_.end() && last_it->second.pc == it->second.pc &&
-        (last_it->second.tid != event.tid) ==
-            (it->second.tid != event.tid)) {
+    if (entry->last.valid() && entry->last.pc == entry->prev.pc &&
+        (entry->last.tid != event.tid) == (entry->prev.tid != event.tid)) {
         return std::nullopt;
     }
-    return RawDependence{it->second.pc, event.pc,
-                         it->second.tid != event.tid};
-}
-
-std::optional<RawDependence>
-DependenceTracker::observe(const TraceEvent &event)
-{
-    switch (event.kind) {
-      case EventKind::kStore:
-        recordStore(event);
-        return std::nullopt;
-      case EventKind::kLoad:
-        if (isFilteredLoad(event))
-            return std::nullopt;
-        return formDependence(event);
-      default:
-        return std::nullopt;
-    }
+    return RawDependence{entry->prev.pc, event.pc,
+                         entry->prev.tid != event.tid};
 }
 
 void
 DependenceTracker::clear()
 {
-    last_.clear();
-    previous_.clear();
+    writers_.clear();
 }
 
 } // namespace act

@@ -15,11 +15,12 @@
 #define ACT_DEPS_TRACKER_HH
 
 #include <optional>
-#include <unordered_map>
 
 #include "common/types.hh"
 #include "deps/raw_dependence.hh"
+#include "deps/writer_table.hh" // WriterRecord + flat storage
 #include "trace/event.hh"
+#include "trace/trace.hh" // isFilteredLoad
 
 namespace act
 {
@@ -29,15 +30,6 @@ enum class Granularity : std::uint8_t
 {
     kWord, //!< 4-byte words (precise; default design).
     kLine  //!< Whole cache lines (cheaper; false sharing possible).
-};
-
-/** A store that has been observed: who and where. */
-struct WriterRecord
-{
-    Pc pc = kInvalidPc;
-    ThreadId tid = kInvalidThread;
-
-    bool valid() const { return pc != kInvalidPc; }
 };
 
 /**
@@ -53,8 +45,20 @@ class DependenceTracker
     explicit DependenceTracker(Granularity granularity = Granularity::kWord,
                                std::uint32_t line_size = 64);
 
+    // The tracker sits on the per-event hot path (every store inserts,
+    // every load probes), so the accessors below are defined inline:
+    // out-of-line definitions cost a call per event and stop the
+    // compiler from fusing the hash/probe with the caller's loop.
+
     /** Record a store event. */
-    void recordStore(const TraceEvent &event);
+    void
+    recordStore(const TraceEvent &event)
+    {
+        WriterEntry &entry = writers_.upsert(normalize(event.addr));
+        if (entry.last.valid())
+            entry.prev = entry.last;
+        entry.last = WriterRecord{event.pc, event.tid};
+    }
 
     /**
      * Form the RAW dependence for a load event, if the location has a
@@ -64,8 +68,15 @@ class DependenceTracker
      * @return The dependence, or nullopt when no writer is known (e.g.,
      *         the location was never written in this trace).
      */
-    std::optional<RawDependence> formDependence(
-        const TraceEvent &event) const;
+    std::optional<RawDependence>
+    formDependence(const TraceEvent &event) const
+    {
+        const WriterEntry *entry = writers_.find(normalize(event.addr));
+        if (entry == nullptr || !entry->last.valid())
+            return std::nullopt;
+        return RawDependence{entry->last.pc, event.pc,
+                             entry->last.tid != event.tid};
+    }
 
     /**
      * Form the *invalid* dependence for a load: same load instruction,
@@ -76,22 +87,38 @@ class DependenceTracker
         const TraceEvent &event) const;
 
     /** Dispatch on event kind; returns a dependence for loads. */
-    std::optional<RawDependence> observe(const TraceEvent &event);
+    std::optional<RawDependence>
+    observe(const TraceEvent &event)
+    {
+        switch (event.kind) {
+          case EventKind::kStore:
+            recordStore(event);
+            return std::nullopt;
+          case EventKind::kLoad:
+            if (isFilteredLoad(event))
+                return std::nullopt;
+            return formDependence(event);
+          default:
+            return std::nullopt;
+        }
+    }
 
     /** Number of tracked locations. */
-    std::size_t trackedLocations() const { return last_.size(); }
+    std::size_t trackedLocations() const { return writers_.size(); }
 
     void clear();
 
     Granularity granularity() const { return granularity_; }
 
   private:
-    Addr normalize(Addr addr) const;
+    Addr normalize(Addr addr) const { return addr & normalize_mask_; }
 
     Granularity granularity_;
     std::uint32_t line_size_;
-    std::unordered_map<Addr, WriterRecord> last_;
-    std::unordered_map<Addr, WriterRecord> previous_;
+    Addr normalize_mask_; //!< Precomputed ~(granule - 1).
+
+    /** Last + previous writer per location, one flat table. */
+    WriterTable writers_;
 };
 
 } // namespace act

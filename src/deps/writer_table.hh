@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Flat open-addressing map from data addresses to writer records.
+ *
+ * The dependence tracker is the hottest software structure in the
+ * simulate→track→infer pipeline: every store inserts and every load
+ * probes it. `std::unordered_map` pays a heap allocation per node and
+ * a pointer chase per probe, and the tracker used two of them (last
+ * and previous writer) so each store touched both. This table stores
+ * both records inline in one power-of-two slot array with linear
+ * probing — one hash, one (usually L1-resident) probe chain, zero
+ * per-event allocations once warm.
+ *
+ * Deletion is not supported because the tracker never erases entries
+ * (clear() drops everything); that keeps probing tombstone-free.
+ */
+
+#ifndef ACT_DEPS_WRITER_TABLE_HH
+#define ACT_DEPS_WRITER_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace act
+{
+
+/** A store that has been observed: who and where. */
+struct WriterRecord
+{
+    Pc pc = kInvalidPc;
+    ThreadId tid = kInvalidThread;
+
+    bool valid() const { return pc != kInvalidPc; }
+};
+
+/** One tracked location: its last and previous writers. */
+struct WriterEntry
+{
+    Addr key = 0;
+    WriterRecord last;
+    WriterRecord prev;
+    bool used = false;
+};
+
+/**
+ * Open-addressing hash table of WriterEntry slots.
+ */
+class WriterTable
+{
+  public:
+    /** @param initial_slots Starting slot count (rounded up to 2^k). */
+    explicit WriterTable(std::size_t initial_slots = 1024)
+    {
+        std::size_t capacity = 16;
+        shift_ = 60;
+        while (capacity < initial_slots) {
+            capacity <<= 1;
+            --shift_;
+        }
+        slots_.resize(capacity);
+    }
+
+    std::size_t size() const { return size_; }
+
+    /**
+     * Find the entry for @p key, inserting an empty one when absent
+     * (entry.last stays invalid until the caller records a store).
+     */
+    WriterEntry &
+    upsert(Addr key)
+    {
+        if ((size_ + 1) * 10 > slots_.size() * 7)
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hashSlot(key);
+        for (;;) {
+            WriterEntry &slot = slots_[i];
+            if (!slot.used) {
+                slot.used = true;
+                slot.key = key;
+                ++size_;
+                return slot;
+            }
+            if (slot.key == key)
+                return slot;
+            i = (i + 1) & mask;
+        }
+    }
+
+    /** Find the entry for @p key; nullptr when absent. */
+    const WriterEntry *
+    find(Addr key) const
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hashSlot(key);
+        for (;;) {
+            const WriterEntry &slot = slots_[i];
+            if (!slot.used)
+                return nullptr;
+            if (slot.key == key)
+                return &slot;
+            i = (i + 1) & mask;
+        }
+    }
+
+    /** Drop every entry; keeps the slot storage allocated. */
+    void
+    clear()
+    {
+        for (WriterEntry &slot : slots_)
+            slot = WriterEntry{};
+        size_ = 0;
+    }
+
+  private:
+    /**
+     * Fibonacci hashing: one multiply, then keep the *high* bits. The
+     * high bits of key * phi^-1 are well mixed even for the sequential
+     * word addresses traces are full of, at a third of the latency of
+     * the SplitMix64 finaliser — and the hash is on the per-event path.
+     */
+    std::size_t
+    hashSlot(Addr key) const
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9e3779b97f4a7c15ULL) >> shift_);
+    }
+
+    void
+    grow()
+    {
+        std::vector<WriterEntry> old;
+        old.swap(slots_);
+        slots_.resize(old.size() * 2);
+        --shift_;
+        const std::size_t mask = slots_.size() - 1;
+        for (const WriterEntry &entry : old) {
+            if (!entry.used)
+                continue;
+            std::size_t i = hashSlot(entry.key);
+            while (slots_[i].used)
+                i = (i + 1) & mask;
+            slots_[i] = entry;
+        }
+    }
+
+    std::vector<WriterEntry> slots_;
+    std::size_t size_ = 0;
+    unsigned shift_ = 54; //!< 64 - log2(slots).
+};
+
+} // namespace act
+
+#endif // ACT_DEPS_WRITER_TABLE_HH

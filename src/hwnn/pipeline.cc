@@ -7,17 +7,51 @@
 namespace act
 {
 
+namespace
+{
+
+/**
+ * Neuron::weightedSum over a packed register row: bias then one
+ * saturating multiply-add per input, in exactly the reference order
+ * (fixed-point truncation makes the order observable).
+ */
+HwFixed
+weightedSumRow(const HwFixed *w, const HwFixed *inputs, std::size_t n)
+{
+    HwFixed acc = w[0]; // bias, a_0 == 1
+    for (std::size_t j = 0; j < n; ++j)
+        acc = acc + w[j + 1] * inputs[j];
+    return acc;
+}
+
+/** Neuron::applyUpdate over a packed register row. */
+void
+applyUpdateRow(HwFixed *w, HwFixed delta, const HwFixed *inputs,
+               std::size_t n)
+{
+    w[0] = w[0] + delta;
+    for (std::size_t j = 0; j < n; ++j)
+        w[j + 1] = w[j + 1] + delta * inputs[j];
+}
+
+} // namespace
+
 HwNeuralNetwork::HwNeuralNetwork(const HwNetworkConfig &config,
                                  Topology topology)
     : config_(config), topology_(topology), sigmoid_(),
-      output_(config.neuron, sigmoid_)
+      reg_stride_(config.neuron.max_inputs + 1)
 {
+    ACT_ASSERT(config_.neuron.max_inputs >= 1);
+    ACT_ASSERT(config_.neuron.muladd_units >= 1 &&
+               config_.neuron.muladd_units <= config_.neuron.max_inputs);
     ACT_ASSERT(topology_.valid());
     ACT_ASSERT(topology_.inputs <= config_.neuron.max_inputs);
     ACT_ASSERT(topology_.hidden <= config_.neuron.max_inputs);
-    hidden_.reserve(config_.neuron.max_inputs);
-    for (std::uint32_t i = 0; i < config_.neuron.max_inputs; ++i)
-        hidden_.emplace_back(config_.neuron, sigmoid_);
+    hidden_w_.assign(config_.neuron.max_inputs * reg_stride_, HwFixed{});
+    output_w_.assign(reg_stride_, HwFixed{});
+    fixed_inputs_.reserve(config_.neuron.max_inputs);
+    hidden_out_.reserve(config_.neuron.max_inputs);
+    hidden_delta_.reserve(config_.neuron.max_inputs);
 }
 
 void
@@ -38,20 +72,45 @@ HwNeuralNetwork::weightCount() const
            (topology_.hidden + 1);
 }
 
-double
-HwNeuralNetwork::infer(std::span<const double> inputs) const
+void
+HwNeuralNetwork::toFixed(std::span<const double> inputs) const
 {
     ACT_ASSERT(inputs.size() == topology_.inputs);
     fixed_inputs_.clear();
     for (const double v : inputs)
         fixed_inputs_.push_back(HwFixed::fromDouble(v));
+}
 
+HwFixed
+HwNeuralNetwork::forwardFixed() const
+{
+    const HwFixed *in = fixed_inputs_.data();
     hidden_out_.resize(topology_.hidden);
-    for (std::size_t k = 0; k < topology_.hidden; ++k)
-        hidden_out_[k] = hidden_[k].evaluate(fixed_inputs_);
-    return output_.evaluate(std::span<const HwFixed>(
-                                hidden_out_.data(), topology_.hidden))
-        .toDouble();
+    for (std::size_t k = 0; k < topology_.hidden; ++k) {
+        hidden_out_[k] = sigmoid_.lookup(
+            weightedSumRow(hiddenRow(k), in, topology_.inputs));
+    }
+    return weightedSumRow(output_w_.data(), hidden_out_.data(),
+                          topology_.hidden);
+}
+
+double
+HwNeuralNetwork::infer(std::span<const double> inputs) const
+{
+    toFixed(inputs);
+    return sigmoid_.lookup(forwardFixed()).toDouble();
+}
+
+void
+HwNeuralNetwork::inferBatch(std::span<const std::vector<double>> batch,
+                            std::vector<double> &outputs) const
+{
+    outputs.clear();
+    outputs.reserve(batch.size());
+    for (const auto &inputs : batch) {
+        toFixed(inputs);
+        outputs.push_back(sigmoid_.lookup(forwardFixed()).toDouble());
+    }
 }
 
 double
@@ -61,36 +120,28 @@ HwNeuralNetwork::confidence(std::span<const double> inputs) const
 }
 
 double
+HwNeuralNetwork::inferWithRaw(std::span<const double> inputs,
+                              double &raw) const
+{
+    toFixed(inputs);
+    const HwFixed acc = forwardFixed();
+    raw = acc.toDouble();
+    return sigmoid_.lookup(acc).toDouble();
+}
+
+double
 HwNeuralNetwork::rawOutput(std::span<const double> inputs) const
 {
-    ACT_ASSERT(inputs.size() == topology_.inputs);
-    fixed_inputs_.clear();
-    for (const double v : inputs)
-        fixed_inputs_.push_back(HwFixed::fromDouble(v));
-    hidden_out_.resize(topology_.hidden);
-    for (std::size_t k = 0; k < topology_.hidden; ++k)
-        hidden_out_[k] = hidden_[k].evaluate(fixed_inputs_);
-    return output_
-        .weightedSum(std::span<const HwFixed>(hidden_out_.data(),
-                                              topology_.hidden))
-        .toDouble();
+    toFixed(inputs);
+    return forwardFixed().toDouble();
 }
 
 double
 HwNeuralNetwork::train(std::span<const double> inputs, double target,
                        double learning_rate)
 {
-    ACT_ASSERT(inputs.size() == topology_.inputs);
-    fixed_inputs_.clear();
-    for (const double v : inputs)
-        fixed_inputs_.push_back(HwFixed::fromDouble(v));
-
-    hidden_out_.resize(topology_.hidden);
-    for (std::size_t k = 0; k < topology_.hidden; ++k)
-        hidden_out_[k] = hidden_[k].evaluate(fixed_inputs_);
-    const std::span<const HwFixed> hidden_span(hidden_out_.data(),
-                                               topology_.hidden);
-    const HwFixed out = output_.evaluate(hidden_span);
+    toFixed(inputs);
+    const HwFixed out = sigmoid_.lookup(forwardFixed());
 
     // Output delta: o * (1 - o) * (t - o), scaled by the learning rate.
     const HwFixed one = HwFixed::fromDouble(1.0);
@@ -99,16 +150,19 @@ HwNeuralNetwork::train(std::span<const double> inputs, double target,
     const HwFixed lr = HwFixed::fromDouble(learning_rate);
 
     // Hidden deltas use the output weights *before* the update.
-    std::vector<HwFixed> hidden_delta(topology_.hidden);
+    hidden_delta_.resize(topology_.hidden);
     for (std::size_t k = 0; k < topology_.hidden; ++k) {
-        const HwFixed back = output_.weightAt(k + 1) * out_err;
-        hidden_delta[k] =
+        const HwFixed back = output_w_[k + 1] * out_err;
+        hidden_delta_[k] =
             hidden_out_[k] * (one - hidden_out_[k]) * back * lr;
     }
 
-    output_.applyUpdate(lr * out_err, hidden_span);
-    for (std::size_t k = 0; k < topology_.hidden; ++k)
-        hidden_[k].applyUpdate(hidden_delta[k], fixed_inputs_);
+    applyUpdateRow(output_w_.data(), lr * out_err, hidden_out_.data(),
+                   topology_.hidden);
+    for (std::size_t k = 0; k < topology_.hidden; ++k) {
+        applyUpdateRow(hiddenRow(k), hidden_delta_[k],
+                       fixed_inputs_.data(), topology_.inputs);
+    }
 
     return out.toDouble();
 }
@@ -118,14 +172,19 @@ HwNeuralNetwork::loadWeights(std::span<const double> weights)
 {
     ACT_ASSERT(weights.size() == weightCount());
     const std::size_t stride = topology_.inputs + 1;
-    for (std::size_t k = 0; k < topology_.hidden; ++k)
-        hidden_[k].setWeights(weights.subspan(k * stride, stride));
-    // Zero the weights of unused hidden neurons so they cannot affect
-    // a later topology change.
-    for (std::size_t k = topology_.hidden; k < hidden_.size(); ++k)
-        hidden_[k].setWeights(std::span<const double>{});
-    output_.setWeights(
-        weights.subspan(topology_.hidden * stride, topology_.hidden + 1));
+    // Registers beyond a neuron's loaded weights are zeroed — that is
+    // how the hardware disables surplus inputs, and it keeps stale
+    // values from leaking into a later topology change.
+    std::fill(hidden_w_.begin(), hidden_w_.end(), HwFixed{});
+    std::fill(output_w_.begin(), output_w_.end(), HwFixed{});
+    for (std::size_t k = 0; k < topology_.hidden; ++k) {
+        HwFixed *row = hiddenRow(k);
+        for (std::size_t j = 0; j < stride; ++j)
+            row[j] = HwFixed::fromDouble(weights[k * stride + j]);
+    }
+    const std::size_t out_base = topology_.hidden * stride;
+    for (std::size_t j = 0; j < topology_.hidden + 1; ++j)
+        output_w_[j] = HwFixed::fromDouble(weights[out_base + j]);
 }
 
 std::vector<double>
@@ -134,13 +193,12 @@ HwNeuralNetwork::storeWeights() const
     std::vector<double> out;
     out.reserve(weightCount());
     for (std::size_t k = 0; k < topology_.hidden; ++k) {
-        const auto w = hidden_[k].weightsAsDouble();
-        out.insert(out.end(), w.begin(),
-                   w.begin() + static_cast<long>(topology_.inputs + 1));
+        const HwFixed *row = hiddenRow(k);
+        for (std::size_t j = 0; j < topology_.inputs + 1; ++j)
+            out.push_back(row[j].toDouble());
     }
-    const auto w = output_.weightsAsDouble();
-    out.insert(out.end(), w.begin(),
-               w.begin() + static_cast<long>(topology_.hidden + 1));
+    for (std::size_t j = 0; j < topology_.hidden + 1; ++j)
+        out.push_back(output_w_[j].toDouble());
     return out;
 }
 
@@ -151,8 +209,8 @@ HwNeuralNetwork::weightAt(std::size_t index) const
     const std::size_t stride = topology_.inputs + 1;
     const std::size_t hidden_span = topology_.hidden * stride;
     if (index < hidden_span)
-        return hidden_[index / stride].weightAt(index % stride).toDouble();
-    return output_.weightAt(index - hidden_span).toDouble();
+        return hiddenRow(index / stride)[index % stride].toDouble();
+    return output_w_[index - hidden_span].toDouble();
 }
 
 void
@@ -162,11 +220,10 @@ HwNeuralNetwork::setWeightAt(std::size_t index, double value)
     const std::size_t stride = topology_.inputs + 1;
     const std::size_t hidden_span = topology_.hidden * stride;
     if (index < hidden_span) {
-        hidden_[index / stride].setWeightAt(index % stride,
-                                            HwFixed::fromDouble(value));
+        hiddenRow(index / stride)[index % stride] =
+            HwFixed::fromDouble(value);
     } else {
-        output_.setWeightAt(index - hidden_span,
-                            HwFixed::fromDouble(value));
+        output_w_[index - hidden_span] = HwFixed::fromDouble(value);
     }
 }
 

@@ -73,8 +73,28 @@ class HwNeuralNetwork
     /** Forward pass; output activation in (0, 1). */
     double infer(std::span<const double> inputs) const;
 
+    /**
+     * Evaluate a whole queue of input vectors in one pass — the
+     * per-drain batch path: instead of touching the weight file once
+     * per load, the drain walks every queued sequence against the
+     * weights while they are hot. Bit-identical to calling infer() on
+     * each element in order (the forward pass is pure), appending one
+     * output per element to @p outputs (cleared first).
+     */
+    void inferBatch(std::span<const std::vector<double>> batch,
+                    std::vector<double> &outputs) const;
+
     /** Signed confidence, infer() - 0.5. */
     double confidence(std::span<const double> inputs) const;
+
+    /**
+     * One forward pass yielding both the activation (returned) and the
+     * output neuron's pre-sigmoid accumulator (@p raw). Bit-identical
+     * to calling infer() and rawOutput() separately, at half the
+     * weight-file traffic — the AM's testing-mode path logs the raw
+     * value for every flagged sequence.
+     */
+    double inferWithRaw(std::span<const double> inputs, double &raw) const;
 
     /**
      * The output neuron's raw accumulator value (pre-sigmoid). The
@@ -137,11 +157,36 @@ class HwNeuralNetwork
   private:
     void drain(Cycle now) const;
 
+    /** Quantise @p inputs into fixed_inputs_. */
+    void toFixed(std::span<const double> inputs) const;
+
+    /** Forward pass over fixed_inputs_; fills hidden_out_ and returns
+     *  the output neuron's pre-sigmoid accumulator. */
+    HwFixed forwardFixed() const;
+
+    /** Weight registers of hidden neuron @p k ([bias, w_1 .. w_M]). */
+    HwFixed *hiddenRow(std::size_t k) { return &hidden_w_[k * reg_stride_]; }
+    const HwFixed *
+    hiddenRow(std::size_t k) const
+    {
+        return &hidden_w_[k * reg_stride_];
+    }
+
     HwNetworkConfig config_;
     Topology topology_;
     SigmoidTable sigmoid_;
-    std::vector<Neuron> hidden_;
-    Neuron output_;
+
+    /**
+     * Flat weight-register file, replacing per-Neuron objects on the
+     * inference path: M hidden rows of (M + 1) registers each, then the
+     * output row. The row-major packing walks exactly the access
+     * pattern of the forward pass, and the arithmetic replicates
+     * Neuron::weightedSum's accumulation order bit for bit (the Neuron
+     * class remains the single-neuron reference model).
+     */
+    std::size_t reg_stride_;         //!< Registers per neuron (M + 1).
+    std::vector<HwFixed> hidden_w_;  //!< M x reg_stride_, row-major.
+    std::vector<HwFixed> output_w_;  //!< reg_stride_ registers.
 
     /** Completion cycles of queued inputs (front = oldest). */
     mutable std::deque<Cycle> in_flight_;
@@ -152,6 +197,7 @@ class HwNeuralNetwork
 
     mutable std::vector<HwFixed> fixed_inputs_;
     mutable std::vector<HwFixed> hidden_out_;
+    mutable std::vector<HwFixed> hidden_delta_; //!< train() scratch.
 };
 
 } // namespace act

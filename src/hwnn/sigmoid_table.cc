@@ -11,27 +11,15 @@ namespace act
 SigmoidTable::SigmoidTable(std::size_t entries)
 {
     ACT_ASSERT(entries >= 2);
-    table_.resize(entries);
+    tables_[0].resize(entries);
+    tables_[1].resize(entries);
+    const HwFixed one = HwFixed::fromDouble(1.0);
     for (std::size_t i = 0; i < entries; ++i) {
         const double x = kInputRange * static_cast<double>(i) /
                          static_cast<double>(entries - 1);
-        table_[i] = HwFixed::fromDouble(1.0 / (1.0 + std::exp(-x)));
+        tables_[0][i] = HwFixed::fromDouble(1.0 / (1.0 + std::exp(-x)));
+        tables_[1][i] = one - tables_[0][i];
     }
-}
-
-HwFixed
-SigmoidTable::lookup(HwFixed x) const
-{
-    const bool negative = x.raw() < 0;
-    const double mag = std::abs(x.toDouble());
-    const auto last = table_.size() - 1;
-    const auto index = static_cast<std::size_t>(std::min(
-        mag / kInputRange * static_cast<double>(last),
-        static_cast<double>(last)));
-    const HwFixed positive_value = table_[index];
-    if (!negative)
-        return positive_value;
-    return HwFixed::fromDouble(1.0) - positive_value;
 }
 
 double

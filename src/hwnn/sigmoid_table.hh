@@ -6,6 +6,8 @@
 #ifndef ACT_HWNN_SIGMOID_TABLE_HH
 #define ACT_HWNN_SIGMOID_TABLE_HH
 
+#include <array>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -20,6 +22,11 @@ namespace act
  * The table stores sigmoid samples for inputs in [0, kInputRange];
  * negative inputs use sigmoid(-x) = 1 - sigmoid(x). Inputs beyond the
  * range saturate to 0/1, matching how a bounded hardware table behaves.
+ *
+ * The negative branch is precomputed: a second table holds
+ * 1 - sigmoid(x) for every entry, so lookup() is a pure select on the
+ * sign bit with no data-dependent branch — the hardware equivalent of
+ * feeding the accumulator's sign into the table's bank-select line.
  */
 class SigmoidTable
 {
@@ -31,15 +38,26 @@ class SigmoidTable
     explicit SigmoidTable(std::size_t entries = 256);
 
     /** Look up sigmoid(x) with linear index truncation. */
-    HwFixed lookup(HwFixed x) const;
+    HwFixed
+    lookup(HwFixed x) const
+    {
+        const std::size_t negative = x.raw() < 0;
+        const double mag = std::abs(x.toDouble());
+        const auto last = static_cast<double>(tables_[0].size() - 1);
+        const auto index =
+            static_cast<std::size_t>(std::min(mag / kInputRange * last,
+                                              last));
+        return tables_[negative][index];
+    }
 
-    std::size_t entries() const { return table_.size(); }
+    std::size_t entries() const { return tables_[0].size(); }
 
     /** Worst-case absolute error vs. the exact sigmoid over the range. */
     double maxAbsError() const;
 
   private:
-    std::vector<HwFixed> table_;
+    /** [0]: sigmoid(x) samples; [1]: 1 - sigmoid(x) complements. */
+    std::array<std::vector<HwFixed>, 2> tables_;
 };
 
 } // namespace act

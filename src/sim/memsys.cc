@@ -33,37 +33,36 @@ MemorySystem::MemorySystem(const MemSystemConfig &config)
     const std::uint32_t l1_sets = l1_lines / config_.l1_assoc;
     ACT_ASSERT(l1_sets >= 1);
 
-    const std::uint32_t words =
-        config_.writer_granularity == Granularity::kWord
-            ? config_.line_bytes / 4
-            : 1;
+    words_ = config_.writer_granularity == Granularity::kWord
+                 ? config_.line_bytes / 4
+                 : 1;
+    line_shift_ = 0;
+    while ((config_.line_bytes >> line_shift_) > 1)
+        ++line_shift_;
+    // With per-line granularity the arena has one record per line, so
+    // wordIndex must collapse to 0; a zero mask does that branch-free.
+    word_mask_ = config_.writer_granularity == Granularity::kWord
+                     ? config_.line_bytes - 1
+                     : 0;
 
     l2_.resize(config_.cores);
     l1_.resize(config_.cores);
     for (CoreId c = 0; c < config_.cores; ++c) {
         l2_[c].sets = l2_sets;
         l2_[c].assoc = config_.l2_assoc;
-        l2_[c].lines.resize(static_cast<std::size_t>(l2_sets) *
-                            config_.l2_assoc);
-        for (auto &line : l2_[c].lines)
-            line.writers.resize(words);
+        const auto l2_entries =
+            static_cast<std::size_t>(l2_sets) * config_.l2_assoc;
+        l2_[c].lines.resize(l2_entries);
+        l2_[c].writers.assign(l2_entries * words_, WriterRecord{});
 
         l1_[c].sets = l1_sets;
         l1_[c].assoc = config_.l1_assoc;
         const auto n = static_cast<std::size_t>(l1_sets) *
                        config_.l1_assoc;
         l1_[c].tags.assign(n, 0);
-        l1_[c].valid.assign(n, false);
+        l1_[c].valid.assign(n, 0);
         l1_[c].lru.assign(n, 0);
     }
-}
-
-std::uint32_t
-MemorySystem::wordIndex(Addr addr) const
-{
-    if (config_.writer_granularity == Granularity::kLine)
-        return 0;
-    return static_cast<std::uint32_t>((addr % config_.line_bytes) / 4);
 }
 
 MemorySystem::Line *
@@ -103,8 +102,7 @@ MemorySystem::victimLine(CoreId core, Addr line_addr)
     ++stats_.evictions;
     l1Invalidate(core, victim->tag);
     victim->state = Mesi::kInvalid;
-    for (auto &writer : victim->writers)
-        writer = WriterRecord{};
+    std::fill_n(lineWriters(array, victim), words_, WriterRecord{});
     return *victim;
 }
 
@@ -116,7 +114,8 @@ MemorySystem::l1Lookup(CoreId core, Addr line_addr, bool allocate)
         static_cast<std::uint32_t>(line_addr % array.sets);
     const std::size_t base = static_cast<std::size_t>(set) * array.assoc;
     for (std::uint32_t w = 0; w < array.assoc; ++w) {
-        if (array.valid[base + w] && array.tags[base + w] == line_addr) {
+        if (array.valid[base + w] != 0 &&
+            array.tags[base + w] == line_addr) {
             array.lru[base + w] = ++tick_;
             return true;
         }
@@ -126,7 +125,7 @@ MemorySystem::l1Lookup(CoreId core, Addr line_addr, bool allocate)
     std::size_t victim = base;
     for (std::uint32_t w = 0; w < array.assoc; ++w) {
         const std::size_t i = base + w;
-        if (!array.valid[i]) {
+        if (array.valid[i] == 0) {
             victim = i;
             break;
         }
@@ -134,7 +133,7 @@ MemorySystem::l1Lookup(CoreId core, Addr line_addr, bool allocate)
             victim = i;
     }
     array.tags[victim] = line_addr;
-    array.valid[victim] = true;
+    array.valid[victim] = 1;
     array.lru[victim] = ++tick_;
     return false;
 }
@@ -147,8 +146,8 @@ MemorySystem::l1Invalidate(CoreId core, Addr line_addr)
         static_cast<std::uint32_t>(line_addr % array.sets);
     const std::size_t base = static_cast<std::size_t>(set) * array.assoc;
     for (std::uint32_t w = 0; w < array.assoc; ++w) {
-        if (array.valid[base + w] && array.tags[base + w] == line_addr)
-            array.valid[base + w] = false;
+        if (array.valid[base + w] != 0 && array.tags[base + w] == line_addr)
+            array.valid[base + w] = 0;
     }
 }
 
@@ -181,18 +180,19 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
         // Local hit (loads hit in any valid state; stores need
         // ownership).
         line->lru = ++tick_;
+        WriterRecord *writers = lineWriters(l2_[core], line);
         if (is_store) {
             line->state = Mesi::kModified;
-            line->writers[word] = WriterRecord{event.pc, event.tid};
+            writers[word] = WriterRecord{event.pc, event.tid};
             if (config_.writeback_writer_metadata) {
                 auto &mem = memory_writers_[laddr];
-                mem.resize(line->writers.size());
-                mem[word] = line->writers[word];
+                mem.resize(words_);
+                mem[word] = writers[word];
             }
         } else {
             result.last_writer =
-                line->writers[word].valid()
-                    ? std::optional<WriterRecord>(line->writers[word])
+                writers[word].valid()
+                    ? std::optional<WriterRecord>(writers[word])
                     : std::nullopt;
         }
         result.l1_hit = l1_hit;
@@ -216,6 +216,7 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
 
     // Miss or upgrade: snoop the other cores.
     Line *owner = nullptr;
+    CoreId owner_core = kInvalidCore;
     bool owner_was_modified = false;
     bool any_sharer = false;
     for (CoreId c = 0; c < config_.cores; ++c) {
@@ -226,12 +227,13 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
             if (remote->state == Mesi::kModified ||
                 remote->state == Mesi::kExclusive) {
                 owner = remote;
+                owner_core = c;
                 owner_was_modified = remote->state == Mesi::kModified;
             }
             if (is_store) {
                 remote->state = Mesi::kInvalid;
-                for (auto &writer : remote->writers)
-                    writer = WriterRecord{};
+                std::fill_n(lineWriters(l2_[c], remote), words_,
+                            WriterRecord{});
                 l1Invalidate(c, laddr);
                 ++stats_.invalidations;
             } else if (remote->state == Mesi::kModified ||
@@ -243,10 +245,10 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
 
     const bool upgrade = line != nullptr; // store to an S line
     Line &dest = upgrade ? *line : victimLine(core, laddr);
+    WriterRecord *dest_writers = lineWriters(l2_[core], &dest);
     if (!upgrade) {
         dest.tag = laddr;
-        for (auto &writer : dest.writers)
-            writer = WriterRecord{};
+        std::fill_n(dest_writers, words_, WriterRecord{});
     }
     dest.lru = ++tick_;
 
@@ -258,14 +260,16 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
     bool piggybacked = false;
     if (owner != nullptr && !is_store &&
         (owner_was_modified || config_.always_piggyback_writer)) {
-        dest.writers = owner->writers;
+        std::copy_n(lineWriters(l2_[owner_core], owner), words_,
+                    dest_writers);
         piggybacked = true;
     } else if (!is_store && config_.always_piggyback_writer) {
         for (CoreId c = 0; c < config_.cores && !piggybacked; ++c) {
             if (c == core)
                 continue;
             if (Line *remote = findLine(c, laddr)) {
-                dest.writers = remote->writers;
+                std::copy_n(lineWriters(l2_[c], remote), words_,
+                            dest_writers);
                 piggybacked = true;
             }
         }
@@ -273,7 +277,9 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
     if (!piggybacked && !is_store && config_.writeback_writer_metadata) {
         if (const auto it = memory_writers_.find(laddr);
             it != memory_writers_.end()) {
-            dest.writers = it->second;
+            std::copy_n(it->second.data(),
+                        std::min<std::size_t>(it->second.size(), words_),
+                        dest_writers);
             piggybacked = true;
         }
     }
@@ -290,16 +296,16 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
 
     if (is_store) {
         dest.state = Mesi::kModified;
-        dest.writers[word] = WriterRecord{event.pc, event.tid};
+        dest_writers[word] = WriterRecord{event.pc, event.tid};
         if (config_.writeback_writer_metadata) {
             auto &mem = memory_writers_[laddr];
-            mem.resize(dest.writers.size());
-            mem[word] = dest.writers[word];
+            mem.resize(words_);
+            mem[word] = dest_writers[word];
         }
     } else {
         dest.state = any_sharer ? Mesi::kShared : Mesi::kExclusive;
-        if (piggybacked && dest.writers[word].valid())
-            result.last_writer = dest.writers[word];
+        if (piggybacked && dest_writers[word].valid())
+            result.last_writer = dest_writers[word];
         if (result.last_writer)
             ++stats_.writer_known;
         else
@@ -323,14 +329,13 @@ void
 MemorySystem::reset()
 {
     for (auto &array : l2_) {
-        for (auto &line : array.lines) {
+        for (auto &line : array.lines)
             line.state = Mesi::kInvalid;
-            for (auto &writer : line.writers)
-                writer = WriterRecord{};
-        }
+        std::fill(array.writers.begin(), array.writers.end(),
+                  WriterRecord{});
     }
     for (auto &array : l1_)
-        std::fill(array.valid.begin(), array.valid.end(), false);
+        std::fill(array.valid.begin(), array.valid.end(), 0);
     memory_writers_.clear();
 }
 

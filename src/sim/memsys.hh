@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -147,13 +148,18 @@ class MemorySystem
     Mesi stateOf(CoreId core, Addr addr) const;
 
   private:
+    /**
+     * One L2 line's coherence metadata. Last-writer records live in
+     * the owning CacheArray's flat arena (one block of `words` records
+     * per line, indexed by line position) instead of a per-line vector:
+     * the access path is the simulator's hottest loop and per-line heap
+     * nodes cost an extra cache miss per touch.
+     */
     struct Line
     {
         Addr tag = 0;
         Mesi state = Mesi::kInvalid;
         std::uint64_t lru = 0;
-        /** Last writer per word (size 1 when tracking per line). */
-        std::vector<WriterRecord> writers;
     };
 
     struct CacheArray
@@ -161,23 +167,38 @@ class MemorySystem
         std::uint32_t sets = 0;
         std::uint32_t assoc = 0;
         std::vector<Line> lines; //!< sets * assoc, set-major.
+        /** Last writer per word, lines * words, line-major. */
+        std::vector<WriterRecord> writers;
     };
 
     struct L1Array
     {
         std::uint32_t sets = 0;
         std::uint32_t assoc = 0;
-        std::vector<Addr> tags;          //!< sets * assoc.
-        std::vector<bool> valid;
+        std::vector<Addr> tags;            //!< sets * assoc.
+        std::vector<std::uint8_t> valid;   //!< Byte flags (bit-packed
+                                           //!< vector<bool> is slower).
         std::vector<std::uint64_t> lru;
     };
 
     Addr lineAddr(Addr addr) const
     {
-        return addr / config_.line_bytes;
+        return addr >> line_shift_;
     }
 
-    std::uint32_t wordIndex(Addr addr) const;
+    std::uint32_t wordIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr & word_mask_) >> 2;
+    }
+
+    /** The arena block of @p line (always `words_` records). */
+    WriterRecord *
+    lineWriters(CacheArray &array, const Line *line)
+    {
+        return array.writers.data() +
+               static_cast<std::size_t>(line - array.lines.data()) *
+                   words_;
+    }
 
     Line *findLine(CoreId core, Addr line_addr);
     Line &victimLine(CoreId core, Addr line_addr);
@@ -190,6 +211,10 @@ class MemorySystem
     std::vector<CacheArray> l2_;
     std::vector<L1Array> l1_;
     std::uint64_t tick_ = 0; //!< LRU clock.
+
+    std::uint32_t words_ = 1;     //!< Writer records per line.
+    std::uint32_t line_shift_ = 6; //!< log2(line_bytes).
+    Addr word_mask_ = 63;          //!< line_bytes - 1.
 
     /** Memory-resident metadata (writeback_writer_metadata only). */
     std::unordered_map<Addr, std::vector<WriterRecord>> memory_writers_;

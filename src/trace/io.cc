@@ -111,9 +111,14 @@ readTrace(const std::string &path, Trace &trace)
     if (count > payload / sizeof(DiskEvent))
         return false;
 
+    // Decode block-wise: validate and unpack a whole disk chunk into a
+    // scratch event batch, then land it with one bulk append instead of
+    // per-event bookkeeping.
     constexpr std::size_t kChunk = 4096;
-    std::vector<DiskEvent> block(
-        static_cast<std::size_t>(std::min<std::uint64_t>(count, kChunk)));
+    const std::size_t block_cap =
+        static_cast<std::size_t>(std::min<std::uint64_t>(count, kChunk));
+    std::vector<DiskEvent> block(block_cap);
+    std::vector<TraceEvent> decoded(block_cap);
     trace.reserve(static_cast<std::size_t>(count));
     std::uint64_t remaining = count;
     while (remaining > 0) {
@@ -122,12 +127,14 @@ readTrace(const std::string &path, Trace &trace)
         if (std::fread(block.data(), sizeof(DiskEvent), n, file.get()) != n)
             return false;
         for (std::size_t i = 0; i < n; ++i) {
-            const DiskEvent &rec = block[i];
-            if (rec.kind >
+            if (block[i].kind >
                 static_cast<std::uint8_t>(EventKind::kThreadExit)) {
                 return false; // Corrupted record.
             }
-            TraceEvent event;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const DiskEvent &rec = block[i];
+            TraceEvent &event = decoded[i];
             event.pc = rec.pc;
             event.addr = rec.addr;
             event.tid = rec.tid;
@@ -136,8 +143,8 @@ readTrace(const std::string &path, Trace &trace)
             event.kind = static_cast<EventKind>(rec.kind);
             event.taken = (rec.flags & 1u) != 0;
             event.stack = (rec.flags & 2u) != 0;
-            trace.append(event);
         }
+        trace.appendBlock(std::span<const TraceEvent>(decoded.data(), n));
         remaining -= n;
     }
     return true;

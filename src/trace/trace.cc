@@ -58,6 +58,40 @@ Trace::append(TraceEvent event)
     events_.push_back(event);
 }
 
+void
+Trace::appendBlock(std::span<const TraceEvent> events)
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    const std::size_t base = events_.size();
+    events_.resize(base + events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        TraceEvent &dst = events_[base + i];
+        dst = events[i];
+        dst.seq = base + i;
+        instructions += 1 + dst.gap;
+        switch (dst.kind) {
+          case EventKind::kLoad:
+            ++loads;
+            break;
+          case EventKind::kStore:
+            ++stores;
+            break;
+          case EventKind::kBranch:
+            ++branches;
+            break;
+          default:
+            break;
+        }
+    }
+    instructions_ += instructions;
+    loads_ += loads;
+    stores_ += stores;
+    branches_ += branches;
+}
+
 std::uint32_t
 Trace::threadCount() const
 {

@@ -7,6 +7,7 @@
 #define ACT_TRACE_TRACE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/event.hh"
@@ -45,6 +46,15 @@ class Trace : public TraceSink
 {
   public:
     void append(TraceEvent event) override;
+
+    /**
+     * Bulk append: copies @p events in one resize, assigning sequence
+     * numbers and accumulating the summary counters locally before a
+     * single write-back. Deserialisation hot path — readTrace decodes
+     * whole disk blocks and lands them here instead of paying the
+     * per-event append() bookkeeping.
+     */
+    void appendBlock(std::span<const TraceEvent> events);
 
     const std::vector<TraceEvent> &events() const { return events_; }
     std::vector<TraceEvent> &events() { return events_; }

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for readTrace.
+ *
+ * A cached trace file can be damaged in arbitrary ways — truncated
+ * writes, torn pages, bit rot — and readTrace is the only gate between
+ * that file and the rest of the pipeline. Over ~1k seeded mutations of
+ * a valid file (truncations, bit flips, and targeted clobbers of the
+ * count / kind / size fields) the reader must always terminate with
+ * either a structured failure or a trace the linter can still judge —
+ * never a crash, hang, or runaway allocation. The CI ASan job turns
+ * any out-of-bounds read on a mangled buffer into a hard failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_lint.hh"
+#include "common/rng.hh"
+#include "trace/io.hh"
+
+namespace act
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<unsigned char>
+makeValidTraceBytes()
+{
+    Rng rng(0xf022);
+    Trace trace;
+    for (std::size_t i = 0; i < 400; ++i) {
+        TraceEvent event;
+        event.tid = static_cast<ThreadId>(rng.next(4));
+        event.kind = rng.chance(0.6) ? EventKind::kLoad : EventKind::kStore;
+        event.pc = 0x1000 + rng.next(1024) * 4;
+        event.addr = 0x8000 + rng.next(4096) * 4;
+        event.size = 4;
+        event.gap = static_cast<std::uint16_t>(rng.next(32));
+        trace.append(event);
+    }
+    const std::string path = tempPath("fuzz-pristine.trc");
+    EXPECT_TRUE(writeTrace(trace, path));
+    std::ifstream in(path, std::ios::binary);
+    std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>()};
+    std::remove(path.c_str());
+    EXPECT_FALSE(bytes.empty());
+    return bytes;
+}
+
+void
+writeBytes(const std::string &path, const std::vector<unsigned char> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!bytes.empty()) {
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+    }
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+// On-disk layout constants mirrored from trace/io.cc: 8-byte magic,
+// 8-byte count, then packed 32-byte records.
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 32;
+
+TEST(TraceIoFuzz, MutatedFilesNeverCrashTheReader)
+{
+    const std::vector<unsigned char> pristine = makeValidTraceBytes();
+    const std::string path = tempPath("fuzz-mutant.trc");
+
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    constexpr std::uint64_t kIterations = 1000;
+    for (std::uint64_t seed = 1; seed <= kIterations; ++seed) {
+        Rng rng(hashCombine(0xf0220000ULL, seed));
+        std::vector<unsigned char> bytes = pristine;
+
+        switch (rng.next(5)) {
+          case 0: // Truncate anywhere, including inside the header.
+            bytes.resize(rng.next(bytes.size() + 1));
+            break;
+          case 1: { // Flip a single bit.
+            const std::size_t at = rng.next(bytes.size());
+            bytes[at] ^= static_cast<unsigned char>(1u << rng.next(8));
+            break;
+          }
+          case 2: { // Clobber the declared event count.
+            std::uint64_t bogus = rng();
+            if (rng.chance(0.5))
+                bogus = rng.next(1000); // Small lies, not just huge ones.
+            std::memcpy(bytes.data() + 8, &bogus, sizeof(bogus));
+            break;
+          }
+          case 3: { // Clobber a record's kind byte (offset 26 in-record).
+            const std::size_t record =
+                rng.next((bytes.size() - kHeaderBytes) / kRecordBytes);
+            const std::size_t at =
+                kHeaderBytes + record * kRecordBytes + 26;
+            bytes[at] = static_cast<unsigned char>(rng.next(256));
+            break;
+          }
+          default: { // Clobber a record's size field (offset 20).
+            const std::size_t record =
+                rng.next((bytes.size() - kHeaderBytes) / kRecordBytes);
+            const std::size_t at =
+                kHeaderBytes + record * kRecordBytes + 20;
+            std::uint32_t junk = static_cast<std::uint32_t>(rng());
+            std::memcpy(bytes.data() + at, &junk, sizeof(junk));
+            break;
+          }
+        }
+
+        writeBytes(path, bytes);
+        Trace loaded;
+        const bool ok = readTrace(path, loaded);
+        if (ok) {
+            ++accepted;
+            // A successful read honours the declared count exactly and
+            // never reads past the payload the file actually holds.
+            ASSERT_GE(bytes.size(), kHeaderBytes) << "seed " << seed;
+            std::uint64_t declared = 0;
+            std::memcpy(&declared, bytes.data() + 8, sizeof(declared));
+            ASSERT_EQ(loaded.size(), declared) << "seed " << seed;
+            ASSERT_LE(loaded.size() * kRecordBytes,
+                      bytes.size() - kHeaderBytes)
+                << "seed " << seed;
+            // The linter must be able to judge whatever came back —
+            // structurally damaged content is its job to reject.
+            (void)lintTrace(loaded);
+        } else {
+            ++rejected;
+            EXPECT_TRUE(loaded.empty()) << "seed " << seed;
+        }
+    }
+    std::remove(path.c_str());
+
+    // The mutation mix must actually exercise both outcomes, or the
+    // test is fuzzing the error path (or the happy path) alone.
+    EXPECT_GT(accepted, 0u);
+    EXPECT_GT(rejected, kIterations / 4);
+}
+
+TEST(TraceIoFuzz, EmptyAndHeaderOnlyFilesRejected)
+{
+    const std::string path = tempPath("fuzz-tiny.trc");
+    for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 15u}) {
+        std::vector<unsigned char> bytes(size, 0);
+        if (size > 0)
+            std::memcpy(bytes.data(), "ACTTRC01",
+                        std::min<std::size_t>(size, 8));
+        writeBytes(path, bytes);
+        Trace loaded;
+        EXPECT_FALSE(readTrace(path, loaded)) << size;
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace act
