@@ -1,5 +1,7 @@
 #include "runner/thread_pool.hh"
 
+#include <exception>
+
 namespace act
 {
 
@@ -63,21 +65,53 @@ void
 WorkStealingPool::wait()
 {
     // A worker calling wait() would deadlock (it cannot both sleep and
-    // drain); help execute instead.
+    // drain); help execute instead. The caller's own task is still
+    // counted in pending_ — it only decrements after the task returns —
+    // so the drain target is 1, not 0: waiting for its own count would
+    // spin forever.
     if (tls_worker_index >= 0) {
-        while (pending_.load() > 0) {
+        while (pending_.load() > 1) {
             Task task = claim(static_cast<unsigned>(tls_worker_index));
             if (!task) {
                 std::this_thread::yield();
                 continue;
             }
-            task();
+            runTask(task);
             pending_.fetch_sub(1);
         }
         return;
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);
     done_cv_.wait(lock, [this] { return pending_.load() == 0; });
+}
+
+void
+WorkStealingPool::runTask(Task &task)
+{
+    // A throwing task must never unwind into workerLoop: the exception
+    // would escape the thread entry point and std::terminate the whole
+    // process, killing every other in-flight job with it. Absorb it,
+    // record it, and let the pool keep draining.
+    try {
+        task();
+    } catch (const std::exception &e) {
+        if (exceptions_.fetch_add(1) == 0) {
+            std::lock_guard<std::mutex> lock(exception_mutex_);
+            first_exception_ = e.what();
+        }
+    } catch (...) {
+        if (exceptions_.fetch_add(1) == 0) {
+            std::lock_guard<std::mutex> lock(exception_mutex_);
+            first_exception_ = "unknown exception";
+        }
+    }
+}
+
+std::string
+WorkStealingPool::firstExceptionMessage() const
+{
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    return first_exception_;
 }
 
 WorkStealingPool::Task
@@ -126,7 +160,7 @@ WorkStealingPool::workerLoop(unsigned index)
             });
             continue;
         }
-        task();
+        runTask(task);
         if (pending_.fetch_sub(1) == 1) {
             // Last task down: wake wait()ers. Taking the lock orders
             // this notify against the waiter's predicate check.

@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,19 @@ class WorkStealingPool
     /** Tasks executed by a worker other than the one they were queued on. */
     std::uint64_t stealCount() const { return steals_.load(); }
 
+    /**
+     * Tasks whose callable threw. An escaping exception would call
+     * std::terminate on the worker thread and take the whole process
+     * down, so the pool absorbs it, counts it here and keeps the first
+     * message for post-mortem. This is a backstop: callers that care
+     * about *which* task failed (the campaign runner does) must catch
+     * inside the task and turn the error into data themselves.
+     */
+    std::uint64_t exceptionCount() const { return exceptions_.load(); }
+
+    /** what() of the first absorbed exception ("" when none). */
+    std::string firstExceptionMessage() const;
+
   private:
     struct Worker
     {
@@ -76,6 +90,9 @@ class WorkStealingPool
     };
 
     void workerLoop(unsigned index);
+
+    /** Run @p task, absorbing (and recording) anything it throws. */
+    void runTask(Task &task);
 
     /**
      * Claim one task: own deque back first, then steal from the other
@@ -95,7 +112,11 @@ class WorkStealingPool
     std::atomic<std::uint64_t> pending_{0};   //!< Submitted, not finished.
     std::atomic<std::uint64_t> next_queue_{0};
     std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> exceptions_{0};
     std::atomic<bool> stop_{false};
+
+    mutable std::mutex exception_mutex_;
+    std::string first_exception_; //!< Guarded by exception_mutex_.
 };
 
 } // namespace act

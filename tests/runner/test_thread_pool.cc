@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -112,6 +113,53 @@ TEST(WorkStealingPool, ZeroMeansHardwareConcurrency)
 {
     WorkStealingPool pool(0);
     EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(WorkStealingPool, ThrowingTaskDoesNotTerminateTheProcess)
+{
+    WorkStealingPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) {
+        if (i == 37) {
+            pool.submit([] { throw std::runtime_error("task 37 died"); });
+        } else {
+            pool.submit([&counter] { counter.fetch_add(1); });
+        }
+    }
+    pool.wait();
+    // Every non-throwing task still ran; the failure is data, not death.
+    EXPECT_EQ(counter.load(), 99);
+    EXPECT_EQ(pool.exceptionCount(), 1u);
+    EXPECT_EQ(pool.firstExceptionMessage(), "task 37 died");
+}
+
+TEST(WorkStealingPool, NonStdExceptionIsAbsorbedToo)
+{
+    WorkStealingPool pool(1);
+    pool.submit([] { throw 42; });
+    pool.wait();
+    EXPECT_EQ(pool.exceptionCount(), 1u);
+    EXPECT_EQ(pool.firstExceptionMessage(), "unknown exception");
+}
+
+TEST(WorkStealingPool, HelpExecutePathAbsorbsExceptions)
+{
+    // wait() called from a worker thread executes tasks inline; a
+    // throwing task on that path must be absorbed just the same.
+    WorkStealingPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&pool, &counter] {
+        for (int i = 0; i < 4; ++i)
+            pool.submit([&counter, i] {
+                if (i == 1)
+                    throw std::runtime_error("inner");
+                counter.fetch_add(1);
+            });
+        pool.wait(); // help-execute from inside the worker
+    });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 3);
+    EXPECT_EQ(pool.exceptionCount(), 1u);
 }
 
 } // namespace
