@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "act/buffers.hh"
+#include "common/fault_hooks.hh"
 #include "hwnn/pipeline.hh"
 #include "nn/network.hh"
 
@@ -42,6 +43,14 @@ struct ActConfig
     /** Logical topology (inputs must equal sequence_length x encoder
      *  width; checked at module construction). */
     Topology topology{6, 10};
+
+    /**
+     * Fault-injection decision points (resilience experiments only).
+     * Null — the default — means no faults; the hot path then costs
+     * one never-taken branch per site. Non-owning: the campaign job
+     * that wires an injector keeps it alive for the run.
+     */
+    FaultHooks *faults = nullptr;
 };
 
 /**

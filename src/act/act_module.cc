@@ -35,10 +35,28 @@ ActModule::ActModule(const ActConfig &config,
       rate_(config.interval_length)
 {}
 
+bool
+ActModule::weightsUsable(const std::vector<double> &weights) const
+{
+    // loadWeights() quantises through an int32 cast, so NaN/Inf or
+    // out-of-range values (e.g. from an injected bit flip in the
+    // store) would be undefined behaviour — they must be rejected
+    // before they reach the network.
+    return clean(validateWeights(config_.topology, weights));
+}
+
 std::size_t
 ActModule::initThread(ThreadId tid, const WeightStore &store)
 {
-    if (const auto weights = store.get(tid)) {
+    const auto weights = store.get(tid);
+    const bool usable = weights && weightsUsable(*weights);
+    if (weights && !usable) {
+        // Degradation, not death: a corrupt stored set is quarantined
+        // and the module retrains from scratch, exactly as if the
+        // store had no entry for the thread.
+        ++stats_.quarantined_weight_sets;
+    }
+    if (usable) {
         network_.loadWeights(*weights);
         mode_ = ActMode::kTesting;
     } else {
@@ -63,7 +81,14 @@ ActModule::saveWeights() const
 void
 ActModule::restoreWeights(const std::vector<double> &weights)
 {
-    network_.loadWeights(weights);
+    if (weightsUsable(weights)) {
+        network_.loadWeights(weights);
+    } else {
+        ++stats_.quarantined_weight_sets;
+        std::vector<double> zeros(network_.weightCount(), 0.0);
+        network_.loadWeights(zeros);
+        switchMode(ActMode::kTraining);
+    }
     input_buffer_.clear();
 }
 
@@ -92,7 +117,14 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
     if (mode_ == ActMode::kTraining)
         ++stats_.training_dependences;
 
-    input_buffer_.push(dep);
+    if (config_.faults && config_.faults->dropInputDependence()) {
+        // Injected Input Generator fault: the dependence never reaches
+        // the buffer, as if the hardware write port glitched.
+        ++stats_.input_drops_injected;
+        return outcome;
+    }
+    if (input_buffer_.push(dep))
+        ++stats_.input_buffer_overwrites;
     if (!input_buffer_.lastSequence(config_.sequence_length, seq_scratch_))
         return outcome;
     const DependenceSequence &sequence = seq_scratch_;
@@ -144,9 +176,16 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
         // updated network (matching what the hardware would log after
         // the back-propagation pass); in testing mode the forward pass
         // already produced it.
-        debug_.log(DebugEntry{sequence,
-                              training ? network_.rawOutput(inputs) : raw,
-                              stats_.predictions, tid});
+        if (config_.faults && config_.faults->dropDebugLog()) {
+            // Injected Debug Buffer fault: the flagged sequence is
+            // silently lost before it can be logged.
+            ++stats_.debug_drops_injected;
+        } else if (debug_.log(DebugEntry{sequence,
+                                         training ? network_.rawOutput(inputs)
+                                                  : raw,
+                                         stats_.predictions, tid})) {
+            ++stats_.debug_buffer_overwrites;
+        }
     }
 
     // Periodic misprediction-rate check drives the mode switches. A

@@ -55,6 +55,16 @@ struct ActModuleStats
     std::uint64_t stalled_offers = 0;  //!< Loads delayed by a full FIFO.
     Cycle stall_cycles = 0;            //!< Total retire-stall cycles.
     std::uint64_t training_dependences = 0; //!< Seen while training.
+
+    // Degradation accounting. The overwrite counters tally ring
+    // saturation (normal for the sliding input window, real loss for
+    // the Debug Buffer); the injected/quarantine counters are zero on
+    // any fault-free run.
+    std::uint64_t input_buffer_overwrites = 0; //!< Ring-saturated pushes.
+    std::uint64_t debug_buffer_overwrites = 0; //!< Flags lost to saturation.
+    std::uint64_t input_drops_injected = 0;    //!< Faulted-away deps.
+    std::uint64_t debug_drops_injected = 0;    //!< Faulted-away log entries.
+    std::uint64_t quarantined_weight_sets = 0; //!< Corrupt sets rejected.
 };
 
 /** Outcome of feeding one dependence to the AM. */
@@ -116,6 +126,10 @@ class ActModule
 
   private:
     void switchMode(ActMode next);
+
+    /** True when @p weights can be loaded without UB (finite, in the
+     *  Q15.16 range, count matching the topology). */
+    bool weightsUsable(const std::vector<double> &weights) const;
 
     ActConfig config_;
     std::unique_ptr<DependenceEncoder> encoder_;

@@ -51,17 +51,21 @@ DebugBuffer::DebugBuffer(std::size_t capacity)
     ACT_ASSERT(capacity_ >= 1);
 }
 
-void
+bool
 DebugBuffer::log(DebugEntry entry)
 {
+    bool overwrote = false;
     if (size_ == capacity_) {
         slots_[head_] = std::move(entry);
         head_ = wrap(head_ + 1);
+        ++overwrites_;
+        overwrote = true;
     } else {
         slots_[wrap(head_ + size_)] = std::move(entry);
         ++size_;
     }
     ++total_logged_;
+    return overwrote;
 }
 
 std::vector<DebugEntry>

@@ -42,21 +42,31 @@ class InputGeneratorBuffer
   public:
     explicit InputGeneratorBuffer(std::size_t capacity);
 
-    /** Insert a dependence; the oldest entry drops when full. */
-    void
+    /**
+     * Insert a dependence; the oldest entry drops when full.
+     *
+     * @return true when the ring was saturated and the oldest entry was
+     *         overwritten (the hardware loses that dependence).
+     */
+    bool
     push(const RawDependence &dep)
     {
         if (size_ == capacity_) {
             slots_[head_] = dep;
             head_ = next(head_);
-        } else {
-            slots_[wrap(head_ + size_)] = dep;
-            ++size_;
+            ++overwrites_;
+            return true;
         }
+        slots_[wrap(head_ + size_)] = dep;
+        ++size_;
+        return false;
     }
 
     std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
+
+    /** Lifetime count of oldest-entry overwrites under saturation. */
+    std::uint64_t overwrites() const { return overwrites_; }
 
     /**
      * The most recent @p n dependences, oldest first; nullopt when
@@ -71,11 +81,16 @@ class InputGeneratorBuffer
      */
     bool lastSequence(std::size_t n, DependenceSequence &out) const;
 
+    /**
+     * Full reset, including the overwrite counter: a cleared buffer is
+     * indistinguishable from a freshly constructed one.
+     */
     void
     clear()
     {
         head_ = 0;
         size_ = 0;
+        overwrites_ = 0;
     }
 
   private:
@@ -89,6 +104,7 @@ class InputGeneratorBuffer
     std::vector<RawDependence> slots_; //!< Preallocated ring storage.
     std::size_t head_ = 0;             //!< Index of the oldest entry.
     std::size_t size_ = 0;
+    std::uint64_t overwrites_ = 0;     //!< Entries lost to saturation.
 };
 
 /** One Debug Buffer record. */
@@ -108,11 +124,19 @@ class DebugBuffer
   public:
     explicit DebugBuffer(std::size_t capacity);
 
-    /** Log a flagged sequence; the oldest entry drops when full. */
-    void log(DebugEntry entry);
+    /**
+     * Log a flagged sequence; the oldest entry drops when full.
+     *
+     * @return true when the ring was saturated and the oldest entry was
+     *         overwritten (that flagged sequence is lost to postmortem).
+     */
+    bool log(DebugEntry entry);
 
     std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
+
+    /** Lifetime count of oldest-entry overwrites under saturation. */
+    std::uint64_t overwrites() const { return overwrites_; }
 
     /** Entries, oldest first (materialised from the ring). */
     std::vector<DebugEntry> entries() const;
@@ -138,6 +162,7 @@ class DebugBuffer
         head_ = 0;
         size_ = 0;
         total_logged_ = 0;
+        overwrites_ = 0;
     }
 
   private:
@@ -151,6 +176,7 @@ class DebugBuffer
     std::size_t head_ = 0;          //!< Index of the oldest entry.
     std::size_t size_ = 0;
     std::uint64_t total_logged_ = 0;
+    std::uint64_t overwrites_ = 0;  //!< Entries lost to saturation.
 };
 
 } // namespace act

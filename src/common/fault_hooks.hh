@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fault-injection hook interface consumed by the ACT core and the
+ * simulated memory system.
+ *
+ * The fault layer (src/faults) needs to perturb decisions deep inside
+ * `act_act` and `act_sim` — drop a piggybacked last-writer record, lose
+ * an Input Generator push, swallow a Debug Buffer log — but those
+ * libraries must not link against the injector. This header inverts the
+ * dependency: the core layers consult an abstract FaultHooks pointer
+ * carried in their configs (null = no faults, the production default),
+ * and `src/faults` provides the one concrete implementation.
+ *
+ * Dormancy contract: every call site guards on the pointer being
+ * non-null, so a fault-free run takes exactly one predicted-not-taken
+ * branch per site and produces bit-identical results to a build without
+ * this header.
+ */
+
+#ifndef ACT_COMMON_FAULT_HOOKS_HH
+#define ACT_COMMON_FAULT_HOOKS_HH
+
+namespace act
+{
+
+/** What to do to one piggybacked last-writer transfer. */
+enum class WriterFaultAction
+{
+    kNone,  //!< Deliver the metadata untouched.
+    kDrop,  //!< Lose it: the load sees an unknown writer.
+    kStale, //!< Deliver metadata pointing at the wrong writer PC.
+};
+
+/**
+ * Injection decision points the core layers expose. Each method is
+ * called once per potential fault site in deterministic (program)
+ * order; implementations decide from their own seeded state, so a run
+ * with the same plan replays the same injections.
+ */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /**
+     * A load is about to receive piggybacked last-writer metadata from
+     * a coherence transfer.
+     */
+    virtual WriterFaultAction onWriterTransfer() = 0;
+
+    /**
+     * A RAW dependence is about to enter the Input Generator Buffer.
+     * @return true to drop it before it is buffered.
+     */
+    virtual bool dropInputDependence() = 0;
+
+    /**
+     * A flagged sequence is about to be logged into the Debug Buffer.
+     * @return true to drop the log entry.
+     */
+    virtual bool dropDebugLog() = 0;
+};
+
+} // namespace act
+
+#endif // ACT_COMMON_FAULT_HOOKS_HH

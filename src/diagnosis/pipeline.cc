@@ -176,8 +176,10 @@ diagnoseFailure(const Workload &workload, const DiagnosisSetup &setup)
     sys_config.act.sequence_length = setup.training.sequence_length;
     sys_config.act.topology = result.model.topology;
 
-    const WeightStore store =
+    WeightStore store =
         buildWeightStore(result.model, workload.threadCount());
+    if (setup.weight_store_hook)
+        setup.weight_store_hook(store);
 
     System system(sys_config, encoder, store);
     WorkloadParams failure_params;

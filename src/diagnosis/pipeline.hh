@@ -118,6 +118,14 @@ struct DiagnosisSetup
      * `training`.
      */
     TraceProvider trace_provider;
+
+    /**
+     * Applied to the binary-resident weight table after it is built
+     * and before the production run loads from it (empty = untouched).
+     * The resilience campaign corrupts stored weights here; the ACT
+     * Modules must quarantine what comes out.
+     */
+    std::function<void(WeightStore &)> weight_store_hook;
 };
 
 /** Outcome of a full diagnosis. */

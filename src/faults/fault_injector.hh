@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The concrete fault injector: seeded, replayable corruption of the
+ * artefacts and decision points a production deployment of ACT cannot
+ * trust to be pristine.
+ *
+ * Four fault classes, matching the failure model of DESIGN.md §10:
+ *
+ *  - trace streams: bit-flips in pc/addr, record drops, duplications
+ *    and tail truncation of recorded executions (storage or transport
+ *    corruption of the offline artefacts);
+ *  - stored weights: bit-flips in the binary-resident weight sets the
+ *    thread library loads at thread start (soft errors / bit rot in
+ *    the patched binary), which can produce NaN or out-of-Q15.16-range
+ *    values the degradation layer must quarantine;
+ *  - coherence metadata: dropped or stale piggybacked last-writer
+ *    records in cache-to-cache transfers (the paper's own
+ *    simplifications made adversarial);
+ *  - AM buffers: lost Input Generator pushes and Debug Buffer logs
+ *    (overflow/arbitration losses in the module's SRAM).
+ *
+ * Every decision is a pure function of (plan seed, site, occurrence
+ * index), so a run is replayable from its plan alone; every injection
+ * is appended to a structured log for post-mortem.
+ */
+
+#ifndef ACT_FAULTS_FAULT_INJECTOR_HH
+#define ACT_FAULTS_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_hooks.hh"
+#include "faults/fault_plan.hh"
+
+namespace act
+{
+
+class Trace;
+class WeightStore;
+
+/** Where an injection happened. */
+enum class FaultSite : std::uint8_t
+{
+    kTraceBitflip,
+    kTraceDrop,
+    kTraceDup,
+    kTraceTruncate,
+    kWeightBitflip,
+    kWriterDrop,
+    kWriterStale,
+    kInputDrop,
+    kDebugDrop,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 9;
+
+const char *faultSiteName(FaultSite site);
+
+/** One logged injection — enough to replay or audit the run. */
+struct InjectionRecord
+{
+    FaultSite site = FaultSite::kTraceBitflip;
+    std::uint64_t stream = 0; //!< Which artefact (trace/weight stream id,
+                              //!< 0 for online hook sites).
+    std::uint64_t index = 0;  //!< Occurrence index within the stream.
+    std::uint64_t detail = 0; //!< Site-specific (bit number, tid, ...).
+};
+
+/**
+ * The injector. One instance per experiment (it carries the injection
+ * log); not thread-safe — the simulator consuming the hooks is
+ * single-threaded within a job, and each campaign job owns its own
+ * injector.
+ */
+class FaultInjector final : public FaultHooks
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : plan_(plan) {}
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // --- Offline artefact corruption --------------------------------
+
+    /**
+     * Apply the plan's trace faults to @p trace in place. @p stream
+     * distinguishes different traces under the same plan (use e.g. the
+     * recording seed) so each is corrupted independently.
+     *
+     * Bit-flips touch only pc/addr — corrupting the event kind would
+     * model a decoder bug, not data corruption, and the trace reader
+     * already rejects unknown kinds. Summary counters are rebuilt.
+     *
+     * @return Number of injections performed.
+     */
+    std::size_t corruptTrace(Trace &trace, std::uint64_t stream);
+
+    /**
+     * Flip bits in the stored weight sets of @p store (the IEEE-754
+     * representation the binary carries — a flipped exponent or
+     * quiet-NaN bit is exactly what the quarantine layer must catch).
+     *
+     * @return Number of injections performed.
+     */
+    std::size_t corruptWeightStore(WeightStore &store,
+                                   std::uint64_t stream);
+
+    // --- FaultHooks (online decision points) ------------------------
+
+    WriterFaultAction onWriterTransfer() override;
+    bool dropInputDependence() override;
+    bool dropDebugLog() override;
+
+    // --- Audit ------------------------------------------------------
+
+    const std::vector<InjectionRecord> &log() const { return log_; }
+
+    std::uint64_t
+    injectionCount(FaultSite site) const
+    {
+        return counts_[static_cast<std::size_t>(site)];
+    }
+
+    std::uint64_t totalInjections() const;
+
+    /** Human-readable summary: per-site counts + the first records. */
+    std::string formatLog(std::size_t max_records = 8) const;
+
+  private:
+    /**
+     * The single decision primitive: true with probability @p rate,
+     * derived purely from (plan seed, site, a, b).
+     */
+    bool decide(FaultSite site, double rate, std::uint64_t a,
+                std::uint64_t b) const;
+
+    void record(FaultSite site, std::uint64_t stream, std::uint64_t index,
+                std::uint64_t detail);
+
+    FaultPlan plan_;
+    std::vector<InjectionRecord> log_;
+    std::array<std::uint64_t, kFaultSiteCount> counts_{};
+
+    // Occurrence counters for the online hook sites (the simulator
+    // calls them in deterministic program order).
+    std::uint64_t writer_calls_ = 0;
+    std::uint64_t input_calls_ = 0;
+    std::uint64_t debug_calls_ = 0;
+};
+
+} // namespace act
+
+#endif // ACT_FAULTS_FAULT_INJECTOR_HH

@@ -195,12 +195,84 @@ smokeCampaign()
     return campaign;
 }
 
+/**
+ * table-resilience: graceful degradation under injected faults.
+ *
+ * Four diagnose-act cells on pbzip2 (smoke-sized knobs, so the rate-0
+ * row reproduces the smoke diagnosis cell's oracle precision/recall
+ * exactly) sweeping a uniform fault rate over every injection site,
+ * plus three runner probes: a job that crashes, a job that hangs
+ * (cancelled by its 500 ms deadline) and a job that fails transiently
+ * once and succeeds on retry. Expected outcome under --keep-going:
+ * exactly two failed jobs (the crash and the hang), everything else
+ * reported.
+ */
+Campaign
+resilienceCampaign()
+{
+    Campaign campaign;
+    campaign.name = "table-resilience";
+    campaign.description =
+        "Resilience: diagnosis quality vs fault-injection rate, plus "
+        "crash/hang/transient runner probes";
+    for (const double rate : {0.0, 0.002, 0.01, 0.05}) {
+        JobSpec job;
+        job.id = static_cast<std::uint32_t>(campaign.jobs.size());
+        job.kind = JobKind::kResilience;
+        job.scheme = Scheme::kAct;
+        job.workload = "pbzip2";
+        // Mirror the smoke diagnosis cell so rate 0 is its baseline.
+        job.knobs.train_traces = 3;
+        job.knobs.diagnosis_epochs = 60;
+        job.knobs.diagnosis_max_examples = 6000;
+        job.knobs.postmortem_traces = 4;
+        job.knobs.fault_rate = rate;
+        job.knobs.fault_seed = 0xfa117;
+        campaign.jobs.push_back(std::move(job));
+    }
+    {
+        JobSpec job;
+        job.id = static_cast<std::uint32_t>(campaign.jobs.size());
+        job.kind = JobKind::kPrediction;
+        job.scheme = Scheme::kAct;
+        job.workload = "lu";
+        job.knobs.inject_fault = InjectedFault::kCrash;
+        campaign.jobs.push_back(std::move(job));
+    }
+    {
+        JobSpec job;
+        job.id = static_cast<std::uint32_t>(campaign.jobs.size());
+        job.kind = JobKind::kPrediction;
+        job.scheme = Scheme::kAct;
+        job.workload = "lu";
+        job.knobs.inject_fault = InjectedFault::kHang;
+        job.knobs.deadline_ms = 500;
+        campaign.jobs.push_back(std::move(job));
+    }
+    {
+        JobSpec job;
+        job.id = static_cast<std::uint32_t>(campaign.jobs.size());
+        job.kind = JobKind::kPrediction;
+        job.scheme = Scheme::kAct;
+        job.workload = "lu";
+        job.knobs.inject_fault = InjectedFault::kTransient;
+        job.knobs.inject_fail_attempts = 1;
+        job.knobs.train_traces = 2;
+        job.knobs.test_traces = 2;
+        job.knobs.max_epochs = 4;
+        job.knobs.max_examples = 500;
+        campaign.jobs.push_back(std::move(job));
+    }
+    return campaign;
+}
+
 } // namespace
 
 std::vector<std::string>
 campaignNames()
 {
-    return {"fig7a", "table4", "table4-ablation", "table5", "smoke"};
+    return {"fig7a", "table4", "table4-ablation", "table5",
+            "table-resilience", "smoke"};
 }
 
 bool
@@ -224,6 +296,8 @@ makeCampaign(const std::string &name)
         return table4AblationCampaign();
     if (name == "table5")
         return table5Campaign();
+    if (name == "table-resilience")
+        return resilienceCampaign();
     if (name == "smoke")
         return smokeCampaign();
     ACT_FATAL("unknown campaign: " << name);

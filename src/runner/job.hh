@@ -14,8 +14,10 @@
 #ifndef ACT_RUNNER_JOB_HH
 #define ACT_RUNNER_JOB_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,7 +33,40 @@ enum class JobKind : std::uint8_t
     kInvalidDeps,  //!< Fig 7(a) cell: synthesised invalid dependences.
     kDiagnoseAct,  //!< Table V ACT column: full single-failure loop.
     kDiagnoseAviso, //!< Table V Aviso column.
-    kDiagnosePbi   //!< Table V PBI column.
+    kDiagnosePbi,  //!< Table V PBI column.
+    kResilience    //!< Diagnose-act under an injected fault plan.
+};
+
+/** Why a job's result slot carries no trustworthy numbers. */
+enum class JobFailure : std::uint8_t
+{
+    kNone,             //!< The job ran to completion.
+    kException,        //!< It threw; JobResult::error holds the message.
+    kTimeout,          //!< It exceeded its wall-clock deadline.
+    kRetriesExhausted, //!< Transient failures on every allowed attempt.
+    kSkipped           //!< Never ran (--fail-fast after a failure).
+};
+
+const char *jobFailureName(JobFailure failure);
+
+/**
+ * Thrown by a job to signal a failure worth retrying (a glitch, not a
+ * bug): the runner re-attempts it with backoff up to its attempt
+ * budget. Any other exception is treated as permanent.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Fault a job injects into *itself* (runner resilience testing). */
+enum class InjectedFault : std::uint8_t
+{
+    kNone,
+    kCrash,     //!< Throw on every attempt (permanent failure).
+    kHang,      //!< Spin until the deadline watchdog cancels the job.
+    kTransient  //!< Throw TransientError on the first N attempts.
 };
 
 /** Diagnosis scheme a job exercises (informational in report rows). */
@@ -79,6 +114,13 @@ struct JobKnobs
      * implicates the bug).
      */
     std::vector<std::uint64_t> extra_root_pcs;
+
+    // Resilience jobs (kResilience) and runner fault injection.
+    double fault_rate = 0.0;        //!< Uniform FaultPlan rate.
+    std::uint64_t fault_seed = 1;   //!< FaultPlan seed.
+    InjectedFault inject_fault = InjectedFault::kNone;
+    std::uint32_t inject_fail_attempts = 0; //!< kTransient: throwing attempts.
+    std::uint64_t deadline_ms = 0;  //!< Per-job deadline; 0 = run default.
 };
 
 /** One experiment cell. */
@@ -103,6 +145,15 @@ struct JobResult
     std::uint32_t id = 0;
     bool ok = false;
 
+    /**
+     * Why ok is false (kNone while ok). Serialised — with error and
+     * attempts — only for failing or retried jobs, so fault-free
+     * reports stay byte-identical to pre-resilience ones.
+     */
+    JobFailure failure = JobFailure::kNone;
+    std::string error;          //!< Diagnostic for a failed job.
+    std::uint32_t attempts = 1; //!< Attempts consumed (retries + 1).
+
     /** Numeric outcomes; ordered map for stable serialisation. */
     std::map<std::string, double> metrics;
 
@@ -113,10 +164,25 @@ struct JobResult
 };
 
 /**
- * Execute one job. All trace recordings go through @p cache; the
- * workload registry must already be populated.
+ * Per-attempt execution context the runner hands to a job: which
+ * attempt this is, and the deadline watchdog's cancel flag, which
+ * long-running phases may poll to stop early.
  */
-JobResult runJob(const JobSpec &spec, TraceCache &cache);
+struct JobContext
+{
+    std::uint32_t attempt = 0; //!< 0-based attempt index.
+    const std::atomic<bool> *cancel = nullptr;
+
+    bool cancelled() const { return cancel != nullptr && cancel->load(); }
+};
+
+/**
+ * Execute one job. All trace recordings go through @p cache; the
+ * workload registry must already be populated. May throw — the
+ * runner's executor turns exceptions into structured failed results.
+ */
+JobResult runJob(const JobSpec &spec, TraceCache &cache,
+                 const JobContext &context = {});
 
 /** A campaign: a named, ordered list of jobs. */
 struct Campaign

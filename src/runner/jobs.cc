@@ -11,12 +11,14 @@
 #include "runner/job.hh"
 
 #include <chrono>
+#include <thread>
 
 #include "analysis/race_oracle.hh"
 #include "baselines/aviso.hh"
 #include "baselines/pbi.hh"
 #include "common/logging.hh"
 #include "diagnosis/pipeline.hh"
+#include "faults/fault_injector.hh"
 #include "nn/topology_search.hh"
 #include "runner/trace_cache.hh"
 
@@ -232,17 +234,37 @@ runInvalidDeps(const JobSpec &spec, TraceCache &cache, JobResult &result)
                   : 0.0;
 }
 
-/** Table V ACT column: the full Figure 1 loop, traces via the cache. */
+/**
+ * Table V ACT column: the full Figure 1 loop, traces via the cache.
+ * With a non-null @p inject, every offline artefact and online hook
+ * site runs under the injector's plan; with a null injector (or an
+ * all-zero plan) the computation is bit-identical to the fault-free
+ * path — the resilience table's rate-0 row depends on this.
+ */
 void
-runDiagnoseAct(const JobSpec &spec, TraceCache &cache, JobResult &result)
+runDiagnoseActImpl(const JobSpec &spec, TraceCache &cache,
+                   JobResult &result, FaultInjector *inject)
 {
     const JobKnobs &knobs = spec.knobs;
     const auto workload = makeWorkload(spec.workload);
 
-    const TraceProvider provider =
+    TraceProvider provider =
         [&cache](const Workload &w, const WorkloadParams &p) {
             return cache.record(w, p);
         };
+    if (inject != nullptr) {
+        // Corruption happens on the job's private copy, after the
+        // (shared, clean) cache: each trace is a distinct stream keyed
+        // by its recording parameters, so the damage is replayable and
+        // independent of recording order.
+        provider = [&cache, inject](const Workload &w,
+                                    const WorkloadParams &p) {
+            Trace trace = cache.record(w, p);
+            inject->corruptTrace(trace,
+                                 p.seed * 2 + (p.trigger_failure ? 1 : 0));
+            return trace;
+        };
+    }
 
     DiagnosisSetup setup;
     setup.training.traces = knobs.train_traces;
@@ -254,6 +276,13 @@ runDiagnoseAct(const JobSpec &spec, TraceCache &cache, JobResult &result)
     setup.failure_seed = knobs.failure_seed;
     if (knobs.debug_buffer_entries > 0)
         setup.system.act.debug_buffer_entries = knobs.debug_buffer_entries;
+    if (inject != nullptr) {
+        setup.weight_store_hook = [inject](WeightStore &store) {
+            inject->corruptWeightStore(store, 0);
+        };
+        setup.system.act.faults = inject;
+        setup.system.mem.faults = inject;
+    }
 
     const DiagnosisResult act = diagnoseFailure(*workload, setup);
 
@@ -296,6 +325,49 @@ runDiagnoseAct(const JobSpec &spec, TraceCache &cache, JobResult &result)
     result.labels["dbg.pos"] =
         act.debug_position ? formatCell("%zu", *act.debug_position)
                            : std::string("evicted");
+
+    if (inject != nullptr) {
+        // Degradation accounting: what the fault plan actually did and
+        // what the graceful-degradation layer absorbed.
+        result.metrics["injections"] =
+            static_cast<double>(inject->totalInjections());
+        for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+            const auto site = static_cast<FaultSite>(s);
+            result.metrics[std::string("inj_") + faultSiteName(site)] =
+                static_cast<double>(inject->injectionCount(site));
+        }
+        const ActModuleStats &am = act.run_stats.act;
+        result.metrics["quarantined_weight_sets"] =
+            static_cast<double>(am.quarantined_weight_sets);
+        result.metrics["input_drops_absorbed"] =
+            static_cast<double>(am.input_drops_injected);
+        result.metrics["debug_drops_absorbed"] =
+            static_cast<double>(am.debug_drops_injected);
+        result.metrics["debug_buffer_overwrites"] =
+            static_cast<double>(am.debug_buffer_overwrites);
+        result.metrics["oracle_recall"] = score.recall();
+    }
+}
+
+/** Table V ACT column (fault-free). */
+void
+runDiagnoseAct(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    runDiagnoseActImpl(spec, cache, result, nullptr);
+}
+
+/**
+ * Resilience cell: the diagnose-act recipe under a uniform fault plan
+ * at knobs.fault_rate, scored against the race oracle on the *clean*
+ * failing trace. Rate 0 reproduces the fault-free numbers exactly.
+ */
+void
+runResilience(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    FaultInjector inject(
+        FaultPlan::uniform(spec.knobs.fault_rate, spec.knobs.fault_seed));
+    runDiagnoseActImpl(spec, cache, result, &inject);
+    result.metrics["fault_rate"] = spec.knobs.fault_rate;
 }
 
 /** Table V Aviso column: failing runs fed one at a time. */
@@ -395,6 +467,20 @@ jobKindName(JobKind kind)
       case JobKind::kDiagnoseAct: return "diagnose-act";
       case JobKind::kDiagnoseAviso: return "diagnose-aviso";
       case JobKind::kDiagnosePbi: return "diagnose-pbi";
+      case JobKind::kResilience: return "resilience";
+    }
+    return "?";
+}
+
+const char *
+jobFailureName(JobFailure failure)
+{
+    switch (failure) {
+      case JobFailure::kNone: return "none";
+      case JobFailure::kException: return "exception";
+      case JobFailure::kTimeout: return "timeout";
+      case JobFailure::kRetriesExhausted: return "retries-exhausted";
+      case JobFailure::kSkipped: return "skipped";
     }
     return "?";
 }
@@ -411,11 +497,41 @@ schemeName(Scheme scheme)
 }
 
 JobResult
-runJob(const JobSpec &spec, TraceCache &cache)
+runJob(const JobSpec &spec, TraceCache &cache, const JobContext &context)
 {
     JobResult result;
     result.id = spec.id;
     const auto start = std::chrono::steady_clock::now();
+
+    // Self-injected runner faults (resilience tests exercise the
+    // executor's exception/timeout/retry handling through these).
+    switch (spec.knobs.inject_fault) {
+      case InjectedFault::kNone:
+        break;
+      case InjectedFault::kCrash:
+        throw std::runtime_error(
+            formatCell("injected crash (job %u)", spec.id));
+      case InjectedFault::kHang:
+        // Cooperative hang: spin until the deadline watchdog cancels
+        // the attempt, then surface the cancellation as an error. A
+        // hang with no watchdog armed would spin forever; refuse it.
+        if (context.cancel == nullptr) {
+            throw std::runtime_error(formatCell(
+                "injected hang needs a deadline (job %u)", spec.id));
+        }
+        while (!context.cancelled())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw std::runtime_error(
+            formatCell("injected hang cancelled (job %u)", spec.id));
+      case InjectedFault::kTransient:
+        if (context.attempt < spec.knobs.inject_fail_attempts) {
+            throw TransientError(formatCell(
+                "injected transient fault (job %u, attempt %u)", spec.id,
+                context.attempt));
+        }
+        break;
+    }
+
     switch (spec.kind) {
       case JobKind::kPrediction:
         runPrediction(spec, cache, result);
@@ -431,6 +547,9 @@ runJob(const JobSpec &spec, TraceCache &cache)
         break;
       case JobKind::kDiagnosePbi:
         runDiagnosePbi(spec, cache, result);
+        break;
+      case JobKind::kResilience:
+        runResilience(spec, cache, result);
         break;
     }
     result.ok = true;

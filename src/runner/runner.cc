@@ -1,13 +1,188 @@
 #include "runner/runner.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
 
+#include "common/hashing.hh"
 #include "runner/thread_pool.hh"
 #include "workloads/workload.hh"
 
 namespace act
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One background thread enforcing per-attempt wall-clock deadlines.
+ * An attempt arms a cancel flag with its deadline; the watchdog sets
+ * the flag once the deadline passes. Cancellation is cooperative —
+ * jobs poll JobContext::cancelled() from their long-running phases —
+ * so no thread is ever killed and every worker joins cleanly.
+ */
+class DeadlineWatchdog
+{
+  public:
+    DeadlineWatchdog() : thread_([this] { loop(); }) {}
+
+    ~DeadlineWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    std::shared_ptr<std::atomic<bool>>
+    arm(Clock::time_point deadline)
+    {
+        auto cancel = std::make_shared<std::atomic<bool>>(false);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            armed_.push_back({deadline, cancel});
+        }
+        cv_.notify_all();
+        return cancel;
+    }
+
+    void
+    disarm(const std::shared_ptr<std::atomic<bool>> &cancel)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
+                                    [&cancel](const Entry &e) {
+                                        return e.cancel == cancel;
+                                    }),
+                     armed_.end());
+    }
+
+  private:
+    struct Entry
+    {
+        Clock::time_point deadline;
+        std::shared_ptr<std::atomic<bool>> cancel;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            if (armed_.empty()) {
+                cv_.wait(lock);
+                continue;
+            }
+            Clock::time_point earliest = armed_.front().deadline;
+            for (const Entry &e : armed_)
+                earliest = std::min(earliest, e.deadline);
+            cv_.wait_until(lock, earliest);
+            const auto now = Clock::now();
+            for (Entry &e : armed_) {
+                if (e.deadline <= now)
+                    e.cancel->store(true);
+            }
+            armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
+                                        [now](const Entry &e) {
+                                            return e.deadline <= now;
+                                        }),
+                         armed_.end());
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Entry> armed_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+/**
+ * Run one job under the resilience policy: per-attempt deadline,
+ * bounded retry with exponential backoff (+ deterministic jitter) for
+ * TransientError, and every other escape turned into a structured
+ * failed result — a throwing job never takes the campaign down.
+ */
+JobResult
+executeJob(const JobSpec &spec, TraceCache &cache,
+           const RunOptions &options, DeadlineWatchdog *watchdog)
+{
+    const std::uint64_t deadline_ms = spec.knobs.deadline_ms != 0
+                                          ? spec.knobs.deadline_ms
+                                          : options.deadline_ms;
+    const std::uint32_t max_attempts = std::max(1u, options.max_attempts);
+
+    JobResult failed;
+    failed.id = spec.id;
+    failed.ok = false;
+
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        std::shared_ptr<std::atomic<bool>> cancel;
+        if (deadline_ms != 0 && watchdog != nullptr) {
+            cancel = watchdog->arm(Clock::now() +
+                                   std::chrono::milliseconds(deadline_ms));
+        }
+        JobContext context;
+        context.attempt = attempt;
+        context.cancel = cancel.get();
+        try {
+            JobResult result = runJob(spec, cache, context);
+            if (cancel)
+                watchdog->disarm(cancel);
+            result.attempts = attempt + 1;
+            return result;
+        } catch (const TransientError &e) {
+            if (cancel)
+                watchdog->disarm(cancel);
+            failed.failure = JobFailure::kRetriesExhausted;
+            failed.error = e.what();
+            failed.attempts = attempt + 1;
+            if (attempt + 1 < max_attempts &&
+                options.retry_backoff_ms != 0) {
+                // Exponential backoff with deterministic jitter: the
+                // delay is a pure function of (seed, job, attempt), so
+                // sweeps replay the same schedule run over run.
+                const std::uint64_t base = options.retry_backoff_ms
+                                           << attempt;
+                const std::uint64_t jitter =
+                    hash3(options.retry_seed, spec.id, attempt) %
+                    (base + 1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(base + jitter));
+            }
+        } catch (const std::exception &e) {
+            const bool timed_out = cancel && cancel->load();
+            if (cancel)
+                watchdog->disarm(cancel);
+            failed.failure = timed_out ? JobFailure::kTimeout
+                                       : JobFailure::kException;
+            failed.error = e.what();
+            failed.attempts = attempt + 1;
+            break; // Permanent: retrying a bug reproduces the bug.
+        } catch (...) {
+            const bool timed_out = cancel && cancel->load();
+            if (cancel)
+                watchdog->disarm(cancel);
+            failed.failure = timed_out ? JobFailure::kTimeout
+                                       : JobFailure::kException;
+            failed.error = "unknown exception";
+            failed.attempts = attempt + 1;
+            break;
+        }
+    }
+    return failed;
+}
+
+} // namespace
 
 CampaignRunResult
 runCampaign(const Campaign &campaign, const RunOptions &options)
@@ -19,19 +194,52 @@ runCampaign(const Campaign &campaign, const RunOptions &options)
 
     TraceCache cache(options.cache_dir, options.memory_cache);
 
+    // The watchdog thread exists only when some job can have a
+    // deadline; deadline-free campaigns pay nothing.
+    bool any_deadline = options.deadline_ms != 0;
+    for (const JobSpec &spec : campaign.jobs)
+        any_deadline = any_deadline || spec.knobs.deadline_ms != 0;
+    std::unique_ptr<DeadlineWatchdog> watchdog;
+    if (any_deadline)
+        watchdog = std::make_unique<DeadlineWatchdog>();
+
+    std::atomic<bool> abort{false};
+
     const auto start = std::chrono::steady_clock::now();
     {
         WorkStealingPool pool(options.jobs);
         run.threads = pool.threadCount();
         for (const JobSpec &spec : campaign.jobs) {
             JobResult &slot = run.results[spec.id];
-            pool.submit([&spec, &slot, &cache, &options] {
-                slot = runJob(spec, cache);
+            pool.submit([&spec, &slot, &cache, &options, &abort,
+                         watchdog_raw = watchdog.get()] {
+                if (abort.load()) {
+                    slot.id = spec.id;
+                    slot.ok = false;
+                    slot.failure = JobFailure::kSkipped;
+                    slot.error = "skipped after an earlier failure "
+                                 "(fail-fast)";
+                    return;
+                }
+                slot = executeJob(spec, cache, options, watchdog_raw);
+                if (slot.failure != JobFailure::kNone &&
+                    !options.keep_going) {
+                    abort.store(true);
+                }
                 if (options.verbose) {
-                    std::fprintf(stderr,
-                                 "  [%3u] %-16s %-14s %8.0f ms\n",
-                                 spec.id, spec.workload.c_str(),
-                                 jobKindName(spec.kind), slot.wall_ms);
+                    if (slot.failure == JobFailure::kNone) {
+                        std::fprintf(stderr,
+                                     "  [%3u] %-16s %-14s %8.0f ms\n",
+                                     spec.id, spec.workload.c_str(),
+                                     jobKindName(spec.kind),
+                                     slot.wall_ms);
+                    } else {
+                        std::fprintf(stderr,
+                                     "  [%3u] %-16s %-14s FAILED (%s)\n",
+                                     spec.id, spec.workload.c_str(),
+                                     jobKindName(spec.kind),
+                                     jobFailureName(slot.failure));
+                    }
                 }
             });
         }

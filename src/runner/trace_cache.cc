@@ -24,6 +24,44 @@ namespace
  */
 constexpr std::uint64_t kCacheFormatVersion = 1;
 
+/** Checksum sidecar path of a cache entry. */
+std::string
+sumPathFor(const std::string &path)
+{
+    return path + ".sum";
+}
+
+/** Parse the sidecar; false when absent or malformed. */
+bool
+readChecksumFile(const std::string &path, std::uint64_t &value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return false;
+    unsigned long long parsed = 0;
+    const bool ok = std::fscanf(f, "%16llx", &parsed) == 1;
+    std::fclose(f);
+    value = parsed;
+    return ok;
+}
+
+/** Write the sidecar atomically (tmp + rename), best effort. */
+void
+writeChecksumFile(const std::string &path, std::uint64_t value,
+                  const std::string &tmp_suffix)
+{
+    const std::string tmp = path + tmp_suffix;
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        return;
+    const bool ok =
+        std::fprintf(f, "%016llx\n",
+                     static_cast<unsigned long long>(value)) > 0;
+    std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
 /** mkdir -p (two levels is plenty for cache directories). */
 void
 ensureDirectory(const std::string &path)
@@ -58,6 +96,23 @@ TraceCache::keyOf(const std::string &name, const WorkloadParams &params)
     h = hashCombine(h, params.seed);
     h = hashCombine(h, params.trigger_failure ? 1 : 0);
     h = hashCombine(h, params.scale);
+    return h;
+}
+
+std::uint64_t
+TraceCache::traceChecksum(const Trace &trace)
+{
+    std::uint64_t h = mix64(0x7ace5c4ecc5u);
+    for (const auto &e : trace.events()) {
+        h = hashCombine(h, e.seq);
+        h = hashCombine(h, e.tid);
+        h = hashCombine(h, static_cast<std::uint64_t>(e.kind));
+        h = hashCombine(h, e.pc);
+        h = hashCombine(h, e.addr);
+        h = hashCombine(h, e.size);
+        h = hashCombine(h, e.gap);
+        h = hashCombine(h, (e.taken ? 2u : 0u) | (e.stack ? 1u : 0u));
+    }
     return h;
 }
 
@@ -97,20 +152,40 @@ TraceCache::record(const Workload &workload, const WorkloadParams &params)
             // failures exactly like corruption: evict + regenerate.
             const auto findings = lintTrace(*loaded);
             if (clean(findings)) {
+                // Last line of defence: a flip the linter cannot see
+                // (e.g. one data address swapped for another plausible
+                // one) still changes the content checksum. Quarantine
+                // the file — keep the evidence for postmortem — and
+                // regenerate.
+                std::uint64_t expected = 0;
+                const bool has_sum =
+                    readChecksumFile(sumPathFor(path), expected);
+                if (!has_sum || traceChecksum(*loaded) == expected) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.disk_hits;
+                    if (use_memory_layer_)
+                        memory_.emplace(key, loaded);
+                    return *loaded;
+                }
+                debugLog("trace cache: checksum mismatch, quarantining " +
+                         path);
+                std::rename(path.c_str(),
+                            (path + ".quarantined").c_str());
+                std::remove(sumPathFor(path).c_str());
                 std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.disk_hits;
-                if (use_memory_layer_)
-                    memory_.emplace(key, loaded);
-                return *loaded;
+                ++stats_.checksum_rejects;
+            } else {
+                debugLog("trace cache: lint rejected " + path + ":\n" +
+                         formatFindings(findings));
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.lint_rejects;
             }
-            debugLog("trace cache: lint rejected " + path + ":\n" +
-                     formatFindings(findings));
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.lint_rejects;
         }
-        // readTrace failed or the lint rejected the entry: either the
-        // file does not exist (plain miss) or it is truncated, corrupt
-        // or malformed and must be evicted before the rewrite below.
+        // readTrace failed or a validator rejected the entry: either
+        // the file does not exist (plain miss) or it is truncated,
+        // corrupt or malformed and must be evicted (a quarantined
+        // entry was already renamed away) before the rewrite below.
+        std::remove(sumPathFor(path).c_str());
         if (std::remove(path.c_str()) == 0) {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.evictions;
@@ -133,6 +208,11 @@ TraceCache::record(const Workload &workload, const WorkloadParams &params)
         if (writeTrace(*fresh, tmp) &&
             std::rename(tmp.c_str(), path.c_str()) == 0) {
             stored = true;
+            // Sidecar after the entry: a crash in between leaves a
+            // checksum-less file, which later hits accept (only a
+            // *mismatching* sidecar quarantines).
+            writeChecksumFile(sumPathFor(path), traceChecksum(*fresh),
+                              suffix);
         } else {
             std::remove(tmp.c_str());
         }

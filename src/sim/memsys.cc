@@ -284,6 +284,26 @@ MemorySystem::access(CoreId core, const TraceEvent &event)
         }
     }
 
+    // Injected coherence fault: the piggybacked metadata block is lost
+    // in transit (kDrop) or arrives pointing at the wrong store
+    // (kStale). One decision per transfer, not per word.
+    if (piggybacked && config_.faults) {
+        switch (config_.faults->onWriterTransfer()) {
+        case WriterFaultAction::kNone:
+            break;
+        case WriterFaultAction::kDrop:
+            std::fill_n(dest_writers, words_, WriterRecord{});
+            piggybacked = false;
+            break;
+        case WriterFaultAction::kStale:
+            for (std::uint32_t w = 0; w < words_; ++w) {
+                if (dest_writers[w].valid())
+                    dest_writers[w].pc ^= Pc{0x1000};
+            }
+            break;
+        }
+    }
+
     if (owner != nullptr) {
         result.level = AccessLevel::kRemote;
         result.latency = base_latency + config_.lineTransferCycles() + 4;

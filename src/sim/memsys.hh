@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_hooks.hh"
 #include "common/types.hh"
 #include "deps/tracker.hh" // WriterRecord, Granularity
 #include "trace/event.hh"
@@ -81,6 +82,13 @@ struct MemSystemConfig
      * dirty cache-to-cache transfers (paper: false).
      */
     bool always_piggyback_writer = false;
+
+    /**
+     * Fault-injection decision points for piggybacked last-writer
+     * transfers (resilience experiments only). Null — the default —
+     * means no faults. Non-owning.
+     */
+    FaultHooks *faults = nullptr;
 
     /** Cycles to move one line across the bus. */
     Cycle

@@ -164,6 +164,11 @@ System::stats() const
         out.act.stalled_offers += s.stalled_offers;
         out.act.stall_cycles += s.stall_cycles;
         out.act.training_dependences += s.training_dependences;
+        out.act.input_buffer_overwrites += s.input_buffer_overwrites;
+        out.act.debug_buffer_overwrites += s.debug_buffer_overwrites;
+        out.act.input_drops_injected += s.input_drops_injected;
+        out.act.debug_drops_injected += s.debug_drops_injected;
+        out.act.quarantined_weight_sets += s.quarantined_weight_sets;
     }
     return out;
 }

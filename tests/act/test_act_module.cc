@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "act/act_module.hh"
+#include "common/fault_hooks.hh"
 #include "nn/trainer.hh"
 
 namespace act
@@ -215,6 +218,110 @@ TEST(ActModule, StatsCount)
     EXPECT_EQ(stats.dependences, 2u);
     EXPECT_EQ(stats.predictions, 2u);
     EXPECT_EQ(stats.predicted_invalid, 1u);
+}
+
+TEST(ActModule, InitQuarantinesNaNStoredWeights)
+{
+    // A corrupt stored set (e.g. a flipped exponent bit turning a
+    // weight into NaN) must never reach loadWeights(): the module
+    // quarantines it and behaves exactly like a thread with no stored
+    // weights at all.
+    auto weights = trainedWeights();
+    weights[3] = std::numeric_limits<double>::quiet_NaN();
+    WeightStore store(Topology{2, 6});
+    store.set(0, weights);
+
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, store);
+    EXPECT_EQ(module.mode(), ActMode::kTraining);
+    EXPECT_EQ(module.stats().quarantined_weight_sets, 1u);
+}
+
+TEST(ActModule, InitQuarantinesOutOfRangeStoredWeights)
+{
+    // Finite but far beyond the Q15.16 hardware range: the int32
+    // quantisation cast would be undefined behaviour.
+    auto weights = trainedWeights();
+    weights[0] = 1e12;
+    WeightStore store(Topology{2, 6});
+    store.set(0, weights);
+
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, store);
+    EXPECT_EQ(module.mode(), ActMode::kTraining);
+    EXPECT_EQ(module.stats().quarantined_weight_sets, 1u);
+}
+
+TEST(ActModule, RestoreWeightsQuarantinesCorruptSet)
+{
+    PairEncoder encoder;
+    ActModule module(testConfig(), encoder);
+    module.initThread(0, trainedStore());
+    ASSERT_EQ(module.mode(), ActMode::kTesting);
+
+    auto corrupt = module.saveWeights();
+    corrupt[1] = -std::numeric_limits<double>::infinity();
+    module.restoreWeights(corrupt);
+    EXPECT_EQ(module.mode(), ActMode::kTraining);
+    EXPECT_EQ(module.stats().quarantined_weight_sets, 1u);
+}
+
+/** Scriptable hooks for driving the module's injection sites. */
+class ScriptedHooks final : public FaultHooks
+{
+  public:
+    bool drop_input = false;
+    bool drop_debug = false;
+
+    WriterFaultAction
+    onWriterTransfer() override
+    {
+        return WriterFaultAction::kNone;
+    }
+    bool dropInputDependence() override { return drop_input; }
+    bool dropDebugLog() override { return drop_debug; }
+};
+
+TEST(ActModule, InjectedInputDropIsCountedAndAbsorbed)
+{
+    ScriptedHooks hooks;
+    ActConfig config = testConfig();
+    config.faults = &hooks;
+    PairEncoder encoder;
+    ActModule module(config, encoder);
+    module.initThread(0, trainedStore());
+
+    hooks.drop_input = true;
+    const ActOutcome dropped = module.onDependence(validDep(), 0, 1);
+    EXPECT_FALSE(dropped.classified);
+    EXPECT_EQ(module.stats().input_drops_injected, 1u);
+    EXPECT_EQ(module.stats().predictions, 0u);
+
+    // With the fault gone the module is fully functional again.
+    hooks.drop_input = false;
+    const ActOutcome clean = module.onDependence(validDep(), 0, 2);
+    EXPECT_TRUE(clean.classified);
+    EXPECT_EQ(module.stats().input_drops_injected, 1u);
+}
+
+TEST(ActModule, InjectedDebugDropLosesLogEntryOnly)
+{
+    ScriptedHooks hooks;
+    ActConfig config = testConfig();
+    config.faults = &hooks;
+    PairEncoder encoder;
+    ActModule module(config, encoder);
+    module.initThread(0, trainedStore());
+
+    hooks.drop_debug = true;
+    const ActOutcome outcome = module.onDependence(buggyDep(), 0, 100);
+    // The prediction itself is unaffected; only the log entry is lost.
+    ASSERT_TRUE(outcome.classified);
+    EXPECT_TRUE(outcome.predicted_invalid);
+    EXPECT_EQ(module.debugBuffer().size(), 0u);
+    EXPECT_EQ(module.stats().debug_drops_injected, 1u);
 }
 
 } // namespace

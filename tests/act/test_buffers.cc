@@ -62,6 +62,30 @@ TEST(InputGeneratorBuffer, ClearEmpties)
     EXPECT_FALSE(buffer.lastSequence(1).has_value());
 }
 
+TEST(InputGeneratorBuffer, OverwriteAccountingUnderSaturation)
+{
+    InputGeneratorBuffer buffer(3);
+    for (Pc p = 0; p < 3; ++p)
+        EXPECT_FALSE(buffer.push(dep(p, p)));
+    EXPECT_EQ(buffer.overwrites(), 0u);
+
+    // Every saturated push reports the overwrite and bumps the counter
+    // monotonically.
+    std::uint64_t previous = 0;
+    for (Pc p = 3; p < 10; ++p) {
+        EXPECT_TRUE(buffer.push(dep(p, p)));
+        EXPECT_GT(buffer.overwrites(), previous);
+        previous = buffer.overwrites();
+    }
+    EXPECT_EQ(buffer.overwrites(), 7u);
+
+    // clear() resets the lifetime counter too: a cleared buffer is
+    // indistinguishable from a fresh one.
+    buffer.clear();
+    EXPECT_EQ(buffer.overwrites(), 0u);
+    EXPECT_FALSE(buffer.push(dep(1, 1)));
+}
+
 DebugEntry
 entry(Pc last_store, Pc last_load, double output)
 {

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the runner's resilience layer: structured failure capture,
+ * deadline cancellation, transient-retry accounting, fail-fast
+ * skipping, and the rate-0 equivalence of resilience jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runner/campaign.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+#include "runner/trace_cache.hh"
+#include "workloads/kernel.hh"
+
+namespace act
+{
+namespace
+{
+
+/** A fast real job: tiny prediction cell on the lu kernel. */
+JobSpec
+quickJob(std::uint32_t id)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.kind = JobKind::kPrediction;
+    spec.scheme = Scheme::kAct;
+    spec.workload = "lu";
+    spec.knobs.train_traces = 1;
+    spec.knobs.test_traces = 1;
+    spec.knobs.max_epochs = 2;
+    spec.knobs.max_examples = 200;
+    return spec;
+}
+
+JobSpec
+faultyJob(std::uint32_t id, InjectedFault fault)
+{
+    JobSpec spec = quickJob(id);
+    spec.knobs.inject_fault = fault;
+    return spec;
+}
+
+RunOptions
+quickOptions()
+{
+    RunOptions options;
+    options.jobs = 2;
+    options.retry_backoff_ms = 1; // keep retry tests fast
+    return options;
+}
+
+TEST(Resilience, CrashBecomesStructuredFailure)
+{
+    Campaign campaign;
+    campaign.name = "t";
+    campaign.jobs = {faultyJob(0, InjectedFault::kCrash), quickJob(1)};
+
+    const CampaignRunResult run = runCampaign(campaign, quickOptions());
+    ASSERT_EQ(run.results.size(), 2u);
+
+    const JobResult &crashed = run.results[0];
+    EXPECT_FALSE(crashed.ok);
+    EXPECT_EQ(crashed.failure, JobFailure::kException);
+    EXPECT_NE(crashed.error.find("injected crash"), std::string::npos);
+    EXPECT_EQ(crashed.attempts, 1u); // permanent: no retry burned
+
+    // The healthy neighbour is untouched under the default keep-going.
+    EXPECT_TRUE(run.results[1].ok);
+    EXPECT_EQ(run.results[1].failure, JobFailure::kNone);
+    EXPECT_EQ(run.failedJobs(), 1u);
+}
+
+TEST(Resilience, HangIsCancelledByItsDeadline)
+{
+    JobSpec hang = faultyJob(0, InjectedFault::kHang);
+    hang.knobs.deadline_ms = 100;
+
+    Campaign campaign;
+    campaign.name = "t";
+    campaign.jobs = {hang};
+
+    const CampaignRunResult run = runCampaign(campaign, quickOptions());
+    ASSERT_EQ(run.results.size(), 1u);
+    EXPECT_FALSE(run.results[0].ok);
+    EXPECT_EQ(run.results[0].failure, JobFailure::kTimeout);
+    EXPECT_EQ(run.results[0].attempts, 1u); // timeouts are permanent
+}
+
+TEST(Resilience, TransientFailureIsRetriedToSuccess)
+{
+    JobSpec flaky = faultyJob(0, InjectedFault::kTransient);
+    flaky.knobs.inject_fail_attempts = 1; // first attempt throws
+
+    Campaign campaign;
+    campaign.name = "t";
+    campaign.jobs = {flaky};
+
+    const CampaignRunResult run = runCampaign(campaign, quickOptions());
+    ASSERT_EQ(run.results.size(), 1u);
+    EXPECT_TRUE(run.results[0].ok);
+    EXPECT_EQ(run.results[0].failure, JobFailure::kNone);
+    EXPECT_EQ(run.results[0].attempts, 2u);
+    EXPECT_EQ(run.failedJobs(), 0u);
+}
+
+TEST(Resilience, TransientFailureExhaustsItsAttemptBudget)
+{
+    JobSpec doomed = faultyJob(0, InjectedFault::kTransient);
+    doomed.knobs.inject_fail_attempts = 10; // more than any budget here
+
+    Campaign campaign;
+    campaign.name = "t";
+    campaign.jobs = {doomed};
+
+    RunOptions options = quickOptions();
+    options.max_attempts = 2;
+    const CampaignRunResult run = runCampaign(campaign, options);
+    ASSERT_EQ(run.results.size(), 1u);
+    EXPECT_FALSE(run.results[0].ok);
+    EXPECT_EQ(run.results[0].failure, JobFailure::kRetriesExhausted);
+    EXPECT_EQ(run.results[0].attempts, 2u);
+}
+
+TEST(Resilience, FailFastSkipsJobsNotYetStarted)
+{
+    // Every job crashes, so whichever the (single, so strictly serial)
+    // worker picks first fails and arms the abort flag — the other
+    // three must be recorded as skipped, never attempted. This holds
+    // regardless of the pool's claim order.
+    Campaign campaign;
+    campaign.name = "t";
+    for (std::uint32_t id = 0; id < 4; ++id)
+        campaign.jobs.push_back(faultyJob(id, InjectedFault::kCrash));
+
+    RunOptions options = quickOptions();
+    options.jobs = 1;
+    options.keep_going = false;
+    const CampaignRunResult run = runCampaign(campaign, options);
+    ASSERT_EQ(run.results.size(), 4u);
+    std::size_t crashed = 0;
+    std::size_t skipped = 0;
+    for (const JobResult &result : run.results) {
+        EXPECT_FALSE(result.ok);
+        if (result.failure == JobFailure::kException) {
+            ++crashed;
+        } else {
+            EXPECT_EQ(result.failure, JobFailure::kSkipped);
+            EXPECT_NE(result.error.find("fail-fast"), std::string::npos);
+            ++skipped;
+        }
+    }
+    EXPECT_EQ(crashed, 1u);
+    EXPECT_EQ(skipped, 3u);
+    EXPECT_EQ(run.failedJobs(), 4u);
+}
+
+TEST(Resilience, ReportCarriesFailureFieldsOnlyForFailedJobs)
+{
+    Campaign campaign;
+    campaign.name = "t";
+    campaign.jobs = {faultyJob(0, InjectedFault::kCrash), quickJob(1)};
+
+    const CampaignRunResult run = runCampaign(campaign, quickOptions());
+    const std::string json = reportJson(campaign, run.results);
+
+    // Exactly one job failed, so the failure key appears exactly once —
+    // healthy jobs serialise exactly as they did before the resilience
+    // layer existed.
+    std::size_t failures = 0;
+    for (std::size_t at = json.find("\"failure\"");
+         at != std::string::npos;
+         at = json.find("\"failure\"", at + 1)) {
+        ++failures;
+    }
+    EXPECT_EQ(failures, 1u);
+    EXPECT_NE(json.find("\"failure\": \"exception\""), std::string::npos);
+    // The healthy single-attempt job serialises no attempts field
+    // either, so it appears exactly once (with the failed job).
+    const std::size_t first_attempts = json.find("\"attempts\"");
+    ASSERT_NE(first_attempts, std::string::npos);
+    EXPECT_EQ(json.find("\"attempts\"", first_attempts + 1),
+              std::string::npos);
+}
+
+TEST(Resilience, RateZeroResilienceJobMatchesDiagnoseAct)
+{
+    registerAllWorkloads();
+    TraceCache cache; // shared: the second job reuses the traces
+
+    JobSpec act;
+    act.id = 0;
+    act.kind = JobKind::kDiagnoseAct;
+    act.scheme = Scheme::kAct;
+    act.workload = "pbzip2";
+    act.knobs.train_traces = 2;
+    act.knobs.postmortem_traces = 2;
+    act.knobs.diagnosis_epochs = 10;
+    act.knobs.diagnosis_max_examples = 1000;
+
+    JobSpec resilience = act;
+    resilience.kind = JobKind::kResilience;
+    resilience.knobs.fault_rate = 0.0;
+    resilience.knobs.fault_seed = 0xfa117;
+
+    const JobResult base = runJob(act, cache);
+    const JobResult faulted = runJob(resilience, cache);
+    ASSERT_TRUE(base.ok);
+    ASSERT_TRUE(faulted.ok);
+
+    // Every diagnosis metric the plain job reports must be bit-equal
+    // under a dormant fault plan; the resilience job only *adds* its
+    // injection accounting on top.
+    for (const auto &[key, value] : base.metrics) {
+        const auto it = faulted.metrics.find(key);
+        ASSERT_NE(it, faulted.metrics.end()) << key;
+        EXPECT_EQ(it->second, value) << key;
+    }
+    EXPECT_EQ(faulted.metrics.at("injections"), 0.0);
+    EXPECT_EQ(faulted.metrics.at("fault_rate"), 0.0);
+}
+
+} // namespace
+} // namespace act

@@ -203,6 +203,124 @@ TEST_F(TraceCacheTest, LintRejectedEntryIsEvictedAndRegenerated)
     EXPECT_EQ(cache2.stats().lint_rejects, 0u);
 }
 
+TEST_F(TraceCacheTest, ChecksumCatchesLintInvisibleCorruption)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 17;
+
+    Trace original;
+    std::string path;
+    {
+        TraceCache cache(dir_);
+        original = cache.record(*workload, params);
+        path = cache.pathFor("lu", params);
+    }
+    ASSERT_FALSE(path.empty());
+
+    // Swap one data address for another plausible one: the trace still
+    // decodes, every lint invariant still holds (counters, locks,
+    // sequence numbers are untouched), but the content changed — only
+    // the checksum sidecar can tell.
+    {
+        Trace tampered = original;
+        for (TraceEvent &event : tampered.events()) {
+            if (event.isMemory()) {
+                event.addr ^= 0x40;
+                break;
+            }
+        }
+        ASSERT_FALSE(tracesEqual(original, tampered));
+        ASSERT_TRUE(writeTrace(tampered, path));
+    }
+
+    TraceCache cache(dir_);
+    const Trace recovered = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().checksum_rejects, 1u);
+    EXPECT_EQ(cache.stats().lint_rejects, 0u);
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_TRUE(tracesEqual(original, recovered));
+
+    // The tampered file is preserved as evidence, not deleted.
+    std::ifstream evidence(path + ".quarantined", std::ios::binary);
+    EXPECT_TRUE(evidence.good());
+
+    // The regenerated entry (and its fresh sidecar) is clean again.
+    TraceCache cache2(dir_);
+    cache2.record(*workload, params);
+    EXPECT_EQ(cache2.stats().disk_hits, 1u);
+    EXPECT_EQ(cache2.stats().checksum_rejects, 0u);
+}
+
+TEST_F(TraceCacheTest, MismatchingSidecarQuarantinesEntry)
+{
+    const auto workload = makeWorkload("fft");
+    WorkloadParams params;
+    params.seed = 19;
+
+    Trace original;
+    std::string path;
+    {
+        TraceCache cache(dir_);
+        original = cache.record(*workload, params);
+        path = cache.pathFor("fft", params);
+    }
+
+    // Corrupt the sidecar instead of the entry: indistinguishable from
+    // a corrupted trace body, and the cache must treat it the same way.
+    {
+        std::ofstream out(path + ".sum", std::ios::trunc);
+        out << "0000000000000001\n";
+    }
+
+    TraceCache cache(dir_);
+    const Trace recovered = cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().checksum_rejects, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_TRUE(tracesEqual(original, recovered));
+}
+
+TEST_F(TraceCacheTest, MissingSidecarIsAcceptedForBackCompat)
+{
+    // Caches written before the checksum layer (or interrupted between
+    // the entry rename and the sidecar write) have entries without a
+    // .sum file; those must still hit.
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 23;
+
+    std::string path;
+    {
+        TraceCache cache(dir_);
+        cache.record(*workload, params);
+        path = cache.pathFor("lu", params);
+    }
+    ASSERT_EQ(std::remove((path + ".sum").c_str()), 0);
+
+    TraceCache cache(dir_);
+    cache.record(*workload, params);
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_EQ(cache.stats().checksum_rejects, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST_F(TraceCacheTest, TraceChecksumIsOrderAndContentSensitive)
+{
+    const auto workload = makeWorkload("lu");
+    WorkloadParams params;
+    params.seed = 29;
+    TraceCache cache(dir_);
+    const Trace trace = cache.record(*workload, params);
+
+    const std::uint64_t baseline = TraceCache::traceChecksum(trace);
+    EXPECT_EQ(TraceCache::traceChecksum(trace), baseline);
+
+    Trace tweaked = trace;
+    tweaked.events().back().pc ^= 1;
+    EXPECT_NE(TraceCache::traceChecksum(tweaked), baseline);
+}
+
 TEST_F(TraceCacheTest, MemoryOnlyCacheNeverTouchesDisk)
 {
     TraceCache cache; // no directory

@@ -14,6 +14,13 @@
  *                   "none" disables the disk cache)
  *   --no-mem-cache  drop the in-memory trace layer (stress disk path)
  *   --verbose       per-job progress on stderr
+ *   --fail-fast     stop scheduling new jobs after the first failure
+ *   --max-attempts N  attempt budget per job (transient retries)
+ *   --deadline-ms N   default per-job wall-clock deadline
+ *
+ * Exit codes for `run`: 0 = all jobs succeeded, 3 = the campaign
+ * completed but some jobs failed (the report carries the details),
+ * 2 = usage error, 1 = fatal error.
  */
 
 #include <sys/stat.h>
@@ -42,6 +49,9 @@ struct Options
     std::string cache;
     bool memory_cache = true;
     bool verbose = false;
+    bool keep_going = true;
+    std::uint32_t max_attempts = 3;
+    std::uint64_t deadline_ms = 0;
     std::vector<std::string> positional;
 };
 
@@ -66,6 +76,25 @@ parse(int argc, char **argv)
             options.memory_cache = false;
         } else if (arg == "--verbose") {
             options.verbose = true;
+        } else if (arg == "--fail-fast") {
+            options.keep_going = false;
+        } else if (arg == "--keep-going") {
+            options.keep_going = true;
+        } else if (arg == "--max-attempts" && i + 1 < argc) {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            options.max_attempts =
+                static_cast<std::uint32_t>(std::strtoul(text, &end, 0));
+            if (end == text || *end != '\0' || options.max_attempts == 0)
+                ACT_FATAL("--max-attempts expects a positive number, "
+                          "got: " << text);
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            options.deadline_ms = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0')
+                ACT_FATAL("--deadline-ms expects a number, got: "
+                          << text);
         } else if (arg.rfind("--", 0) == 0) {
             ACT_FATAL("unknown flag: " << arg);
         } else {
@@ -116,6 +145,9 @@ cmdRun(const Options &options)
     run_options.jobs = options.jobs;
     run_options.memory_cache = options.memory_cache;
     run_options.verbose = options.verbose;
+    run_options.keep_going = options.keep_going;
+    run_options.max_attempts = options.max_attempts;
+    run_options.deadline_ms = options.deadline_ms;
     if (options.cache == "none")
         run_options.cache_dir.clear();
     else if (!options.cache.empty())
@@ -138,15 +170,39 @@ cmdRun(const Options &options)
                 static_cast<unsigned long long>(run.steals));
     std::printf("wall clock:   %.0f ms\n", run.wall_ms);
     std::printf("trace cache:  %llu hits (%llu memory, %llu disk), "
-                "%llu misses, %llu stored, %llu evicted\n",
+                "%llu misses, %llu stored, %llu evicted, "
+                "%llu quarantined\n",
                 static_cast<unsigned long long>(run.cache.hits()),
                 static_cast<unsigned long long>(run.cache.memory_hits),
                 static_cast<unsigned long long>(run.cache.disk_hits),
                 static_cast<unsigned long long>(run.cache.misses),
                 static_cast<unsigned long long>(run.cache.stores),
-                static_cast<unsigned long long>(run.cache.evictions));
+                static_cast<unsigned long long>(run.cache.evictions),
+                static_cast<unsigned long long>(
+                    run.cache.checksum_rejects));
     std::printf("report:       %s, %s\n", json_path.c_str(),
                 csv_path.c_str());
+
+    // Partial failure is not success: list every failed job and exit
+    // with a code scripts can tell apart from a fatal error.
+    const std::uint64_t failed = run.failedJobs();
+    if (failed != 0) {
+        std::printf("\nFAILED JOBS (%llu of %zu):\n",
+                    static_cast<unsigned long long>(failed),
+                    campaign.jobs.size());
+        std::printf("  %-4s %-16s %-14s %-18s %-8s %s\n", "id",
+                    "workload", "kind", "failure", "attempts", "error");
+        for (const JobResult &result : run.results) {
+            if (result.failure == JobFailure::kNone)
+                continue;
+            const JobSpec &spec = campaign.jobs[result.id];
+            std::printf("  %-4u %-16s %-14s %-18s %-8u %s\n", result.id,
+                        spec.workload.c_str(), jobKindName(spec.kind),
+                        jobFailureName(result.failure), result.attempts,
+                        result.error.c_str());
+        }
+        return 3;
+    }
     return 0;
 }
 
@@ -182,7 +238,8 @@ usage()
     std::fprintf(stderr,
                  "usage: actrun <list|run|report> [args] [--jobs N] "
                  "[--out DIR] [--cache DIR] [--no-mem-cache] "
-                 "[--verbose]\n");
+                 "[--verbose] [--fail-fast] [--max-attempts N] "
+                 "[--deadline-ms N]\n");
     return 2;
 }
 

@@ -14,6 +14,10 @@
  * hot path regressed by more than the threshold, making per-PR
  * performance a CI gate rather than folklore.
  *
+ * Exit codes: 0 = ok, 1 = threshold regression, 2 = usage or
+ * measurement error, 3 = the --check baseline is missing or
+ * unparsable (checked up front, before any bench runs).
+ *
  * Usage:
  *   benchtrend [--out FILE] [--baseline FILE] [--check]
  *              [--threshold FRACTION] [--filter SUBSTRING] [--quick]
@@ -311,6 +315,36 @@ wantBench(const Options &options, const char *name)
 int
 run(const Options &options)
 {
+    // Validate the --check baseline up front: a misconfigured gate
+    // must fail in milliseconds with a usable diagnostic, not after
+    // minutes of bench runs — and with an exit code CI can tell apart
+    // from a real threshold violation (1) or a usage error (2).
+    bench::BenchReport baseline;
+    if (options.check) {
+        std::FILE *probe = std::fopen(options.baseline.c_str(), "rb");
+        const bool exists = probe != nullptr;
+        if (probe != nullptr)
+            std::fclose(probe);
+        if (!loadBenchReport(options.baseline, baseline)) {
+            if (!exists) {
+                std::fprintf(stderr,
+                             "benchtrend: baseline %s does not exist; "
+                             "run `benchtrend --out %s` on a known-good "
+                             "checkout and commit the result\n",
+                             options.baseline.c_str(),
+                             options.baseline.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "benchtrend: baseline %s exists but cannot "
+                             "be parsed (corrupt file or wrong schema); "
+                             "regenerate it with `benchtrend --out %s`\n",
+                             options.baseline.c_str(),
+                             options.baseline.c_str());
+            }
+            return 3;
+        }
+    }
+
     MicroHarness harness;
     if (options.quick) {
         harness.min_rep_ms = 10.0;
@@ -370,15 +404,6 @@ run(const Options &options)
 
     if (!options.check)
         return 0;
-
-    bench::BenchReport baseline;
-    if (!loadBenchReport(options.baseline, baseline)) {
-        std::fprintf(stderr,
-                     "benchtrend: cannot load baseline %s "
-                     "(run without --check to regenerate it)\n",
-                     options.baseline.c_str());
-        return 2;
-    }
 
     const auto trend =
         bench::compareReports(report, baseline, options.threshold);
