@@ -188,6 +188,30 @@ parseWall(Scanner &scan, WallClockResult &out)
     return scan.literal('}');
 }
 
+bool
+parseTelemetry(Scanner &scan, TelemetryEntry &out)
+{
+    if (!scan.literal('{'))
+        return false;
+    if (scan.peek('}'))
+        return scan.literal('}');
+    do {
+        std::string k;
+        if (!scan.key(k))
+            return false;
+        if (k == "name") {
+            if (!scan.string(out.name))
+                return false;
+        } else if (k == "value") {
+            if (!scan.number(out.value))
+                return false;
+        } else if (!scan.skipValue()) {
+            return false;
+        }
+    } while (scan.literal(','));
+    return scan.literal('}');
+}
+
 } // namespace
 
 const MicroResult *
@@ -223,6 +247,14 @@ toJson(const BenchReport &report)
         out << "    {\"name\": \"" << w.name << "\", \"ms\": " << num(w.ms)
             << "}" << (i + 1 < report.wall_clock.size() ? "," : "")
             << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"telemetry\": [\n";
+    for (std::size_t i = 0; i < report.telemetry.size(); ++i) {
+        const TelemetryEntry &t = report.telemetry[i];
+        out << "    {\"name\": \"" << t.name
+            << "\", \"value\": " << num(t.value) << "}"
+            << (i + 1 < report.telemetry.size() ? "," : "") << "\n";
     }
     out << "  ]\n";
     out << "}\n";
@@ -278,6 +310,19 @@ loadBenchReport(const std::string &path, BenchReport &out)
                     if (!parseWall(scan, w))
                         return false;
                     out.wall_clock.push_back(std::move(w));
+                } while (scan.literal(','));
+            }
+            if (!scan.literal(']'))
+                return false;
+        } else if (k == "telemetry") {
+            if (!scan.literal('['))
+                return false;
+            if (!scan.peek(']')) {
+                do {
+                    TelemetryEntry t;
+                    if (!parseTelemetry(scan, t))
+                        return false;
+                    out.telemetry.push_back(std::move(t));
                 } while (scan.literal(','));
             }
             if (!scan.literal(']'))

@@ -39,6 +39,18 @@ struct WallClockResult
     double ms = 0.0;
 };
 
+/**
+ * One counter-derived telemetry figure (e.g. campaign events/s from
+ * the metrics registry rather than harness-side arithmetic). Kept
+ * separate from MicroResult so compareReports never gates on it:
+ * telemetry rows are context for the reviewer, not CI thresholds.
+ */
+struct TelemetryEntry
+{
+    std::string name;
+    double value = 0.0;
+};
+
 /** A full benchmark run: micro results plus wall-clock entries. */
 struct BenchReport
 {
@@ -46,6 +58,7 @@ struct BenchReport
     std::string build_type; //!< e.g. "Release".
     std::vector<MicroResult> results;
     std::vector<WallClockResult> wall_clock;
+    std::vector<TelemetryEntry> telemetry;
 
     const MicroResult *find(const std::string &name) const;
 };

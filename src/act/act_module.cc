@@ -2,6 +2,7 @@
 
 #include "analysis/config_check.hh"
 #include "common/logging.hh"
+#include "telemetry/spans.hh"
 
 namespace act
 {
@@ -55,6 +56,12 @@ ActModule::initThread(ThreadId tid, const WeightStore &store)
         // and the module retrains from scratch, exactly as if the
         // store had no entry for the thread.
         ++stats_.quarantined_weight_sets;
+        telemetry::SpanTracer::global().instant(
+            "weight_quarantine", "act",
+            {telemetry::arg("tid", std::uint64_t{tid})});
+        logWarnEvent("act.weight_quarantine",
+                     {logField("tid", std::uint64_t{tid}),
+                      logField("where", "init")});
     }
     if (usable) {
         network_.loadWeights(*weights);
@@ -85,6 +92,10 @@ ActModule::restoreWeights(const std::vector<double> &weights)
         network_.loadWeights(weights);
     } else {
         ++stats_.quarantined_weight_sets;
+        telemetry::SpanTracer::global().instant("weight_quarantine",
+                                                "act", {});
+        logWarnEvent("act.weight_quarantine",
+                     {logField("where", "restore")});
         std::vector<double> zeros(network_.weightCount(), 0.0);
         network_.loadWeights(zeros);
         switchMode(ActMode::kTraining);
@@ -105,6 +116,12 @@ ActModule::switchMode(ActMode next)
         return;
     mode_ = next;
     ++stats_.mode_switches;
+    // Mode flips happen at most once per misprediction-rate interval,
+    // so an instant event here cannot perturb the per-event hot loop.
+    telemetry::SpanTracer::global().instant(
+        "mode_switch", "act",
+        {telemetry::arg("to", next == ActMode::kTraining ? "training"
+                                                         : "testing")});
     rate_.resetInterval();
 }
 

@@ -50,6 +50,86 @@ setLogLevel(LogLevel level)
     g_level = level;
 }
 
+bool
+parseLogLevel(const std::string &name, LogLevel *out)
+{
+    if (name == "quiet")
+        *out = LogLevel::kQuiet;
+    else if (name == "normal")
+        *out = LogLevel::kNormal;
+    else if (name == "debug")
+        *out = LogLevel::kDebug;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+bool
+needsQuoting(const std::string &value)
+{
+    if (value.empty())
+        return true;
+    for (const char c : value) {
+        if (c == ' ' || c == '=' || c == '"' || c == '\\' || c == '\n' ||
+            c == '\t')
+            return true;
+    }
+    return false;
+}
+
+void
+appendValue(std::string &line, const std::string &value)
+{
+    if (!needsQuoting(value)) {
+        line += value;
+        return;
+    }
+    line += '"';
+    for (const char c : value) {
+        switch (c) {
+          case '"': line += "\\\""; break;
+          case '\\': line += "\\\\"; break;
+          case '\n': line += "\\n"; break;
+          case '\t': line += "\\t"; break;
+          default: line += c;
+        }
+    }
+    line += '"';
+}
+
+} // namespace
+
+std::string
+formatLogEvent(const std::string &event,
+               const std::vector<LogField> &fields)
+{
+    std::string line = event;
+    for (const LogField &field : fields) {
+        line += ' ';
+        line += field.key;
+        line += '=';
+        appendValue(line, field.value);
+    }
+    return line;
+}
+
+void
+logEvent(const std::string &event, const std::vector<LogField> &fields)
+{
+    if (g_level != LogLevel::kQuiet)
+        logging_detail::emit("info", formatLogEvent(event, fields));
+}
+
+void
+logWarnEvent(const std::string &event,
+             const std::vector<LogField> &fields)
+{
+    logging_detail::emit("warn", formatLogEvent(event, fields));
+}
+
 void
 inform(const std::string &message)
 {

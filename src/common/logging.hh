@@ -15,8 +15,10 @@
 #ifndef ACT_COMMON_LOGGING_HH
 #define ACT_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace act
 {
@@ -46,6 +48,76 @@ LogLevel currentLevel();
 
 /** Set the process-wide verbosity. */
 void setLogLevel(LogLevel level);
+
+/**
+ * Parse a --log-level value ("quiet", "normal", "debug").
+ * @return false (leaving @p out untouched) on anything else.
+ */
+bool parseLogLevel(const std::string &name, LogLevel *out);
+
+/** One key=value field of a structured log line. */
+struct LogField
+{
+    std::string key;
+    std::string value;
+};
+
+inline LogField
+logField(std::string key, std::string value)
+{
+    return LogField{std::move(key), std::move(value)};
+}
+
+inline LogField
+logField(std::string key, const char *value)
+{
+    return LogField{std::move(key), value};
+}
+
+inline LogField
+logField(std::string key, std::uint64_t value)
+{
+    return LogField{std::move(key), std::to_string(value)};
+}
+
+inline LogField
+logField(std::string key, std::int64_t value)
+{
+    return LogField{std::move(key), std::to_string(value)};
+}
+
+inline LogField
+logField(std::string key, std::uint32_t value)
+{
+    return LogField{std::move(key), std::to_string(value)};
+}
+
+inline LogField
+logField(std::string key, double value)
+{
+    std::ostringstream out;
+    out << value;
+    return LogField{std::move(key), out.str()};
+}
+
+/**
+ * Render @p fields as a canonical `event k1=v1 k2=v2` line. Values
+ * containing spaces, quotes, or '=' are double-quoted with backslash
+ * escapes, so the line stays machine-splittable on spaces.
+ */
+std::string formatLogEvent(const std::string &event,
+                           const std::vector<LogField> &fields);
+
+/**
+ * Emit a structured key=value status line at info level (suppressed
+ * when kQuiet), e.g. `info: runner.retry job=3 attempt=1 backoff_ms=12`.
+ */
+void logEvent(const std::string &event,
+              const std::vector<LogField> &fields);
+
+/** Structured warning line (never suppressed). */
+void logWarnEvent(const std::string &event,
+                  const std::vector<LogField> &fields);
 
 /** Print an informational status message (suppressed when kQuiet). */
 void inform(const std::string &message);

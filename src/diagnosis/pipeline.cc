@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
 
 namespace act
 {
@@ -27,6 +29,9 @@ TrainedModel
 offlineTrain(const Workload &workload, DependenceEncoder &encoder,
              const OfflineTrainingConfig &config)
 {
+    telemetry::ScopedSpan span("diagnosis.offline_train", "diagnosis");
+    span.annotate(telemetry::arg("workload", workload.name()));
+
     TrainedModel model;
     InputGenerator generator(config.sequence_length);
 
@@ -163,6 +168,12 @@ defaultDiagnosisSetup()
 DiagnosisResult
 diagnoseFailure(const Workload &workload, const DiagnosisSetup &setup)
 {
+    static const telemetry::Counter diagnoses =
+        telemetry::MetricsRegistry::global().counter("diagnosis.runs");
+    diagnoses.inc();
+    telemetry::ScopedSpan span("diagnosis", "diagnosis");
+    span.annotate(telemetry::arg("workload", workload.name()));
+
     DiagnosisResult result;
     PairEncoder encoder;
 
@@ -186,9 +197,13 @@ diagnoseFailure(const Workload &workload, const DiagnosisSetup &setup)
     failure_params.seed = setup.failure_seed;
     failure_params.trigger_failure = true;
     failure_params.scale = setup.scale;
-    const Trace failure_trace =
-        obtainTrace(setup.trace_provider, workload, failure_params);
-    system.run(failure_trace);
+    {
+        telemetry::ScopedSpan failure_span("diagnosis.failure_run",
+                                           "diagnosis");
+        const Trace failure_trace =
+            obtainTrace(setup.trace_provider, workload, failure_params);
+        system.run(failure_trace);
+    }
     result.run_stats = system.stats();
 
     // Where does the root cause sit in the Debug Buffer?
@@ -209,17 +224,25 @@ diagnoseFailure(const Workload &workload, const DiagnosisSetup &setup)
     //    go through the same cache model the hardware used so the
     //    sequence populations match.
     CorrectSet correct;
-    for (std::size_t i = 0; i < setup.postmortem_traces; ++i) {
-        WorkloadParams params;
-        params.seed = setup.postmortem_seed_base + i;
-        params.scale = setup.scale;
-        const Trace trace =
-            obtainTrace(setup.trace_provider, workload, params);
-        correct.addSequences(collectCacheSequences(
-            trace, sys_config.mem, setup.training.sequence_length));
+    {
+        telemetry::ScopedSpan postmortem_span("diagnosis.postmortem",
+                                              "diagnosis");
+        for (std::size_t i = 0; i < setup.postmortem_traces; ++i) {
+            WorkloadParams params;
+            params.seed = setup.postmortem_seed_base + i;
+            params.scale = setup.scale;
+            const Trace trace =
+                obtainTrace(setup.trace_provider, workload, params);
+            correct.addSequences(collectCacheSequences(
+                trace, sys_config.mem, setup.training.sequence_length));
+        }
     }
 
-    result.report = postprocess(entries, correct);
+    {
+        telemetry::ScopedSpan postprocess_span("diagnosis.postprocess",
+                                               "diagnosis");
+        result.report = postprocess(entries, correct);
+    }
     result.sequence_rank = result.report.rankOf(root);
     result.rank = result.report.dependenceRankOf(root);
     if (!result.rank)

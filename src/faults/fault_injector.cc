@@ -4,6 +4,8 @@
 
 #include "act/weight_store.hh"
 #include "common/hashing.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
 #include "trace/trace.hh"
 
 namespace act
@@ -53,6 +55,16 @@ FaultInjector::record(FaultSite site, std::uint64_t stream,
 {
     ++counts_[static_cast<std::size_t>(site)];
     log_.push_back(InjectionRecord{site, stream, index, detail});
+    // Injection decisions are pure hash functions of (plan, site,
+    // stream, index), so the audit counter is kStable.
+    static const telemetry::Counter injections =
+        telemetry::MetricsRegistry::global().counter("faults.injections");
+    injections.inc();
+    telemetry::SpanTracer::global().instant(
+        "fault_injection", "faults",
+        {telemetry::arg("site", faultSiteName(site)),
+         telemetry::arg("stream", stream),
+         telemetry::arg("index", index)});
 }
 
 std::size_t

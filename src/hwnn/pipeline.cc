@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/spans.hh"
 
 namespace act
 {
@@ -105,6 +106,9 @@ void
 HwNeuralNetwork::inferBatch(std::span<const std::vector<double>> batch,
                             std::vector<double> &outputs) const
 {
+    telemetry::ScopedSpan span("nn.infer_batch", "nn");
+    span.annotate(telemetry::arg(
+        "batch", static_cast<std::uint64_t>(batch.size())));
     outputs.clear();
     outputs.reserve(batch.size());
     for (const auto &inputs : batch) {

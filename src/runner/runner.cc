@@ -10,7 +10,10 @@
 #include <thread>
 
 #include "common/hashing.hh"
+#include "common/logging.hh"
 #include "runner/thread_pool.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
 #include "workloads/workload.hh"
 
 namespace act
@@ -20,6 +23,49 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Runner metric handles, registered once. Job-outcome counts are
+ * kStable: for a campaign that neither times out nor trips fail-fast,
+ * every job's outcome is a pure function of its spec, so the sums are
+ * thread-count independent. Timeouts, watchdog fires and fail-fast
+ * skips are scheduling/timing artefacts and stay kVolatile.
+ */
+struct RunnerMetrics
+{
+    telemetry::Counter campaigns;
+    telemetry::Counter jobs_ok;
+    telemetry::Counter jobs_failed;
+    telemetry::Counter attempts;
+    telemetry::Counter retries;
+    telemetry::Counter jobs_skipped;
+    telemetry::Counter timeouts;
+    telemetry::Counter watchdog_fires;
+    telemetry::LatencyHistogram job_ms;
+
+    static const RunnerMetrics &
+    get()
+    {
+        static const RunnerMetrics metrics = [] {
+            auto &reg = telemetry::MetricsRegistry::global();
+            RunnerMetrics m;
+            m.campaigns = reg.counter("runner.campaigns");
+            m.jobs_ok = reg.counter("runner.jobs_ok");
+            m.jobs_failed = reg.counter("runner.jobs_failed");
+            m.attempts = reg.counter("runner.attempts");
+            m.retries = reg.counter("runner.retries");
+            m.jobs_skipped = reg.counter(
+                "runner.jobs_skipped", telemetry::Stability::kVolatile);
+            m.timeouts = reg.counter("runner.timeouts",
+                                     telemetry::Stability::kVolatile);
+            m.watchdog_fires = reg.counter(
+                "runner.watchdog_fires", telemetry::Stability::kVolatile);
+            m.job_ms = reg.histogram("runner.job_ms");
+            return m;
+        }();
+        return metrics;
+    }
+};
 
 /**
  * One background thread enforcing per-attempt wall-clock deadlines.
@@ -44,12 +90,12 @@ class DeadlineWatchdog
     }
 
     std::shared_ptr<std::atomic<bool>>
-    arm(Clock::time_point deadline)
+    arm(Clock::time_point deadline, std::uint32_t job)
     {
         auto cancel = std::make_shared<std::atomic<bool>>(false);
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            armed_.push_back({deadline, cancel});
+            armed_.push_back({deadline, cancel, job});
         }
         cv_.notify_all();
         return cancel;
@@ -71,6 +117,7 @@ class DeadlineWatchdog
     {
         Clock::time_point deadline;
         std::shared_ptr<std::atomic<bool>> cancel;
+        std::uint32_t job = 0;
     };
 
     void
@@ -88,8 +135,15 @@ class DeadlineWatchdog
             cv_.wait_until(lock, earliest);
             const auto now = Clock::now();
             for (Entry &e : armed_) {
-                if (e.deadline <= now)
+                if (e.deadline <= now) {
                     e.cancel->store(true);
+                    RunnerMetrics::get().watchdog_fires.inc();
+                    telemetry::SpanTracer::global().instant(
+                        "watchdog_fire", "runner",
+                        {telemetry::arg("job", std::uint64_t{e.job})});
+                    logWarnEvent("runner.watchdog_fire",
+                                 {logField("job", std::uint64_t{e.job})});
+                }
             }
             armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
                                         [now](const Entry &e) {
@@ -125,12 +179,22 @@ executeJob(const JobSpec &spec, TraceCache &cache,
     failed.id = spec.id;
     failed.ok = false;
 
+    const RunnerMetrics &metrics = RunnerMetrics::get();
+
     for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
         std::shared_ptr<std::atomic<bool>> cancel;
         if (deadline_ms != 0 && watchdog != nullptr) {
             cancel = watchdog->arm(Clock::now() +
-                                   std::chrono::milliseconds(deadline_ms));
+                                       std::chrono::milliseconds(
+                                           deadline_ms),
+                                   spec.id);
         }
+        metrics.attempts.inc();
+        telemetry::ScopedSpan span("job:" + spec.workload, "runner");
+        span.annotate(telemetry::arg("job", std::uint64_t{spec.id}));
+        span.annotate(telemetry::arg("kind", jobKindName(spec.kind)));
+        span.annotate(
+            telemetry::arg("attempt", std::uint64_t{attempt}));
         JobContext context;
         context.attempt = attempt;
         context.cancel = cancel.get();
@@ -139,6 +203,10 @@ executeJob(const JobSpec &spec, TraceCache &cache,
             if (cancel)
                 watchdog->disarm(cancel);
             result.attempts = attempt + 1;
+            metrics.jobs_ok.inc();
+            metrics.job_ms.record(
+                static_cast<std::uint64_t>(result.wall_ms));
+            span.annotate(telemetry::arg("outcome", "ok"));
             return result;
         } catch (const TransientError &e) {
             if (cancel)
@@ -146,6 +214,14 @@ executeJob(const JobSpec &spec, TraceCache &cache,
             failed.failure = JobFailure::kRetriesExhausted;
             failed.error = e.what();
             failed.attempts = attempt + 1;
+            span.annotate(telemetry::arg("outcome", "transient"));
+            if (attempt + 1 < max_attempts) {
+                metrics.retries.inc();
+                telemetry::SpanTracer::global().instant(
+                    "retry", "runner",
+                    {telemetry::arg("job", std::uint64_t{spec.id}),
+                     telemetry::arg("attempt", std::uint64_t{attempt})});
+            }
             if (attempt + 1 < max_attempts &&
                 options.retry_backoff_ms != 0) {
                 // Exponential backoff with deterministic jitter: the
@@ -156,8 +232,20 @@ executeJob(const JobSpec &spec, TraceCache &cache,
                 const std::uint64_t jitter =
                     hash3(options.retry_seed, spec.id, attempt) %
                     (base + 1);
+                logEvent("runner.retry",
+                         {logField("job", std::uint64_t{spec.id}),
+                          logField("workload", spec.workload),
+                          logField("attempt", std::uint64_t{attempt}),
+                          logField("backoff_ms", base + jitter),
+                          logField("error", failed.error)});
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(base + jitter));
+            } else if (attempt + 1 < max_attempts) {
+                logEvent("runner.retry",
+                         {logField("job", std::uint64_t{spec.id}),
+                          logField("workload", spec.workload),
+                          logField("attempt", std::uint64_t{attempt}),
+                          logField("error", failed.error)});
             }
         } catch (const std::exception &e) {
             const bool timed_out = cancel && cancel->load();
@@ -167,6 +255,10 @@ executeJob(const JobSpec &spec, TraceCache &cache,
                                        : JobFailure::kException;
             failed.error = e.what();
             failed.attempts = attempt + 1;
+            span.annotate(telemetry::arg(
+                "outcome", timed_out ? "timeout" : "exception"));
+            if (timed_out)
+                metrics.timeouts.inc();
             break; // Permanent: retrying a bug reproduces the bug.
         } catch (...) {
             const bool timed_out = cancel && cancel->load();
@@ -176,9 +268,14 @@ executeJob(const JobSpec &spec, TraceCache &cache,
                                        : JobFailure::kException;
             failed.error = "unknown exception";
             failed.attempts = attempt + 1;
+            span.annotate(telemetry::arg(
+                "outcome", timed_out ? "timeout" : "exception"));
+            if (timed_out)
+                metrics.timeouts.inc();
             break;
         }
     }
+    metrics.jobs_failed.inc();
     return failed;
 }
 
@@ -188,6 +285,12 @@ CampaignRunResult
 runCampaign(const Campaign &campaign, const RunOptions &options)
 {
     registerAllWorkloads();
+
+    const RunnerMetrics &metrics = RunnerMetrics::get();
+    metrics.campaigns.inc();
+    telemetry::ScopedSpan campaign_span("campaign", "runner");
+    campaign_span.annotate(telemetry::arg(
+        "jobs", static_cast<std::uint64_t>(campaign.jobs.size())));
 
     CampaignRunResult run;
     run.results.resize(campaign.jobs.size());
@@ -219,6 +322,7 @@ runCampaign(const Campaign &campaign, const RunOptions &options)
                     slot.failure = JobFailure::kSkipped;
                     slot.error = "skipped after an earlier failure "
                                  "(fail-fast)";
+                    RunnerMetrics::get().jobs_skipped.inc();
                     return;
                 }
                 slot = executeJob(spec, cache, options, watchdog_raw);
@@ -250,6 +354,37 @@ runCampaign(const Campaign &campaign, const RunOptions &options)
                       std::chrono::steady_clock::now() - start)
                       .count();
     run.cache = cache.stats();
+
+    // Publish pool and cache statistics as counter deltas once per
+    // campaign: the hot paths stay free of telemetry calls, and the
+    // registry still accumulates correctly across in-process runs.
+    auto &reg = telemetry::MetricsRegistry::global();
+    if (reg.enabled()) {
+        static const auto steals =
+            reg.counter("pool.steals", telemetry::Stability::kVolatile);
+        static const auto cache_memory_hits = reg.counter(
+            "cache.memory_hits", telemetry::Stability::kVolatile);
+        static const auto cache_disk_hits = reg.counter(
+            "cache.disk_hits", telemetry::Stability::kVolatile);
+        static const auto cache_misses = reg.counter(
+            "cache.misses", telemetry::Stability::kVolatile);
+        static const auto cache_stores = reg.counter(
+            "cache.stores", telemetry::Stability::kVolatile);
+        static const auto cache_evictions = reg.counter(
+            "cache.evictions", telemetry::Stability::kVolatile);
+        static const auto cache_lint_rejects = reg.counter(
+            "cache.lint_rejects", telemetry::Stability::kVolatile);
+        static const auto cache_checksum_rejects = reg.counter(
+            "cache.checksum_rejects", telemetry::Stability::kVolatile);
+        steals.add(run.steals);
+        cache_memory_hits.add(run.cache.memory_hits);
+        cache_disk_hits.add(run.cache.disk_hits);
+        cache_misses.add(run.cache.misses);
+        cache_stores.add(run.cache.stores);
+        cache_evictions.add(run.cache.evictions);
+        cache_lint_rejects.add(run.cache.lint_rejects);
+        cache_checksum_rejects.add(run.cache.checksum_rejects);
+    }
     return run;
 }
 

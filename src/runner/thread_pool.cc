@@ -2,6 +2,9 @@
 
 #include <exception>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
+
 namespace act
 {
 
@@ -14,6 +17,15 @@ namespace
  * would simply fall back to round-robin submission.
  */
 thread_local int tls_worker_index = -1;
+
+/** Tasks sitting in deques, process-wide (volatile by nature). */
+telemetry::Gauge
+queueDepthGauge()
+{
+    static const telemetry::Gauge gauge =
+        telemetry::MetricsRegistry::global().gauge("pool.queue_depth");
+    return gauge;
+}
 
 } // namespace
 
@@ -54,6 +66,7 @@ WorkStealingPool::submit(Task task)
     // pending_ decrement must not underflow past our increment.
     pending_.fetch_add(1);
     unclaimed_.fetch_add(1);
+    queueDepthGauge().inc();
     {
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->tasks.push_back(std::move(task));
@@ -126,6 +139,7 @@ WorkStealingPool::claim(unsigned self)
             Task task = std::move(own.tasks.back());
             own.tasks.pop_back();
             unclaimed_.fetch_sub(1);
+            queueDepthGauge().dec();
             return task;
         }
     }
@@ -138,6 +152,7 @@ WorkStealingPool::claim(unsigned self)
             Task task = std::move(victim.tasks.front());
             victim.tasks.pop_front();
             unclaimed_.fetch_sub(1);
+            queueDepthGauge().dec();
             steals_.fetch_add(1);
             return task;
         }
@@ -149,6 +164,8 @@ void
 WorkStealingPool::workerLoop(unsigned index)
 {
     tls_worker_index = static_cast<int>(index);
+    telemetry::SpanTracer::global().nameThread(
+        "worker-" + std::to_string(index));
     while (true) {
         Task task = claim(index);
         if (!task) {

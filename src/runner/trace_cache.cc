@@ -9,6 +9,7 @@
 #include "analysis/trace_lint.hh"
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "telemetry/spans.hh"
 #include "trace/io.hh"
 
 namespace act
@@ -133,11 +134,15 @@ TraceCache::record(const Workload &workload, const WorkloadParams &params)
 {
     const std::uint64_t key = keyOf(workload.name(), params);
 
+    telemetry::ScopedSpan span("cache.record", "cache");
+    span.annotate(telemetry::arg("workload", workload.name()));
+
     if (use_memory_layer_) {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = memory_.find(key);
         if (it != memory_.end()) {
             ++stats_.memory_hits;
+            span.annotate(telemetry::arg("outcome", "memory_hit"));
             return *it->second;
         }
     }
@@ -163,20 +168,27 @@ TraceCache::record(const Workload &workload, const WorkloadParams &params)
                 if (!has_sum || traceChecksum(*loaded) == expected) {
                     std::lock_guard<std::mutex> lock(mutex_);
                     ++stats_.disk_hits;
+                    span.annotate(telemetry::arg("outcome", "disk_hit"));
                     if (use_memory_layer_)
                         memory_.emplace(key, loaded);
                     return *loaded;
                 }
-                debugLog("trace cache: checksum mismatch, quarantining " +
-                         path);
+                logWarnEvent("cache.quarantine",
+                             {logField("path", path),
+                              logField("reason", "checksum_mismatch")});
+                telemetry::SpanTracer::global().instant(
+                    "cache_quarantine", "cache",
+                    {telemetry::arg("path", path)});
                 std::rename(path.c_str(),
                             (path + ".quarantined").c_str());
                 std::remove(sumPathFor(path).c_str());
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.checksum_rejects;
             } else {
-                debugLog("trace cache: lint rejected " + path + ":\n" +
-                         formatFindings(findings));
+                logWarnEvent("cache.lint_reject",
+                             {logField("path", path),
+                              logField("findings",
+                                       formatFindings(findings))});
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.lint_rejects;
             }
@@ -218,6 +230,7 @@ TraceCache::record(const Workload &workload, const WorkloadParams &params)
         }
     }
 
+    span.annotate(telemetry::arg("outcome", "miss"));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
 
 namespace act
 {
@@ -135,11 +137,106 @@ System::handle(const TraceEvent &event)
     }
 }
 
+namespace
+{
+
+/**
+ * Counter handles for the batch publish below. All kStable: each value
+ * is a sum of per-run deltas, and every run's delta is a pure function
+ * of (trace, config) — scheduling never touches it.
+ */
+struct SimMetrics
+{
+    telemetry::Counter events;
+    telemetry::Counter instructions;
+    telemetry::Counter cycles;
+    telemetry::Counter loads;
+    telemetry::Counter stores;
+    telemetry::Counter dependences;
+    telemetry::Counter predictions;
+    telemetry::Counter predicted_invalid;
+    telemetry::Counter train_updates;
+    telemetry::Counter mode_switches;
+    telemetry::Counter input_overwrites;
+    telemetry::Counter debug_overwrites;
+    telemetry::Counter quarantined_weights;
+
+    static const SimMetrics &
+    get()
+    {
+        static const SimMetrics metrics = [] {
+            auto &reg = telemetry::MetricsRegistry::global();
+            SimMetrics m;
+            m.events = reg.counter("sim.events");
+            m.instructions = reg.counter("sim.instructions");
+            m.cycles = reg.counter("sim.cycles");
+            m.loads = reg.counter("mem.loads");
+            m.stores = reg.counter("mem.stores");
+            m.dependences = reg.counter("act.dependences");
+            m.predictions = reg.counter("act.predictions");
+            m.predicted_invalid = reg.counter("act.predicted_invalid");
+            m.train_updates = reg.counter("act.train_updates");
+            m.mode_switches = reg.counter("act.mode_switches");
+            m.input_overwrites =
+                reg.counter("act.input_buffer_overwrites");
+            m.debug_overwrites =
+                reg.counter("act.debug_buffer_overwrites");
+            m.quarantined_weights =
+                reg.counter("act.quarantined_weight_sets");
+            return m;
+        }();
+        return metrics;
+    }
+};
+
+} // namespace
+
 void
 System::run(const Trace &trace)
 {
+    // The observe path (handle → memsys → onDependence) is the
+    // per-event hot loop and contains no telemetry calls at all;
+    // counters are published once per run as before/after deltas of
+    // the stats the simulator already keeps.
+    auto &reg = telemetry::MetricsRegistry::global();
+    const bool publish = reg.enabled();
+    SystemStats before;
+    if (publish)
+        before = stats();
+    telemetry::ScopedSpan span("simulate", "sim");
+    span.annotate(telemetry::arg(
+        "events", static_cast<std::uint64_t>(trace.events().size())));
+
     for (const auto &event : trace.events())
         handle(event);
+
+    if (publish) {
+        const SystemStats after = stats();
+        const SimMetrics &m = SimMetrics::get();
+        m.events.add(trace.events().size());
+        m.instructions.add(after.instructions - before.instructions);
+        m.cycles.add(after.cycles >= before.cycles
+                         ? after.cycles - before.cycles
+                         : 0);
+        m.loads.add(after.mem.loads - before.mem.loads);
+        m.stores.add(after.mem.stores - before.mem.stores);
+        m.dependences.add(after.act.dependences -
+                          before.act.dependences);
+        m.predictions.add(after.act.predictions -
+                          before.act.predictions);
+        m.predicted_invalid.add(after.act.predicted_invalid -
+                                before.act.predicted_invalid);
+        m.train_updates.add(after.act.train_updates -
+                            before.act.train_updates);
+        m.mode_switches.add(after.act.mode_switches -
+                            before.act.mode_switches);
+        m.input_overwrites.add(after.act.input_buffer_overwrites -
+                               before.act.input_buffer_overwrites);
+        m.debug_overwrites.add(after.act.debug_buffer_overwrites -
+                               before.act.debug_buffer_overwrites);
+        m.quarantined_weights.add(after.act.quarantined_weight_sets -
+                                  before.act.quarantined_weight_sets);
+    }
 }
 
 SystemStats

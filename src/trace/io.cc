@@ -6,11 +6,44 @@
 #include <memory>
 #include <vector>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
+
 namespace act
 {
 
 namespace
 {
+
+/**
+ * Decode/encode throughput counters, published once per file. Volatile:
+ * how often traces hit disk depends on cache state, not the campaign.
+ */
+struct IoMetrics
+{
+    telemetry::Counter traces_read;
+    telemetry::Counter events_read;
+    telemetry::Counter traces_written;
+    telemetry::Counter events_written;
+
+    static const IoMetrics &
+    get()
+    {
+        static const IoMetrics metrics = [] {
+            auto &reg = telemetry::MetricsRegistry::global();
+            const auto kVolatile = telemetry::Stability::kVolatile;
+            IoMetrics m;
+            m.traces_read = reg.counter("io.traces_read", kVolatile);
+            m.events_read = reg.counter("io.events_read", kVolatile);
+            m.traces_written =
+                reg.counter("io.traces_written", kVolatile);
+            m.events_written =
+                reg.counter("io.events_written", kVolatile);
+            return m;
+        }();
+        return metrics;
+    }
+};
 
 constexpr char kMagic[8] = {'A', 'C', 'T', 'T', 'R', 'C', '0', '1'};
 
@@ -38,6 +71,9 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 bool
 writeTrace(const Trace &trace, const std::string &path)
 {
+    telemetry::ScopedSpan span("trace.write", "io");
+    span.annotate(telemetry::arg(
+        "events", static_cast<std::uint64_t>(trace.size())));
     FilePtr file(std::fopen(path.c_str(), "wb"));
     if (!file)
         return false;
@@ -75,13 +111,19 @@ writeTrace(const Trace &trace, const std::string &path)
                     file.get()) != block.size()) {
         return false;
     }
-    return std::fflush(file.get()) == 0;
+    if (std::fflush(file.get()) != 0)
+        return false;
+    const IoMetrics &m = IoMetrics::get();
+    m.traces_written.inc();
+    m.events_written.add(trace.size());
+    return true;
 }
 
 bool
 readTrace(const std::string &path, Trace &trace)
 {
     trace.clear();
+    telemetry::ScopedSpan span("trace.read", "io");
     FilePtr file(std::fopen(path.c_str(), "rb"));
     if (!file)
         return false;
@@ -147,6 +189,10 @@ readTrace(const std::string &path, Trace &trace)
         trace.appendBlock(std::span<const TraceEvent>(decoded.data(), n));
         remaining -= n;
     }
+    const IoMetrics &m = IoMetrics::get();
+    m.traces_read.inc();
+    m.events_read.add(count);
+    span.annotate(telemetry::arg("events", count));
     return true;
 }
 

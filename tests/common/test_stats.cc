@@ -63,6 +63,84 @@ TEST(OnlineStats, MergeIntoEmpty)
     EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
+// Regression: merging an empty accumulator must be a no-op — in
+// particular the default min_/max_ of 0 must never leak into an
+// all-positive (or all-negative) population.
+TEST(OnlineStats, MergeEmptyKeepsMinMax)
+{
+    OnlineStats a;
+    a.add(5.0);
+    a.add(9.0);
+    OnlineStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+
+    OnlineStats negatives;
+    negatives.add(-7.0);
+    negatives.add(-2.0);
+    negatives.merge(empty);
+    EXPECT_DOUBLE_EQ(negatives.min(), -7.0);
+    EXPECT_DOUBLE_EQ(negatives.max(), -2.0);
+}
+
+// Regression: the symmetric case — merging into an empty accumulator
+// must copy min/max verbatim, not fold them against the 0 defaults.
+TEST(OnlineStats, MergeIntoEmptyCopiesMinMax)
+{
+    OnlineStats a;
+    OnlineStats b;
+    b.add(-4.0);
+    b.add(-1.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.min(), -4.0);
+    EXPECT_DOUBLE_EQ(a.max(), -1.0);
+    EXPECT_DOUBLE_EQ(a.sum(), -5.0);
+}
+
+TEST(OnlineStats, MergeTwoEmptiesStaysEmpty)
+{
+    OnlineStats a;
+    OnlineStats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+// Regression: one sample has no spread — variance and stddev are 0 by
+// definition (unbiased estimator undefined, reported as 0), min == max.
+TEST(OnlineStats, SingleSampleVariance)
+{
+    OnlineStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+// Two single-sample accumulators merged must agree exactly with the
+// same two samples added sequentially.
+TEST(OnlineStats, MergeSingleSamplesMatchesDirect)
+{
+    OnlineStats a;
+    OnlineStats b;
+    a.add(10.0);
+    b.add(20.0);
+    a.merge(b);
+    OnlineStats direct;
+    direct.add(10.0);
+    direct.add(20.0);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), direct.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), direct.variance());
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
 TEST(IntervalRate, CompletesAtIntervalBoundary)
 {
     IntervalRate rate(4);
@@ -128,6 +206,20 @@ TEST(Histogram, EmptyPercentileIsZero)
 {
     Histogram h;
     EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+// Regression: negative bucket values must survive percentile lookups
+// (nearest-rank walks the map in value order, which is signed).
+TEST(Histogram, NegativeValues)
+{
+    Histogram h;
+    h.add(-10);
+    h.add(-5);
+    h.add(5);
+    h.add(10);
+    EXPECT_EQ(h.percentile(0.0), -10);
+    EXPECT_EQ(h.percentile(0.5), -5);
+    EXPECT_EQ(h.percentile(1.0), 10);
 }
 
 TEST(StatsHelpers, FormatPercent)

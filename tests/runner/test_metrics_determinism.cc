@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The telemetry determinism contract at campaign level.
+ *
+ * Two halves, mirroring test_golden_determinism:
+ *
+ *  - Dormancy: running the smoke campaign with telemetry enabled must
+ *    leave the campaign report byte-identical to a run without it —
+ *    observing cannot perturb the science.
+ *  - Stability: the *stable* counter section of the metrics snapshot
+ *    must itself be byte-identical across `--jobs 1` and `--jobs 4`.
+ *    The process-wide registry accumulates across runs, so each run is
+ *    measured as a before/after snapshot diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runner/campaign.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+#include "telemetry/metrics.hh"
+#include "workloads/workload.hh"
+
+namespace act
+{
+namespace
+{
+
+class RegisterWorkloads : public ::testing::Environment
+{
+  public:
+    void SetUp() override { registerAllWorkloads(); }
+};
+
+const auto *const kRegistered =
+    ::testing::AddGlobalTestEnvironment(new RegisterWorkloads);
+
+struct SmokeRun
+{
+    std::string report;
+    telemetry::Snapshot delta;
+};
+
+SmokeRun
+runSmoke(unsigned jobs)
+{
+    auto &reg = telemetry::MetricsRegistry::global();
+    const telemetry::Snapshot before = reg.snapshot();
+
+    const Campaign campaign = makeCampaign("smoke");
+    RunOptions options;
+    options.jobs = jobs;
+    const CampaignRunResult run = runCampaign(campaign, options);
+    EXPECT_EQ(run.results.size(), campaign.jobs.size());
+
+    SmokeRun result;
+    result.report = reportJson(campaign, run.results);
+    result.delta = telemetry::diffSnapshots(reg.snapshot(), before);
+    return result;
+}
+
+TEST(MetricsDeterminism, EnablingTelemetryDoesNotPerturbTheReport)
+{
+    auto &reg = telemetry::MetricsRegistry::global();
+    const bool was_enabled = reg.enabled();
+
+    reg.setEnabled(false);
+    const SmokeRun dark = runSmoke(2);
+    reg.setEnabled(true);
+    const SmokeRun lit = runSmoke(2);
+    reg.setEnabled(was_enabled);
+
+    // Byte-identical report with and without observation.
+    ASSERT_EQ(dark.report, lit.report);
+
+    // The dark run must also have recorded nothing.
+    for (const auto &[name, value] : dark.delta.counters)
+        EXPECT_EQ(value, 0u) << name << " counted while disabled";
+    EXPECT_EQ(dark.delta.counterValue("sim.events"), 0u);
+
+    // The lit run recorded real work.
+    EXPECT_GT(lit.delta.counterValue("sim.events"), 0u);
+    EXPECT_GT(lit.delta.counterValue("runner.jobs_ok"), 0u);
+}
+
+TEST(MetricsDeterminism, StableCountersIdenticalAcrossJobCounts)
+{
+    auto &reg = telemetry::MetricsRegistry::global();
+    const bool was_enabled = reg.enabled();
+    reg.setEnabled(true);
+
+    const SmokeRun narrow = runSmoke(1);
+    const SmokeRun wide = runSmoke(4);
+    reg.setEnabled(was_enabled);
+
+    // Reports byte-identical (the golden contract) …
+    ASSERT_EQ(narrow.report, wide.report);
+
+    // … and so is the stable counter section of the snapshot delta.
+    const std::string narrow_text =
+        telemetry::stableCountersText(narrow.delta);
+    const std::string wide_text =
+        telemetry::stableCountersText(wide.delta);
+    ASSERT_EQ(narrow_text, wide_text);
+
+    // Guard against a vacuous pass: the section must carry the core
+    // pipeline counters with non-zero values.
+    EXPECT_NE(narrow_text.find("sim.events "), std::string::npos);
+    EXPECT_NE(narrow_text.find("runner.jobs_ok "), std::string::npos);
+    EXPECT_GT(narrow.delta.counterValue("sim.events"), 0u);
+    EXPECT_GT(narrow.delta.counterValue("act.dependences"), 0u);
+}
+
+} // namespace
+} // namespace act

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the thread-sharded metrics registry.
+ *
+ * Pins the three contracts the telemetry subsystem ships with: the
+ * dormancy contract (disabled = no observable effect), the determinism
+ * contract (stable counters sum identically regardless of how work is
+ * sharded across threads), and exactness under concurrency (relaxed
+ * per-shard increments must still merge to the precise total — run
+ * under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace act::telemetry
+{
+namespace
+{
+
+TEST(MetricsRegistry, DormantByDefaultAndRecordingIsNoOp)
+{
+    MetricsRegistry reg;
+    EXPECT_FALSE(reg.enabled());
+
+    // Registration is allowed while disabled (call sites cache handles
+    // in local statics long before anyone passes --metrics-out).
+    Counter c = reg.counter("test.counter");
+    Gauge g = reg.gauge("test.gauge");
+    LatencyHistogram h = reg.histogram("test.hist");
+
+    c.add(5);
+    g.inc();
+    h.record(100);
+
+    const Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counterValue("test.counter"), 0u);
+    EXPECT_EQ(snap.gauges.at("test.gauge"), 0);
+    EXPECT_EQ(snap.histograms.at("test.hist").count, 0u);
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreInert)
+{
+    Counter c;
+    Gauge g;
+    LatencyHistogram h;
+    // Must not crash; there is no registry behind them.
+    c.inc();
+    g.dec();
+    h.record(7);
+}
+
+TEST(MetricsRegistry, CountsAfterEnable)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    Counter c = reg.counter("test.counter");
+    c.add(3);
+    c.inc();
+    EXPECT_EQ(reg.snapshot().counterValue("test.counter"), 4u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    Counter a = reg.counter("same.name");
+    Counter b = reg.counter("same.name");
+    a.add(2);
+    b.add(3);
+    // Same name -> same slot: both handles feed one counter.
+    EXPECT_EQ(reg.snapshot().counterValue("same.name"), 5u);
+}
+
+TEST(MetricsRegistry, StabilityPartitionsTheSnapshot)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.counter("a.stable", Stability::kStable).add(1);
+    reg.counter("a.volatile", Stability::kVolatile).add(2);
+
+    const Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.count("a.stable"), 1u);
+    EXPECT_EQ(snap.counters.count("a.volatile"), 0u);
+    EXPECT_EQ(snap.volatile_counters.count("a.volatile"), 1u);
+    // counterValue finds both sections.
+    EXPECT_EQ(snap.counterValue("a.stable"), 1u);
+    EXPECT_EQ(snap.counterValue("a.volatile"), 2u);
+    EXPECT_EQ(snap.counterValue("missing"), 0u);
+}
+
+TEST(MetricsRegistry, GaugeTracksLevelAcrossThreads)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    Gauge g = reg.gauge("test.level");
+    g.add(10);
+
+    // A different thread decrements: the level is the signed sum of
+    // per-shard deltas, so the snapshot must reconstruct 10 - 4 = 6.
+    std::thread t([&] { g.add(-4); });
+    t.join();
+    EXPECT_EQ(reg.snapshot().gauges.at("test.level"), 6);
+}
+
+TEST(MetricsRegistry, ConcurrentCountsAreExact)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    Counter c = reg.counter("stress.counter");
+    Gauge g = reg.gauge("stress.gauge");
+    LatencyHistogram h = reg.histogram("stress.hist");
+
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                c.inc();
+                g.inc();
+                if (i % 2 == 0)
+                    g.dec();
+                h.record(i & 0xff);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counterValue("stress.counter"), kThreads * kPerThread);
+    EXPECT_EQ(snap.gauges.at("stress.gauge"), kThreads * kPerThread / 2);
+    EXPECT_EQ(snap.histograms.at("stress.hist").count,
+              kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, ShardingIsInvisibleInTheSnapshot)
+{
+    // The determinism contract in miniature: the same logical work,
+    // split across 1 vs 4 threads, must produce byte-identical stable
+    // counter text.
+    const auto run = [](int threads) {
+        MetricsRegistry reg;
+        reg.setEnabled(true);
+        Counter c = reg.counter("work.items");
+        LatencyHistogram h = reg.histogram("work.cost");
+        constexpr std::uint64_t kTotal = 12000;
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                for (std::uint64_t i = t; i < kTotal;
+                     i += static_cast<std::uint64_t>(threads)) {
+                    c.inc();
+                    h.record(i % 37);
+                }
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+        return reg.snapshot();
+    };
+
+    const Snapshot narrow = run(1);
+    const Snapshot wide = run(4);
+    EXPECT_EQ(stableCountersText(narrow), stableCountersText(wide));
+    EXPECT_EQ(narrow.histograms.at("work.cost").buckets,
+              wide.histograms.at("work.cost").buckets);
+    EXPECT_EQ(narrow.histograms.at("work.cost").sum,
+              wide.histograms.at("work.cost").sum);
+}
+
+TEST(LatencyHistogramTest, BucketBoundaryProperty)
+{
+    // bucketOf is bit_width: bucket i holds [2^(i-1), 2^i - 1] for
+    // i >= 1 and {0} for i == 0. Check the defining inequalities at
+    // every power-of-two boundary.
+    EXPECT_EQ(LatencyHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(0), 0u);
+    for (std::uint32_t bit = 0; bit < 64; ++bit) {
+        const std::uint64_t lo = std::uint64_t{1} << bit;
+        EXPECT_EQ(LatencyHistogram::bucketOf(lo), bit + 1);
+        EXPECT_EQ(LatencyHistogram::bucketOf(lo + (lo - 1)), bit + 1);
+        // Every value is <= its bucket's upper bound and > the
+        // previous bucket's.
+        const std::uint32_t bucket = LatencyHistogram::bucketOf(lo);
+        EXPECT_LE(lo, LatencyHistogram::bucketUpperBound(bucket));
+        EXPECT_GT(lo, LatencyHistogram::bucketUpperBound(bucket - 1));
+    }
+    EXPECT_EQ(LatencyHistogram::bucketOf(~std::uint64_t{0}), 64u);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(64), ~std::uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, SnapshotBucketsAreSparseAndExact)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    LatencyHistogram h = reg.histogram("t.hist");
+    h.record(0);  // bucket 0
+    h.record(1);  // bucket 1
+    h.record(1);  // bucket 1
+    h.record(5);  // bucket 3
+    h.record(5);
+    h.record(5);
+
+    const HistogramSnapshot snap =
+        reg.snapshot().histograms.at("t.hist");
+    EXPECT_EQ(snap.count, 6u);
+    EXPECT_EQ(snap.sum, 0u + 1 + 1 + 5 + 5 + 5);
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> want = {
+        {0, 1}, {1, 2}, {3, 3}};
+    EXPECT_EQ(snap.buckets, want);
+    EXPECT_DOUBLE_EQ(snap.mean(), 17.0 / 6.0);
+}
+
+TEST(SnapshotDiff, SubtractsCountersAndSaturates)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    Counter c = reg.counter("d.counter");
+    LatencyHistogram h = reg.histogram("d.hist");
+    c.add(10);
+    h.record(4);
+    const Snapshot older = reg.snapshot();
+    c.add(7);
+    h.record(4);
+    h.record(9);
+    const Snapshot newer = reg.snapshot();
+
+    const Snapshot delta = diffSnapshots(newer, older);
+    EXPECT_EQ(delta.counterValue("d.counter"), 7u);
+    EXPECT_EQ(delta.histograms.at("d.hist").count, 2u);
+    EXPECT_EQ(delta.histograms.at("d.hist").sum, 13u);
+
+    // Reversed operands saturate at zero instead of wrapping: mixing
+    // snapshots from distinct registries must not explode.
+    const Snapshot backwards = diffSnapshots(older, newer);
+    EXPECT_EQ(backwards.counterValue("d.counter"), 0u);
+}
+
+TEST(SnapshotText, StableCountersAreCanonicalLines)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.counter("b.second").add(2);
+    reg.counter("a.first").add(1);
+    reg.counter("z.volatile", Stability::kVolatile).add(9);
+
+    // Sorted by name (std::map order), volatile section excluded.
+    EXPECT_EQ(stableCountersText(reg.snapshot()),
+              "a.first 1\nb.second 2\n");
+}
+
+TEST(SnapshotJsonTest, CarriesSchemaAndSections)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.counter("j.count").add(3);
+    reg.gauge("j.gauge").add(-2);
+    reg.histogram("j.hist").record(6);
+
+    const std::string json = snapshotJson(reg.snapshot());
+    EXPECT_NE(json.find("\"schema\": \"act-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"j.count\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"j.gauge\": -2"), std::string::npos);
+    EXPECT_NE(json.find("\"j.hist\""), std::string::npos);
+}
+
+} // namespace
+} // namespace act::telemetry

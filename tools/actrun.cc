@@ -17,6 +17,12 @@
  *   --fail-fast     stop scheduling new jobs after the first failure
  *   --max-attempts N  attempt budget per job (transient retries)
  *   --deadline-ms N   default per-job wall-clock deadline
+ *   --metrics-out F   write a metrics snapshot JSON after the run
+ *   --trace-out F     write a Chrome trace_event JSON after the run
+ *                     (load in chrome://tracing or Perfetto)
+ *   --metrics-interval S  periodic metrics line on stderr every S
+ *                     seconds (implies metrics collection)
+ *   --log-level L     quiet | normal | debug
  *
  * Exit codes for `run`: 0 = all jobs succeeded, 3 = the campaign
  * completed but some jobs failed (the report carries the details),
@@ -25,17 +31,25 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "runner/campaign.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
 
 namespace act
 {
@@ -52,7 +66,92 @@ struct Options
     bool keep_going = true;
     std::uint32_t max_attempts = 3;
     std::uint64_t deadline_ms = 0;
+    std::string metrics_out;
+    std::string trace_out;
+    std::uint64_t metrics_interval_s = 0;
     std::vector<std::string> positional;
+};
+
+/**
+ * Periodic stderr metrics line for long runs: every interval, print
+ * the delta of a few load-bearing counters plus a derived events/s so
+ * progress is visible without waiting for the final snapshot.
+ */
+class MetricsPulse
+{
+  public:
+    explicit MetricsPulse(std::uint64_t interval_s)
+        : interval_s_(interval_s), last_(snapshotNow()),
+          thread_([this] { loop(); })
+    {}
+
+    ~MetricsPulse()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    static telemetry::Snapshot
+    snapshotNow()
+    {
+        return telemetry::MetricsRegistry::global().snapshot();
+    }
+
+    void
+    emit()
+    {
+        const telemetry::Snapshot now = snapshotNow();
+        const telemetry::Snapshot delta = telemetry::diffSnapshots(
+            now, last_);
+        const double dt_ms = now.uptime_ms - last_.uptime_ms;
+        const double events = static_cast<double>(
+            delta.counterValue("sim.events"));
+        const double rate = dt_ms > 0.0 ? events / (dt_ms / 1000.0)
+                                        : 0.0;
+        std::fprintf(stderr,
+                     "metrics: uptime_s=%.0f events=%llu "
+                     "events_per_s=%.0f jobs_ok=%llu jobs_failed=%llu "
+                     "cache_hits=%llu cache_misses=%llu\n",
+                     now.uptime_ms / 1000.0,
+                     static_cast<unsigned long long>(
+                         now.counterValue("sim.events")),
+                     rate,
+                     static_cast<unsigned long long>(
+                         now.counterValue("runner.jobs_ok")),
+                     static_cast<unsigned long long>(
+                         now.counterValue("runner.jobs_failed")),
+                     static_cast<unsigned long long>(
+                         now.counterValue("cache.memory_hits") +
+                         now.counterValue("cache.disk_hits")),
+                     static_cast<unsigned long long>(
+                         now.counterValue("cache.misses")));
+        last_ = now;
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            if (cv_.wait_for(lock, std::chrono::seconds(interval_s_),
+                             [this] { return stop_; })) {
+                return;
+            }
+            emit();
+        }
+    }
+
+    std::uint64_t interval_s_;
+    telemetry::Snapshot last_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
 };
 
 Options
@@ -95,6 +194,26 @@ parse(int argc, char **argv)
             if (end == text || *end != '\0')
                 ACT_FATAL("--deadline-ms expects a number, got: "
                           << text);
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            options.metrics_out = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            options.trace_out = argv[++i];
+        } else if (arg == "--metrics-interval" && i + 1 < argc) {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            options.metrics_interval_s = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0' ||
+                options.metrics_interval_s == 0) {
+                ACT_FATAL("--metrics-interval expects a positive number "
+                          "of seconds, got: " << text);
+            }
+        } else if (arg == "--log-level" && i + 1 < argc) {
+            const std::string text = argv[++i];
+            LogLevel level = LogLevel::kNormal;
+            if (!parseLogLevel(text, &level))
+                ACT_FATAL("--log-level expects quiet|normal|debug, "
+                          "got: " << text);
+            setLogLevel(level);
         } else if (arg.rfind("--", 0) == 0) {
             ACT_FATAL("unknown flag: " << arg);
         } else {
@@ -155,9 +274,24 @@ cmdRun(const Options &options)
     else
         run_options.cache_dir = out + "/trace-cache";
 
+    // Telemetry stays dormant unless a flag asks for it: reports are
+    // byte-identical with and without these switches.
+    const bool want_metrics = !options.metrics_out.empty() ||
+                              options.metrics_interval_s != 0;
+    if (want_metrics)
+        telemetry::MetricsRegistry::global().setEnabled(true);
+    if (!options.trace_out.empty()) {
+        telemetry::SpanTracer::global().setEnabled(true);
+        telemetry::SpanTracer::global().nameThread("main");
+    }
+    std::unique_ptr<MetricsPulse> pulse;
+    if (options.metrics_interval_s != 0)
+        pulse = std::make_unique<MetricsPulse>(options.metrics_interval_s);
+
     std::printf("campaign %s: %zu jobs\n", name.c_str(),
                 campaign.jobs.size());
     const CampaignRunResult run = runCampaign(campaign, run_options);
+    pulse.reset();
 
     const std::string json_path = out + "/report.json";
     const std::string csv_path = out + "/report.csv";
@@ -182,6 +316,19 @@ cmdRun(const Options &options)
                     run.cache.checksum_rejects));
     std::printf("report:       %s, %s\n", json_path.c_str(),
                 csv_path.c_str());
+
+    if (!options.metrics_out.empty()) {
+        const std::string json = telemetry::snapshotJson(
+            telemetry::MetricsRegistry::global().snapshot());
+        if (!writeTextFile(options.metrics_out, json))
+            ACT_FATAL("cannot write " << options.metrics_out);
+        std::printf("metrics:      %s\n", options.metrics_out.c_str());
+    }
+    if (!options.trace_out.empty()) {
+        if (!telemetry::SpanTracer::global().exportTo(options.trace_out))
+            ACT_FATAL("cannot write " << options.trace_out);
+        std::printf("trace:        %s\n", options.trace_out.c_str());
+    }
 
     // Partial failure is not success: list every failed job and exit
     // with a code scripts can tell apart from a fatal error.
@@ -239,7 +386,8 @@ usage()
                  "usage: actrun <list|run|report> [args] [--jobs N] "
                  "[--out DIR] [--cache DIR] [--no-mem-cache] "
                  "[--verbose] [--fail-fast] [--max-attempts N] "
-                 "[--deadline-ms N]\n");
+                 "[--deadline-ms N] [--metrics-out F] [--trace-out F] "
+                 "[--metrics-interval S] [--log-level L]\n");
     return 2;
 }
 

@@ -7,7 +7,10 @@
  * self-calibrating best-of-N driver, plus two coarse wall-clock
  * measurements (the smoke campaign and a reduced Figure 8 overhead
  * run), and writes the results as machine-readable JSON
- * (`BENCH_PR4.json` by default).
+ * (`BENCH_PR6.json` by default). The smoke campaign runs with the
+ * telemetry registry enabled and reports counter-derived throughput
+ * (simulated events/s) in the report's `telemetry` section — those
+ * rows are context, never CI gates.
  *
  * With `--check` it also loads a committed baseline
  * (`bench/BENCH_BASELINE.json`) and fails — exit 1 — when any micro
@@ -38,6 +41,7 @@
 #include "runner/runner.hh"
 #include "sim/memsys.hh"
 #include "sim/system.hh"
+#include "telemetry/metrics.hh"
 #include "trace/io.hh"
 #include "workloads/kernel.hh"
 #include "workloads/workload.hh"
@@ -53,7 +57,7 @@ using bench::MicroResult;
 
 struct Options
 {
-    std::string out = "BENCH_PR4.json";
+    std::string out = "BENCH_PR6.json";
     std::string baseline = "bench/BENCH_BASELINE.json";
     bool check = false;
     double threshold = 0.30;
@@ -245,8 +249,17 @@ wallMs(const std::chrono::steady_clock::time_point &t0)
 }
 
 bench::WallClockResult
-runSmokeCampaign()
+runSmokeCampaign(std::vector<bench::TelemetryEntry> &telemetry)
 {
+    // Run the campaign with the metrics registry live so the reported
+    // throughput comes from the same counters `actrun --metrics-out`
+    // exports, not from harness-side arithmetic. The registry
+    // accumulates process-wide, so rates come from a before/after diff.
+    auto &reg = act::telemetry::MetricsRegistry::global();
+    const bool was_enabled = reg.enabled();
+    reg.setEnabled(true);
+    const act::telemetry::Snapshot before = reg.snapshot();
+
     RunOptions options;
     options.jobs = 0; // all cores; wall-clock trend only, never gated
     const auto t0 = std::chrono::steady_clock::now();
@@ -259,6 +272,23 @@ runSmokeCampaign()
         std::fprintf(stderr, "benchtrend: smoke campaign ran no jobs\n");
         std::exit(2);
     }
+
+    const act::telemetry::Snapshot delta =
+        act::telemetry::diffSnapshots(reg.snapshot(), before);
+    reg.setEnabled(was_enabled);
+    const double seconds = result.ms / 1000.0;
+    const auto rate = [&](const char *name, const char *counter) {
+        if (seconds <= 0.0)
+            return;
+        telemetry.push_back(
+            {name, static_cast<double>(delta.counterValue(counter)) /
+                       seconds});
+    };
+    rate("campaign_smoke_sim_events_per_s", "sim.events");
+    rate("campaign_smoke_dependences_per_s", "act.dependences");
+    telemetry.push_back(
+        {"campaign_smoke_jobs_ok",
+         static_cast<double>(delta.counterValue("runner.jobs_ok"))});
     return result;
 }
 
@@ -383,10 +413,13 @@ run(const Options &options)
         add(benchTraceIo(harness, synthetic));
 
     if (wantBench(options, "campaign_smoke")) {
-        const auto smoke = runSmokeCampaign();
+        const auto smoke = runSmokeCampaign(report.telemetry);
         report.wall_clock.push_back(smoke);
         std::printf("%-26s %14s %13.0f ms\n", smoke.name.c_str(), "-",
                     smoke.ms);
+        for (const auto &entry : report.telemetry)
+            std::printf("%-40s %16.0f\n", entry.name.c_str(),
+                        entry.value);
     }
     if (wantBench(options, "fig8_overhead_mini")) {
         const auto fig8 = runFig8Mini();
