@@ -30,10 +30,8 @@ checkedConfig(const ActConfig &config, const DependenceEncoder &encoder)
 ActModule::ActModule(const ActConfig &config,
                      const DependenceEncoder &encoder)
     : config_(checkedConfig(config, encoder)), encoder_(encoder.clone()),
-      network_(config.hw, config.topology),
-      input_buffer_(config.input_buffer_entries),
-      debug_(config.debug_buffer_entries),
-      rate_(config.interval_length)
+      network_(config.hw, config.topology), own_arena_(config_),
+      arena_(&own_arena_)
 {}
 
 bool
@@ -55,7 +53,7 @@ ActModule::initThread(ThreadId tid, const WeightStore &store)
         // Degradation, not death: a corrupt stored set is quarantined
         // and the module retrains from scratch, exactly as if the
         // store had no entry for the thread.
-        ++stats_.quarantined_weight_sets;
+        ++arena_->stats.quarantined_weight_sets;
         telemetry::SpanTracer::global().instant(
             "weight_quarantine", "act",
             {telemetry::arg("tid", std::uint64_t{tid})});
@@ -65,7 +63,7 @@ ActModule::initThread(ThreadId tid, const WeightStore &store)
     }
     if (usable) {
         network_.loadWeights(*weights);
-        mode_ = ActMode::kTesting;
+        arena_->mode = ActMode::kTesting;
     } else {
         // Default weights: the all-zero network outputs 0.5 for every
         // input, classifying everything as (barely) valid until the
@@ -74,8 +72,8 @@ ActModule::initThread(ThreadId tid, const WeightStore &store)
         network_.loadWeights(zeros);
         switchMode(ActMode::kTraining);
     }
-    input_buffer_.clear();
-    rate_.resetInterval();
+    arena_->input.clear();
+    arena_->rate.resetInterval();
     return network_.weightCount();
 }
 
@@ -91,7 +89,7 @@ ActModule::restoreWeights(const std::vector<double> &weights)
     if (weightsUsable(weights)) {
         network_.loadWeights(weights);
     } else {
-        ++stats_.quarantined_weight_sets;
+        ++arena_->stats.quarantined_weight_sets;
         telemetry::SpanTracer::global().instant("weight_quarantine",
                                                 "act", {});
         logWarnEvent("act.weight_quarantine",
@@ -100,7 +98,7 @@ ActModule::restoreWeights(const std::vector<double> &weights)
         network_.loadWeights(zeros);
         switchMode(ActMode::kTraining);
     }
-    input_buffer_.clear();
+    arena_->input.clear();
 }
 
 void
@@ -112,17 +110,17 @@ ActModule::flushPipeline()
 void
 ActModule::switchMode(ActMode next)
 {
-    if (mode_ == next)
+    if (arena_->mode == next)
         return;
-    mode_ = next;
-    ++stats_.mode_switches;
+    arena_->mode = next;
+    ++arena_->stats.mode_switches;
     // Mode flips happen at most once per misprediction-rate interval,
     // so an instant event here cannot perturb the per-event hot loop.
     telemetry::SpanTracer::global().instant(
         "mode_switch", "act",
         {telemetry::arg("to", next == ActMode::kTraining ? "training"
                                                          : "testing")});
-    rate_.resetInterval();
+    arena_->rate.resetInterval();
 }
 
 ActOutcome
@@ -130,43 +128,45 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
                         Cycle cycle)
 {
     ActOutcome outcome;
-    ++stats_.dependences;
-    if (mode_ == ActMode::kTraining)
-        ++stats_.training_dependences;
+    ActArena &arena = *arena_;
+    ++arena.stats.dependences;
+    if (arena.mode == ActMode::kTraining)
+        ++arena.stats.training_dependences;
 
     if (config_.faults && config_.faults->dropInputDependence()) {
         // Injected Input Generator fault: the dependence never reaches
         // the buffer, as if the hardware write port glitched.
-        ++stats_.input_drops_injected;
+        ++arena.stats.input_drops_injected;
         return outcome;
     }
-    if (input_buffer_.push(dep))
-        ++stats_.input_buffer_overwrites;
-    if (!input_buffer_.lastSequence(config_.sequence_length, seq_scratch_))
+    if (arena.input.push(dep))
+        ++arena.stats.input_buffer_overwrites;
+    if (!arena.input.lastSequence(config_.sequence_length,
+                                  arena.seq_scratch))
         return outcome;
-    const DependenceSequence &sequence = seq_scratch_;
+    const DependenceSequence &sequence = arena.seq_scratch;
 
     // Timing: the load retires only once the input FIFO accepts the
     // sequence. A full FIFO stalls it (Section III-C / IV-A).
-    const bool training = mode_ == ActMode::kTraining;
+    const bool training = arena.mode == ActMode::kTraining;
     Cycle now = cycle;
     for (;;) {
         const AcceptResult accepted = network_.offer(now, training);
         if (accepted.accepted)
             break;
-        ++stats_.stalled_offers;
+        ++arena.stats.stalled_offers;
         ACT_ASSERT(accepted.retry_at > now);
         outcome.stall_cycles += accepted.retry_at - now;
-        stats_.stall_cycles += accepted.retry_at - now;
+        arena.stats.stall_cycles += accepted.retry_at - now;
         now = accepted.retry_at;
     }
 
     // Function: classify the sequence (and learn from it in training
     // mode).
-    encoder_->encodeSequenceInto(sequence, input_scratch_);
-    const std::vector<double> &inputs = input_scratch_;
+    encoder_->encodeSequenceInto(sequence, arena.input_scratch);
+    const std::vector<double> &inputs = arena.input_scratch;
     outcome.classified = true;
-    ++stats_.predictions;
+    ++arena.stats.predictions;
 
     double output = 0.0;
     double raw = 0.0;
@@ -176,7 +176,7 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
         output = network_.infer(inputs);
         if (output < 0.5) {
             network_.train(inputs, 1.0, config_.learning_rate);
-            ++stats_.train_updates;
+            ++arena.stats.train_updates;
         }
     } else {
         output = network_.inferWithRaw(inputs, raw);
@@ -185,7 +185,7 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
     outcome.predicted_invalid = output < 0.5;
 
     if (outcome.predicted_invalid) {
-        ++stats_.predicted_invalid;
+        ++arena.stats.predicted_invalid;
         // The Debug Buffer records the raw accumulator value: the
         // ranking tie-break wants "the most negative output", which
         // the saturated sigmoid cannot resolve. In training mode the
@@ -196,24 +196,90 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
         if (config_.faults && config_.faults->dropDebugLog()) {
             // Injected Debug Buffer fault: the flagged sequence is
             // silently lost before it can be logged.
-            ++stats_.debug_drops_injected;
-        } else if (debug_.log(DebugEntry{sequence,
-                                         training ? network_.rawOutput(inputs)
-                                                  : raw,
-                                         stats_.predictions, tid})) {
-            ++stats_.debug_buffer_overwrites;
+            ++arena.stats.debug_drops_injected;
+        } else if (arena.debug.log(
+                       DebugEntry{sequence,
+                                  training ? network_.rawOutput(inputs)
+                                           : raw,
+                                  arena.stats.predictions, tid})) {
+            ++arena.stats.debug_buffer_overwrites;
         }
     }
 
     // Periodic misprediction-rate check drives the mode switches. A
     // prediction of "invalid" that the execution survives counts as a
     // misprediction (Section III-C).
-    if (rate_.record(outcome.predicted_invalid)) {
-        if (mode_ == ActMode::kTesting &&
-            rate_.lastRate() > config_.misprediction_threshold) {
+    if (arena.rate.record(outcome.predicted_invalid)) {
+        if (arena.mode == ActMode::kTesting &&
+            arena.rate.lastRate() > config_.misprediction_threshold) {
             switchMode(ActMode::kTraining);
-        } else if (mode_ == ActMode::kTraining &&
-                   rate_.lastRate() <= config_.misprediction_threshold) {
+        } else if (arena.mode == ActMode::kTraining &&
+                   arena.rate.lastRate() <=
+                       config_.misprediction_threshold) {
+            switchMode(ActMode::kTesting);
+        }
+    }
+    return outcome;
+}
+
+bool
+ActModule::stageDependence(const RawDependence &dep)
+{
+    ActArena &arena = *arena_;
+    // The split-phase path has no training half: commits never touch
+    // the weight registers, which is what lets many arenas share one
+    // engine. Callers keep the module in testing mode by construction
+    // (the fleet pins the rate interval unreachably long).
+    ACT_ASSERT(arena.mode == ActMode::kTesting);
+    ++arena.stats.dependences;
+
+    if (config_.faults && config_.faults->dropInputDependence()) {
+        ++arena.stats.input_drops_injected;
+        return false;
+    }
+    if (arena.input.push(dep))
+        ++arena.stats.input_buffer_overwrites;
+    if (!arena.input.lastSequence(config_.sequence_length,
+                                  arena.seq_scratch))
+        return false;
+    encoder_->encodeSequenceInto(arena.seq_scratch, arena.input_scratch);
+    return true;
+}
+
+StagedOutcome
+ActModule::commitPrediction(const DependenceSequence &sequence,
+                            std::span<const double> inputs, double output,
+                            ThreadId tid)
+{
+    ActArena &arena = *arena_;
+    ACT_ASSERT(arena.mode == ActMode::kTesting);
+    StagedOutcome outcome;
+    ++arena.stats.predictions;
+    outcome.predicted_invalid = output < 0.5;
+
+    if (outcome.predicted_invalid) {
+        ++arena.stats.predicted_invalid;
+        // Flagged sequences are rare (the whole premise of the Debug
+        // Buffer), so the raw accumulator re-read — a pure forward
+        // pass over the same weights the batch inference used — stays
+        // off the common path.
+        outcome.raw = network_.rawOutput(inputs);
+        if (config_.faults && config_.faults->dropDebugLog()) {
+            ++arena.stats.debug_drops_injected;
+        } else if (arena.debug.log(DebugEntry{sequence, outcome.raw,
+                                              arena.stats.predictions,
+                                              tid})) {
+            ++arena.stats.debug_buffer_overwrites;
+        }
+    }
+
+    if (arena.rate.record(outcome.predicted_invalid)) {
+        if (arena.mode == ActMode::kTesting &&
+            arena.rate.lastRate() > config_.misprediction_threshold) {
+            switchMode(ActMode::kTraining);
+        } else if (arena.mode == ActMode::kTraining &&
+                   arena.rate.lastRate() <=
+                       config_.misprediction_threshold) {
             switchMode(ActMode::kTesting);
         }
     }

@@ -20,12 +20,22 @@
  * The timing side mirrors Section IV-A: the load that produced the
  * dependence can only retire once the pipeline's input FIFO accepts
  * it, so a full FIFO back-pressures the core.
+ *
+ * State layout: everything mutable per run lives in an ActArena. A
+ * stand-alone module owns one internally (the classic one-module,
+ * one-run shape the simulator uses), but the arena can be swapped via
+ * bindArena() so one module engine — config, encoder, weight
+ * registers — serves many disjoint monitoring contexts. The fleet
+ * service multiplexes hundreds of client streams over a handful of
+ * shard modules exactly this way: each client owns an arena, the shard
+ * owns the engine, and no mutable state is ever shared across shards.
  */
 
 #ifndef ACT_ACT_ACT_MODULE_HH
 #define ACT_ACT_ACT_MODULE_HH
 
 #include <memory>
+#include <span>
 
 #include "act/act_config.hh"
 #include "act/buffers.hh"
@@ -67,6 +77,34 @@ struct ActModuleStats
     std::uint64_t quarantined_weight_sets = 0; //!< Corrupt sets rejected.
 };
 
+/**
+ * All per-run mutable state of one ACT Module: the two SRAM rings, the
+ * misprediction-rate interval, the mode latch, the counters, and the
+ * scratch the hot loop reuses. A module always operates on exactly one
+ * bound arena; swapping arenas switches monitoring contexts without
+ * touching the engine (weights stay put — the fleet's testing-only
+ * contract — and save/restoreWeights cover the training case).
+ */
+struct ActArena
+{
+    explicit ActArena(const ActConfig &config)
+        : input(config.input_buffer_entries),
+          debug(config.debug_buffer_entries), rate(config.interval_length)
+    {}
+
+    InputGeneratorBuffer input;
+    DebugBuffer debug;
+    IntervalRate rate;
+    ActMode mode = ActMode::kTesting;
+    ActModuleStats stats;
+
+    // Scratch reused across onDependence/stageDependence calls: the
+    // hot loop runs once per tracked load and must not allocate per
+    // call once the rings warm up.
+    DependenceSequence seq_scratch;
+    std::vector<double> input_scratch;
+};
+
 /** Outcome of feeding one dependence to the AM. */
 struct ActOutcome
 {
@@ -74,6 +112,19 @@ struct ActOutcome
     bool predicted_invalid = false;
     double output = 0.0;            //!< NN output for the sequence.
     Cycle stall_cycles = 0;         //!< Retire delay from FIFO pressure.
+};
+
+/** Result of committing one batched (staged) prediction. */
+struct StagedOutcome
+{
+    bool predicted_invalid = false;
+
+    /**
+     * Pre-sigmoid accumulator, read back only for flagged sequences
+     * (the ranking tie-break wants the most negative output, which the
+     * saturated sigmoid cannot resolve). Zero when not flagged.
+     */
+    double raw = 0.0;
 };
 
 /**
@@ -89,11 +140,31 @@ class ActModule
     ActModule(const ActConfig &config, const DependenceEncoder &encoder);
 
     const ActConfig &config() const { return config_; }
-    ActMode mode() const { return mode_; }
-    const ActModuleStats &stats() const { return stats_; }
-    const DebugBuffer &debugBuffer() const { return debug_; }
-    DebugBuffer &debugBuffer() { return debug_; }
+    ActMode mode() const { return arena_->mode; }
+    const ActModuleStats &stats() const { return arena_->stats; }
+    const DebugBuffer &debugBuffer() const { return arena_->debug; }
+    DebugBuffer &debugBuffer() { return arena_->debug; }
     const HwNeuralNetwork &network() const { return network_; }
+
+    // --- Arena management -----------------------------------------
+
+    /** A fresh arena sized for this module's configuration. */
+    ActArena makeArena() const { return ActArena(config_); }
+
+    /**
+     * Operate on @p arena from now on (nullptr rebinds the internally
+     * owned arena). The caller keeps @p arena alive while bound. The
+     * engine — weight registers, pipeline — is untouched, so a
+     * testing-mode module can round-robin arenas freely.
+     */
+    void
+    bindArena(ActArena *arena)
+    {
+        arena_ = arena != nullptr ? arena : &own_arena_;
+    }
+
+    /** The currently bound arena (the internal one by default). */
+    const ActArena &arena() const { return *arena_; }
 
     /**
      * Initialise the network for a (newly scheduled) thread: stored
@@ -124,6 +195,46 @@ class ActModule
     ActOutcome onDependence(const RawDependence &dep, ThreadId tid,
                             Cycle cycle);
 
+    // --- Split-phase classification (fleet batcher) ----------------
+
+    /**
+     * First half of onDependence for a *testing-mode* module with no
+     * timing model: push the dependence through the input ring and,
+     * when a full sequence forms, encode it into the arena scratch
+     * (stagedSequence()/stagedInputs()). The caller then obtains the
+     * network activation — typically via HwNeuralNetwork::inferBatch
+     * over many staged sequences at once — and applies it with
+     * commitPrediction(). stage+commit is bit-equivalent to the
+     * function half of onDependence because the testing-mode forward
+     * pass is pure.
+     *
+     * @return true when a full sequence was staged.
+     */
+    bool stageDependence(const RawDependence &dep);
+
+    /** Sequence staged by the last successful stageDependence. */
+    const DependenceSequence &stagedSequence() const
+    {
+        return arena_->seq_scratch;
+    }
+
+    /** Encoded inputs staged by the last successful stageDependence. */
+    const std::vector<double> &stagedInputs() const
+    {
+        return arena_->input_scratch;
+    }
+
+    /**
+     * Second half: account a prediction for a previously staged
+     * sequence. @p inputs must be the staged encoding (for the raw
+     * read-back of flagged sequences) and @p output the activation the
+     * batch inference produced for it. Commits for one arena must
+     * arrive in staging order.
+     */
+    StagedOutcome commitPrediction(const DependenceSequence &sequence,
+                                   std::span<const double> inputs,
+                                   double output, ThreadId tid);
+
   private:
     void switchMode(ActMode next);
 
@@ -134,16 +245,8 @@ class ActModule
     ActConfig config_;
     std::unique_ptr<DependenceEncoder> encoder_;
     HwNeuralNetwork network_;
-    InputGeneratorBuffer input_buffer_;
-    DebugBuffer debug_;
-    IntervalRate rate_;
-    ActMode mode_ = ActMode::kTesting;
-    ActModuleStats stats_;
-
-    // Scratch reused across onDependence calls: the hot loop runs once
-    // per tracked load and must not allocate per call.
-    DependenceSequence seq_scratch_;
-    std::vector<double> input_scratch_;
+    ActArena own_arena_;
+    ActArena *arena_;
 };
 
 } // namespace act

@@ -22,8 +22,9 @@ powerOfTwo(std::uint32_t value)
 class Reporter
 {
   public:
-    Reporter(std::vector<Finding> &findings, std::size_t max_findings)
-        : findings_(findings), max_findings_(max_findings)
+    Reporter(std::vector<Finding> &findings, std::size_t max_findings,
+             const char *pass = "trace-lint")
+        : findings_(findings), max_findings_(max_findings), pass_(pass)
     {}
 
     bool
@@ -41,10 +42,10 @@ class Reporter
         char buf[192];
         std::snprintf(buf, sizeof(buf), fmt, args...);
         findings_.push_back(
-            makeFinding("trace-lint", code, Severity::kError, buf, seq));
+            makeFinding(pass_, code, Severity::kError, buf, seq));
         if (full()) {
             findings_.push_back(makeFinding(
-                "trace-lint", "too-many-findings", Severity::kWarning,
+                pass_, "too-many-findings", Severity::kWarning,
                 "lint stopped early; further findings suppressed", seq));
         }
     }
@@ -52,6 +53,7 @@ class Reporter
   private:
     std::vector<Finding> &findings_;
     std::size_t max_findings_;
+    const char *pass_;
 };
 
 /** Lifecycle/lock state of one thread. */
@@ -213,6 +215,68 @@ lintTrace(const Trace &trace, const TraceLintOptions &options)
                            static_cast<unsigned long long>(
                                counter.expect));
             }
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
+lintEventBatch(std::span<const TraceEvent> batch,
+               const BatchLintOptions &options)
+{
+    std::vector<Finding> findings;
+    Reporter out(findings, options.max_findings, "batch-lint");
+
+    std::unordered_map<ThreadId, SeqNum> last_seq;
+
+    for (std::size_t i = 0; i < batch.size() && !out.full(); ++i) {
+        const TraceEvent &event = batch[i];
+        const SeqNum at = static_cast<SeqNum>(i);
+
+        const auto raw_kind = static_cast<std::uint8_t>(event.kind);
+        if (raw_kind >
+            static_cast<std::uint8_t>(EventKind::kThreadExit)) {
+            out.report(at, "kind-range", "event kind %u out of range",
+                       raw_kind);
+            continue; // Nothing else about this record is trustworthy.
+        }
+
+        if (options.max_threads != 0 &&
+            event.tid >= options.max_threads) {
+            out.report(at, "tid-range",
+                       "thread id %u out of range (max %u)", event.tid,
+                       options.max_threads);
+            continue;
+        }
+
+        const auto [it, inserted] =
+            last_seq.try_emplace(event.tid, event.seq);
+        if (!inserted) {
+            if (event.seq <= it->second) {
+                out.report(
+                    at, "seq-monotone",
+                    "thread %u seq %llu not after its previous %llu",
+                    event.tid,
+                    static_cast<unsigned long long>(event.seq),
+                    static_cast<unsigned long long>(it->second));
+            }
+            it->second = event.seq;
+        }
+
+        if (event.taken && event.kind != EventKind::kBranch) {
+            out.report(at, "flag-taken", "taken flag on %s event",
+                       eventKindName(event.kind));
+        }
+        if (event.stack && !event.isMemory()) {
+            out.report(at, "flag-stack", "stack flag on %s event",
+                       eventKindName(event.kind));
+        }
+        if (event.isMemory() &&
+            (event.size > kMaxAccessSize || !powerOfTwo(event.size))) {
+            out.report(at, "size-range",
+                       "memory access size %u (want power of two "
+                       "in 1..%u)",
+                       event.size, kMaxAccessSize);
         }
     }
     return findings;

@@ -23,6 +23,7 @@
 #ifndef ACT_ANALYSIS_TRACE_LINT_HH
 #define ACT_ANALYSIS_TRACE_LINT_HH
 
+#include <span>
 #include <vector>
 
 #include "analysis/finding.hh"
@@ -64,6 +65,37 @@ struct TraceLintOptions
  */
 std::vector<Finding> lintTrace(const Trace &trace,
                                const TraceLintOptions &options = {});
+
+/** Knobs of the streaming-batch linter. */
+struct BatchLintOptions
+{
+    /** Stop after this many findings. */
+    std::size_t max_findings = 64;
+
+    /** Reject tids >= this bound; 0 disables the check. */
+    std::uint32_t max_threads = 0;
+};
+
+/**
+ * Streaming variant of the well-formedness pass for in-memory event
+ * batches (the fleet ingest path and `actlint stream`). A batch is an
+ * arbitrary slice of one client's stream, so the whole-trace rules
+ * (dense 0..n-1 seq run, lock balance, lifecycle) do not apply; what
+ * must hold for *any* slice is checked instead:
+ *
+ *  - "seq-monotone": per-tid sequence numbers strictly increase
+ *    within the batch (an out-of-order or duplicated event would
+ *    corrupt per-client dependence state downstream);
+ *  - "kind-range":   event kind inside the EventKind enum;
+ *  - "tid-range":    tid under options.max_threads (when bounded);
+ *  - "size-range":   memory access size a power of two in 1..64;
+ *  - "flag-taken" / "flag-stack": flags only on defining kinds.
+ *
+ * Pass name is "batch-lint"; seq fields anchor to the index *within
+ * the batch*.
+ */
+std::vector<Finding> lintEventBatch(std::span<const TraceEvent> batch,
+                                    const BatchLintOptions &options = {});
 
 } // namespace act
 

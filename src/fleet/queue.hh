@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Bounded MPSC ingress queues for the fleet streaming service.
+ *
+ * Each diagnosis shard owns one BlockQueue; every client assigned to
+ * the shard produces into it and the shard thread is the single
+ * consumer. Granularity is a whole EventBlock (hundreds of events), so
+ * the lock is taken once per block, not per event.
+ *
+ * Backpressure is explicit and the caller chooses the policy per push:
+ *
+ *  - push() blocks the producer until space frees up. Deadlock-free by
+ *    construction: the consumer always drains (it never pushes to its
+ *    own queue), so capacity is always eventually released.
+ *  - tryPush() never blocks; it returns false when the queue is full
+ *    and leaves the block with the caller, who must count the shed —
+ *    the service layer surfaces every drop through telemetry, never
+ *    silently.
+ *
+ * Per-producer FIFO: blocks from one producer are consumed in the
+ * order that producer pushed them (all mutations happen under one
+ * mutex), which is what lets the streaming service guarantee that each
+ * client's events are processed in client order regardless of how
+ * clients interleave.
+ */
+
+#ifndef ACT_FLEET_QUEUE_HH
+#define ACT_FLEET_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "trace/event.hh"
+
+namespace act::fleet
+{
+
+/** One ingress unit: a slice of one client's event stream. */
+struct EventBlock
+{
+    std::uint32_t client = 0;
+    std::vector<TraceEvent> events;
+};
+
+/** What a producer does when its shard's queue is full. */
+enum class Backpressure : std::uint8_t
+{
+    kBlock, //!< Wait for space (lossless; the default).
+    kShed   //!< Drop the block, counting every lost event.
+};
+
+/**
+ * Bounded multi-producer single-consumer queue of EventBlocks.
+ */
+class BlockQueue
+{
+  public:
+    /**
+     * @param capacity  Maximum queued blocks (> 0).
+     * @param producers Producers that will call producerDone().
+     */
+    BlockQueue(std::size_t capacity, std::uint32_t producers)
+        : capacity_(capacity), producers_live_(producers)
+    {
+        ACT_ASSERT(capacity > 0);
+    }
+
+    BlockQueue(const BlockQueue &) = delete;
+    BlockQueue &operator=(const BlockQueue &) = delete;
+
+    /** Blocking enqueue (kBlock policy). */
+    void
+    push(EventBlock block)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock,
+                       [this] { return blocks_.size() < capacity_; });
+        blocks_.push_back(std::move(block));
+        lock.unlock();
+        not_empty_.notify_one();
+    }
+
+    /**
+     * Non-blocking enqueue (kShed policy). Returns false — leaving
+     * @p block untouched in the caller's hands — when full.
+     */
+    bool
+    tryPush(EventBlock &block)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (blocks_.size() >= capacity_)
+                return false;
+            blocks_.push_back(std::move(block));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Consumer side: wait for the next block. Returns false when every
+     * producer has finished and the queue is drained — the consumer's
+     * termination condition.
+     */
+    bool
+    pop(EventBlock &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] {
+            return !blocks_.empty() || producers_live_ == 0;
+        });
+        if (blocks_.empty())
+            return false;
+        out = std::move(blocks_.front());
+        blocks_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /** One producer will push no more blocks. */
+    void
+    producerDone()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ACT_ASSERT(producers_live_ > 0);
+            --producers_live_;
+            if (producers_live_ != 0)
+                return;
+        }
+        // Last producer out: wake the consumer so it can observe the
+        // drained-and-done state and exit.
+        not_empty_.notify_all();
+    }
+
+    /** Blocks currently queued (observability; racy by nature). */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return blocks_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;  //!< Blocked producers sleep here.
+    std::condition_variable not_empty_; //!< The consumer sleeps here.
+    std::deque<EventBlock> blocks_;
+    std::size_t capacity_;
+    std::uint32_t producers_live_;
+};
+
+} // namespace act::fleet
+
+#endif // ACT_FLEET_QUEUE_HH

@@ -117,6 +117,23 @@ HwNeuralNetwork::inferBatch(std::span<const std::vector<double>> batch,
     }
 }
 
+void
+HwNeuralNetwork::inferBatchFlat(std::span<const double> flat,
+                                std::size_t width, std::size_t count,
+                                std::vector<double> &outputs) const
+{
+    ACT_ASSERT(flat.size() == width * count);
+    telemetry::ScopedSpan span("nn.infer_batch", "nn");
+    span.annotate(
+        telemetry::arg("batch", static_cast<std::uint64_t>(count)));
+    outputs.clear();
+    outputs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        toFixed(flat.subspan(i * width, width));
+        outputs.push_back(sigmoid_.lookup(forwardFixed()).toDouble());
+    }
+}
+
 double
 HwNeuralNetwork::confidence(std::span<const double> inputs) const
 {

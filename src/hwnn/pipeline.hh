@@ -84,6 +84,17 @@ class HwNeuralNetwork
     void inferBatch(std::span<const std::vector<double>> batch,
                     std::vector<double> &outputs) const;
 
+    /**
+     * Same batch pass over a flat buffer of @p count input vectors of
+     * @p width doubles each, packed back to back — the layout the
+     * fleet batcher accumulates into, sparing one heap vector per
+     * staged sequence. Bit-identical to the vector-of-vectors
+     * overload (both reduce to per-element infer()).
+     */
+    void inferBatchFlat(std::span<const double> flat, std::size_t width,
+                        std::size_t count,
+                        std::vector<double> &outputs) const;
+
     /** Signed confidence, infer() - 0.5. */
     double confidence(std::span<const double> inputs) const;
 

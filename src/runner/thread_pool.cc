@@ -27,6 +27,36 @@ queueDepthGauge()
     return gauge;
 }
 
+/**
+ * Per-queue depth gauges, `pool.queue_depth.<i>`. Process-wide like
+ * the aggregate (pools sharing a worker index share the slot — the
+ * runner only ever creates one pool at a time, and the gauges are
+ * deltas, so nested test pools still sum correctly). Grown lazily so
+ * a pool with few workers registers few names.
+ */
+telemetry::Gauge
+perQueueGauge(std::size_t index)
+{
+    static std::mutex mutex;
+    static std::vector<telemetry::Gauge> gauges;
+    std::lock_guard<std::mutex> lock(mutex);
+    while (gauges.size() <= index) {
+        gauges.push_back(telemetry::MetricsRegistry::global().gauge(
+            "pool.queue_depth." + std::to_string(gauges.size())));
+    }
+    return gauges[index];
+}
+
+/** trySubmit refusals (volatile: load dependent). */
+telemetry::Counter
+shedCounter()
+{
+    static const telemetry::Counter counter =
+        telemetry::MetricsRegistry::global().counter(
+            "pool.tasks_shed", telemetry::Stability::kVolatile);
+    return counter;
+}
+
 } // namespace
 
 WorkStealingPool::WorkStealingPool(unsigned threads)
@@ -67,11 +97,46 @@ WorkStealingPool::submit(Task task)
     pending_.fetch_add(1);
     unclaimed_.fetch_add(1);
     queueDepthGauge().inc();
+    perQueueGauge(target).inc();
     {
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->tasks.push_back(std::move(task));
     }
     wake_cv_.notify_one();
+}
+
+bool
+WorkStealingPool::trySubmit(Task task, std::size_t max_queue_depth)
+{
+    const int self = tls_worker_index;
+    const std::size_t target =
+        self >= 0 && static_cast<std::size_t>(self) < workers_.size()
+            ? static_cast<std::size_t>(self)
+            : next_queue_.fetch_add(1) % workers_.size();
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        if (workers_[target]->tasks.size() >= max_queue_depth) {
+            sheds_.fetch_add(1);
+            shedCounter().inc();
+            return false;
+        }
+        pending_.fetch_add(1);
+        unclaimed_.fetch_add(1);
+        queueDepthGauge().inc();
+        perQueueGauge(target).inc();
+        workers_[target]->tasks.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+    return true;
+}
+
+std::size_t
+WorkStealingPool::queueDepth(unsigned index) const
+{
+    if (index >= workers_.size())
+        return 0;
+    std::lock_guard<std::mutex> lock(workers_[index]->mutex);
+    return workers_[index]->tasks.size();
 }
 
 void
@@ -140,19 +205,23 @@ WorkStealingPool::claim(unsigned self)
             own.tasks.pop_back();
             unclaimed_.fetch_sub(1);
             queueDepthGauge().dec();
+            perQueueGauge(self).dec();
             return task;
         }
     }
     // Steal the oldest task from the first non-empty victim, scanning
     // from our right-hand neighbour so contention spreads out.
     for (std::size_t offset = 1; offset < workers_.size(); ++offset) {
-        Worker &victim = *workers_[(self + offset) % workers_.size()];
+        const std::size_t victim_index =
+            (self + offset) % workers_.size();
+        Worker &victim = *workers_[victim_index];
         std::lock_guard<std::mutex> lock(victim.mutex);
         if (!victim.tasks.empty()) {
             Task task = std::move(victim.tasks.front());
             victim.tasks.pop_front();
             unclaimed_.fetch_sub(1);
             queueDepthGauge().dec();
+            perQueueGauge(victim_index).dec();
             steals_.fetch_add(1);
             return task;
         }

@@ -324,5 +324,107 @@ TEST(ActModule, InjectedDebugDropLosesLogEntryOnly)
     EXPECT_EQ(module.stats().debug_drops_injected, 1u);
 }
 
+TEST(ActModule, StagedCommitMatchesOnDependence)
+{
+    // The split-phase path (stage -> external inference -> commit) must
+    // reproduce the function half of onDependence bit for bit: same
+    // outputs, same classifications, same Debug Buffer contents.
+    ActConfig config = testConfig();
+    config.interval_length = 1 << 20; // No mode switch mid-test.
+    const std::vector<double> weights = trainedWeights();
+
+    PairEncoder encoder;
+    ActModule reference(config, encoder);
+    reference.restoreWeights(weights);
+    ActModule staged(config, encoder);
+    staged.restoreWeights(weights);
+
+    Rng rng(17);
+    for (int i = 0; i < 300; ++i) {
+        const RawDependence dep =
+            rng.next(3) == 0
+                ? buggyDep()
+                : validDep(static_cast<std::uint32_t>(rng.next(8)));
+        const ActOutcome ref = reference.onDependence(dep, 1, i);
+
+        const bool formed = staged.stageDependence(dep);
+        ASSERT_EQ(formed, ref.classified);
+        if (!formed)
+            continue;
+        const double output =
+            staged.network().infer(staged.stagedInputs());
+        const StagedOutcome outcome = staged.commitPrediction(
+            staged.stagedSequence(), staged.stagedInputs(), output, 1);
+        EXPECT_EQ(output, ref.output);
+        EXPECT_EQ(outcome.predicted_invalid, ref.predicted_invalid);
+    }
+
+    EXPECT_EQ(staged.stats().dependences, reference.stats().dependences);
+    EXPECT_EQ(staged.stats().predictions, reference.stats().predictions);
+    EXPECT_EQ(staged.stats().predicted_invalid,
+              reference.stats().predicted_invalid);
+
+    const auto ref_entries = reference.debugBuffer().entries();
+    const auto staged_entries = staged.debugBuffer().entries();
+    ASSERT_EQ(staged_entries.size(), ref_entries.size());
+    for (std::size_t i = 0; i < ref_entries.size(); ++i) {
+        EXPECT_EQ(staged_entries[i].output, ref_entries[i].output);
+        EXPECT_EQ(staged_entries[i].when, ref_entries[i].when);
+        EXPECT_EQ(staged_entries[i].tid, ref_entries[i].tid);
+    }
+}
+
+TEST(ActModule, BoundArenasIsolateInterleavedStreams)
+{
+    // One engine, two interleaved arenas: each arena must end up
+    // exactly where a dedicated module fed only its own stream would.
+    ActConfig config = testConfig();
+    config.interval_length = 1 << 20;
+    const std::vector<double> weights = trainedWeights();
+
+    PairEncoder encoder;
+    ActModule mux(config, encoder);
+    mux.restoreWeights(weights);
+    ActArena arena_a = mux.makeArena();
+    ActArena arena_b = mux.makeArena();
+
+    ActModule solo_a(config, encoder);
+    solo_a.restoreWeights(weights);
+    ActModule solo_b(config, encoder);
+    solo_b.restoreWeights(weights);
+
+    const auto feed = [&mux](ActArena &arena, const RawDependence &dep) {
+        mux.bindArena(&arena);
+        if (!mux.stageDependence(dep))
+            return;
+        const double output = mux.network().infer(mux.stagedInputs());
+        mux.commitPrediction(mux.stagedSequence(), mux.stagedInputs(),
+                             output, 0);
+    };
+
+    for (int i = 0; i < 200; ++i) {
+        const RawDependence a =
+            validDep(static_cast<std::uint32_t>(i % 8));
+        const RawDependence b = (i % 2) != 0 ? buggyDep() : validDep(3);
+        feed(arena_a, a);
+        feed(arena_b, b);
+        solo_a.onDependence(a, 0, i);
+        solo_b.onDependence(b, 0, i);
+    }
+    mux.bindArena(nullptr);
+
+    EXPECT_EQ(arena_a.stats.predictions, solo_a.stats().predictions);
+    EXPECT_EQ(arena_a.stats.predicted_invalid,
+              solo_a.stats().predicted_invalid);
+    EXPECT_EQ(arena_b.stats.predictions, solo_b.stats().predictions);
+    EXPECT_EQ(arena_b.stats.predicted_invalid,
+              solo_b.stats().predicted_invalid);
+    EXPECT_EQ(arena_a.debug.size(), solo_a.debugBuffer().size());
+    EXPECT_EQ(arena_b.debug.size(), solo_b.debugBuffer().size());
+    // The streams really were different.
+    EXPECT_NE(arena_a.stats.predicted_invalid,
+              arena_b.stats.predicted_invalid);
+}
+
 } // namespace
 } // namespace act

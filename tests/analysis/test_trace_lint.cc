@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "analysis/trace_lint.hh"
 #include "workloads/bugs.hh"
@@ -202,6 +203,102 @@ TEST(TraceLint, AllRegisteredWorkloadTracesAreClean)
         const auto fail_findings = lintTrace(workload->record(failing));
         EXPECT_TRUE(fail_findings.empty())
             << name << " (failing):\n" << formatFindings(fail_findings);
+    }
+}
+
+TraceEvent
+batchEvent(ThreadId tid, SeqNum seq, EventKind kind = EventKind::kLoad)
+{
+    TraceEvent e = makeEvent(kind, tid, 0x400000, 0x1000);
+    e.seq = seq;
+    return e;
+}
+
+TEST(BatchLint, WellFormedBatchIsClean)
+{
+    const std::vector<TraceEvent> batch{
+        batchEvent(0, 1), batchEvent(1, 2, EventKind::kStore),
+        batchEvent(0, 3), batchEvent(1, 5)};
+    EXPECT_TRUE(lintEventBatch(batch).empty());
+}
+
+TEST(BatchLint, NonMonotonePerThreadSeqIsFlagged)
+{
+    // Thread 0 goes 5 -> 5 (stale) and thread 1 stays monotone.
+    const std::vector<TraceEvent> batch{
+        batchEvent(0, 5), batchEvent(1, 3), batchEvent(0, 5),
+        batchEvent(1, 4)};
+    const auto findings = lintEventBatch(batch);
+    EXPECT_TRUE(hasCode(findings, "seq-monotone"));
+    EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(BatchLint, OutOfRangeKindIsFlagged)
+{
+    std::vector<TraceEvent> batch{batchEvent(0, 1)};
+    batch.push_back(batchEvent(0, 2));
+    batch.back().kind = static_cast<EventKind>(250);
+    EXPECT_TRUE(hasCode(lintEventBatch(batch), "kind-range"));
+}
+
+TEST(BatchLint, TidRangeIsCheckedOnlyWhenBounded)
+{
+    const std::vector<TraceEvent> batch{batchEvent(900, 1)};
+    EXPECT_TRUE(lintEventBatch(batch).empty()); // Unbounded default.
+
+    BatchLintOptions bounded;
+    bounded.max_threads = 16;
+    EXPECT_TRUE(hasCode(lintEventBatch(batch, bounded), "tid-range"));
+}
+
+TEST(BatchLint, BadAccessSizeAndMisplacedFlagsAreFlagged)
+{
+    std::vector<TraceEvent> batch{batchEvent(0, 1)};
+    batch.back().size = 3; // Not a power of two.
+    batch.push_back(batchEvent(0, 2, EventKind::kLock));
+    batch.back().taken = true; // Branch-only flag.
+    batch.push_back(batchEvent(0, 3, EventKind::kUnlock));
+    batch.back().stack = true; // Memory-only flag.
+    const auto findings = lintEventBatch(batch);
+    EXPECT_TRUE(hasCode(findings, "size-range"));
+    EXPECT_TRUE(hasCode(findings, "flag-taken"));
+    EXPECT_TRUE(hasCode(findings, "flag-stack"));
+}
+
+TEST(BatchLint, FindingCapStopsEarly)
+{
+    std::vector<TraceEvent> batch;
+    for (SeqNum i = 0; i < 50; ++i) {
+        batch.push_back(batchEvent(0, 1)); // Every event after the
+                                           // first repeats seq 1.
+    }
+    BatchLintOptions options;
+    options.max_findings = 4;
+    const auto findings = lintEventBatch(batch, options);
+    // Four capped errors plus the "stopped early" sentinel warning.
+    ASSERT_EQ(findings.size(), 5u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(findings[i].code, "seq-monotone") << i;
+    EXPECT_EQ(findings.back().code, "too-many-findings");
+}
+
+TEST(BatchLint, WorkloadTraceChunksAreClean)
+{
+    // The fleet service ingests workload traces in fixed-size blocks;
+    // every block of every registered workload must pass.
+    registerAllWorkloads();
+    const auto workload = makeWorkload("lu");
+    const Trace trace = workload->record(WorkloadParams{});
+    const std::span<const TraceEvent> events(trace.events());
+    constexpr std::size_t kBlock = 256;
+    for (std::size_t offset = 0; offset < events.size();
+         offset += kBlock) {
+        const std::size_t count =
+            std::min(kBlock, events.size() - offset);
+        const auto findings =
+            lintEventBatch(events.subspan(offset, count));
+        ASSERT_TRUE(findings.empty())
+            << "block at " << offset << ":\n" << formatFindings(findings);
     }
 }
 

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the bounded MPSC ingress queue: FIFO order, capacity,
+ * shedding, producer-termination handshake and blocking backpressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fleet/queue.hh"
+
+namespace act::fleet
+{
+namespace
+{
+
+EventBlock
+makeBlock(std::uint32_t client, std::size_t events)
+{
+    EventBlock block;
+    block.client = client;
+    block.events.resize(events);
+    return block;
+}
+
+TEST(BlockQueue, FifoWithinOneProducer)
+{
+    BlockQueue queue(8, 1);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        queue.push(makeBlock(0, i + 1));
+    queue.producerDone();
+
+    EventBlock out;
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(queue.pop(out));
+        EXPECT_EQ(out.events.size(), i + 1);
+    }
+    EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BlockQueue, TryPushRefusesWhenFullAndKeepsBlock)
+{
+    BlockQueue queue(2, 1);
+    EventBlock block = makeBlock(7, 3);
+    EXPECT_TRUE(queue.tryPush(block));
+    block = makeBlock(7, 3);
+    EXPECT_TRUE(queue.tryPush(block));
+
+    block = makeBlock(7, 3);
+    EXPECT_FALSE(queue.tryPush(block));
+    // The refused block stays with the caller, intact.
+    EXPECT_EQ(block.client, 7u);
+    EXPECT_EQ(block.events.size(), 3u);
+    EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(BlockQueue, PopReturnsFalseOnlyAfterDrainedAndDone)
+{
+    BlockQueue queue(4, 2);
+    queue.push(makeBlock(0, 1));
+    queue.producerDone();
+    queue.push(makeBlock(1, 2));
+    queue.producerDone();
+
+    // Both producers are done but two blocks remain: both must still
+    // be delivered before the terminal false.
+    EventBlock out;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BlockQueue, BlockingPushResumesWhenConsumerDrains)
+{
+    BlockQueue queue(1, 1);
+    queue.push(makeBlock(0, 1));
+
+    std::thread producer([&] {
+        queue.push(makeBlock(0, 2)); // Blocks until the pop below.
+        queue.producerDone();
+    });
+
+    EventBlock out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.events.size(), 1u);
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.events.size(), 2u);
+    EXPECT_FALSE(queue.pop(out));
+    producer.join();
+}
+
+TEST(BlockQueue, ConcurrentProducersDeliverEverythingInPerClientOrder)
+{
+    constexpr std::uint32_t kProducers = 4;
+    constexpr std::size_t kBlocksEach = 200;
+    BlockQueue queue(3, kProducers);
+
+    std::vector<std::thread> producers;
+    for (std::uint32_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (std::size_t i = 0; i < kBlocksEach; ++i)
+                queue.push(makeBlock(p, i + 1));
+            queue.producerDone();
+        });
+    }
+
+    // Single consumer: per-client sizes must arrive strictly
+    // ascending (per-producer FIFO), and nothing may be lost.
+    std::vector<std::size_t> last(kProducers, 0);
+    std::size_t total = 0;
+    EventBlock out;
+    while (queue.pop(out)) {
+        ASSERT_LT(out.client, kProducers);
+        EXPECT_EQ(out.events.size(), last[out.client] + 1);
+        last[out.client] = out.events.size();
+        ++total;
+    }
+    EXPECT_EQ(total, kProducers * kBlocksEach);
+    for (std::thread &producer : producers)
+        producer.join();
+}
+
+} // namespace
+} // namespace act::fleet

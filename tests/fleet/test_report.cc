@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the mergeable fleet report: suspect accounting, the
+ * order-independence of merge, and the deterministic text rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/report.hh"
+
+namespace act::fleet
+{
+namespace
+{
+
+TEST(FleetReport, AddSuspectTracksCountAndMinRaw)
+{
+    FleetReport report;
+    report.addSuspect(0x100, 0x200, -0.25);
+    report.addSuspect(0x100, 0x200, -0.75);
+    report.addSuspect(0x100, 0x200, -0.50);
+
+    const SuspectStat &stat = report.suspects.at({0x100, 0x200});
+    EXPECT_EQ(stat.count, 3u);
+    EXPECT_DOUBLE_EQ(stat.min_raw, -0.75);
+}
+
+TEST(FleetReport, PositiveRawIsStillTrackedAsMin)
+{
+    // min_raw must initialise from the first sample, not from the
+    // zero default (a pair whose outputs are all positive would
+    // otherwise report a spurious 0.0 minimum).
+    FleetReport report;
+    report.addSuspect(0x1, 0x2, 0.4);
+    report.addSuspect(0x1, 0x2, 0.6);
+    EXPECT_DOUBLE_EQ(report.suspects.at({0x1, 0x2}).min_raw, 0.4);
+}
+
+TEST(FleetReport, MergeSumsTotalsAndFoldsSuspects)
+{
+    FleetReport a;
+    a.totals.events = 10;
+    a.totals.flagged = 2;
+    a.addSuspect(0x100, 0x200, -0.5);
+    a.addSuspect(0x300, 0x400, -0.1);
+
+    FleetReport b;
+    b.totals.events = 5;
+    b.totals.flagged = 1;
+    b.addSuspect(0x100, 0x200, -0.9);
+
+    FleetReport ab = a;
+    ab.merge(b);
+    EXPECT_EQ(ab.totals.events, 15u);
+    EXPECT_EQ(ab.totals.flagged, 3u);
+    EXPECT_EQ(ab.suspects.size(), 2u);
+    EXPECT_EQ(ab.suspects.at({0x100, 0x200}).count, 2u);
+    EXPECT_DOUBLE_EQ(ab.suspects.at({0x100, 0x200}).min_raw, -0.9);
+
+    // Order independence: b.merge(a) renders identically.
+    FleetReport ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.toText(10), ba.toText(10));
+}
+
+TEST(FleetReport, ToTextRanksByCountThenMinRaw)
+{
+    FleetReport report;
+    report.addSuspect(0xa, 0xb, -0.2);
+    report.addSuspect(0xa, 0xb, -0.2); // count 2
+    report.addSuspect(0xc, 0xd, -0.9); // count 1, more negative
+    report.addSuspect(0xe, 0xf, -0.1); // count 1
+
+    const std::string text = report.toText(10);
+    const std::size_t first = text.find("store=0xa");
+    const std::size_t second = text.find("store=0xc");
+    const std::size_t third = text.find("store=0xe");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    ASSERT_NE(third, std::string::npos);
+    EXPECT_LT(first, second);
+    EXPECT_LT(second, third);
+}
+
+TEST(FleetReport, ToTextHonoursTopK)
+{
+    FleetReport report;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        report.addSuspect(0x100 + i, 0x200 + i, -0.5);
+
+    const std::string text = report.toText(3);
+    EXPECT_NE(text.find("top suspects 3 of 8"), std::string::npos);
+    EXPECT_EQ(text.find(" 4. "), std::string::npos);
+}
+
+} // namespace
+} // namespace act::fleet

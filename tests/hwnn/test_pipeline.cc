@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "hwnn/pipeline.hh"
 #include "nn/trainer.hh"
 
@@ -234,6 +236,41 @@ TEST(HwNeuralNetwork, SetTopologyZeroesWeights)
     EXPECT_EQ(hw.weightCount(), 4u * 5u + 5u);
     const std::vector<double> in{0.1, 0.2, 0.3, 0.4};
     EXPECT_NEAR(hw.infer(in), 0.5, 0.01); // all-zero network
+}
+
+TEST(HwNeuralNetwork, InferBatchFlatIsBitIdenticalToScalarInference)
+{
+    Rng rng(9);
+    MlpNetwork soft(Topology{6, 10}, rng);
+    HwNeuralNetwork hw(defaultHw(), Topology{6, 10});
+    hw.loadWeights(soft.weights());
+
+    constexpr std::size_t kWidth = 6;
+    constexpr std::size_t kCount = 57;
+    Rng inputs(123);
+    std::vector<double> flat;
+    for (std::size_t i = 0; i < kWidth * kCount; ++i)
+        flat.push_back(inputs.uniform(-2, 2));
+
+    std::vector<double> outputs;
+    hw.inferBatchFlat(flat, kWidth, kCount, outputs);
+    ASSERT_EQ(outputs.size(), kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+        const std::span<const double> row =
+            std::span<const double>(flat).subspan(i * kWidth, kWidth);
+        // Exact equality: the batched path must reuse the scalar
+        // fixed-point pipeline verbatim (the fleet's streaming-vs-batch
+        // byte-equivalence depends on it).
+        EXPECT_EQ(outputs[i], hw.infer(row)) << i;
+    }
+}
+
+TEST(HwNeuralNetwork, InferBatchFlatHandlesEmptyBatch)
+{
+    HwNeuralNetwork hw(defaultHw(), Topology{6, 10});
+    std::vector<double> outputs{1.0, 2.0};
+    hw.inferBatchFlat({}, 6, 0, outputs);
+    EXPECT_TRUE(outputs.empty());
 }
 
 } // namespace

@@ -16,6 +16,12 @@
  *                            .trc in its trace cache
  *                            [--cache DIR: cache location, default
  *                             <dir>/trace-cache]
+ *   stream <file.trc>...     chunk traces into event blocks and run the
+ *                            streaming batch linter over each block
+ *                            (per-tid seq monotonicity, kind/tid/size
+ *                            range checks) — the same validation the
+ *                            fleet service applies to ingress blocks
+ *                            [--block N: events per block, default 512]
  *   config                   validate the default ActConfig against
  *                            every built-in encoder
  *   weights <file>           validate a WeightStore blob against its
@@ -28,7 +34,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +70,8 @@ usage()
         " runs\n"
         "  report <dir> [--cache DIR]      validate a campaign report"
         " dir\n"
+        "  stream <file.trc>... [--block N] batch-lint traces as event"
+        " blocks\n"
         "  config                          validate the default"
         " ActConfig\n"
         "  weights <file>                  validate a WeightStore"
@@ -302,6 +312,46 @@ cmdReport(const std::vector<std::string> &args, std::string cache_dir)
     return errors == 0 ? kExitClean : kExitFindings;
 }
 
+/**
+ * Chunk each trace into blocks of @p block_events and run the streaming
+ * batch linter over every block — exactly what the fleet service does
+ * to ingress blocks under --lint-blocks, so a trace that passes here
+ * will not be rejected by a linting fleet.
+ */
+int
+cmdStream(const std::vector<std::string> &args, std::size_t block_events)
+{
+    if (args.empty() || block_events == 0) {
+        usage();
+        return kExitUsage;
+    }
+    std::size_t errors = 0;
+    for (const std::string &path : args) {
+        Trace trace;
+        if (!readTrace(path, trace)) {
+            std::printf("%s: unreadable (missing, truncated or not a "
+                        "trace file)\n",
+                        path.c_str());
+            ++errors;
+            continue;
+        }
+        const std::span<const TraceEvent> events(trace.events());
+        std::size_t blocks = 0;
+        for (std::size_t offset = 0; offset < events.size();
+             offset += block_events) {
+            const std::size_t count =
+                std::min(block_events, events.size() - offset);
+            errors += emit(
+                path + " block " + std::to_string(blocks),
+                lintEventBatch(events.subspan(offset, count)));
+            ++blocks;
+        }
+        std::printf("%s: %zu event(s) in %zu block(s) of up to %zu\n",
+                    path.c_str(), events.size(), blocks, block_events);
+    }
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
 int
 cmdConfig()
 {
@@ -362,6 +412,7 @@ run(int argc, char **argv)
 
     bool show_races = false;
     std::string cache_dir;
+    std::size_t block_events = 512;
     std::vector<std::string> args;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -369,6 +420,10 @@ run(int argc, char **argv)
             show_races = true;
         } else if (arg == "--cache" && i + 1 < argc) {
             cache_dir = argv[++i];
+        } else if (arg == "--block" && i + 1 < argc) {
+            block_events =
+                static_cast<std::size_t>(std::strtoull(argv[++i],
+                                                       nullptr, 10));
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return kExitUsage;
@@ -383,6 +438,8 @@ run(int argc, char **argv)
         return cmdWorkloads(args);
     if (command == "report")
         return cmdReport(args, cache_dir);
+    if (command == "stream")
+        return cmdStream(args, block_events);
     if (command == "config")
         return cmdConfig();
     if (command == "weights")

@@ -93,6 +93,12 @@ class MetricsPulse
         }
         cv_.notify_all();
         thread_.join();
+        // Final pulse, emitted *after* the join: the partial interval
+        // between the last timer tick and shutdown would otherwise be
+        // silently lost, and emitting from this thread once the pulse
+        // thread is dead guarantees the line can never interleave with
+        // the final metrics/report write that follows destruction.
+        emit();
     }
 
   private:

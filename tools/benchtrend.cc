@@ -4,12 +4,13 @@
  *
  * Runs the simulate→track→infer micro hot paths (the same inner loops
  * `bench/micro_hotpaths` times under google-benchmark) with a
- * self-calibrating best-of-N driver, plus two coarse wall-clock
- * measurements (the smoke campaign and a reduced Figure 8 overhead
- * run), and writes the results as machine-readable JSON
- * (`BENCH_PR6.json` by default). The smoke campaign runs with the
- * telemetry registry enabled and reports counter-derived throughput
- * (simulated events/s) in the report's `telemetry` section — those
+ * self-calibrating best-of-N driver, plus three coarse wall-clock
+ * measurements (the smoke campaign, a reduced Figure 8 overhead run,
+ * and the fleet streaming service), and writes the results as
+ * machine-readable JSON (`BENCH_PR7.json` by default). The smoke
+ * campaign and the fleet run execute with the telemetry registry
+ * enabled and report counter-derived throughput (simulated events/s,
+ * fleet ingest events/s) in the report's `telemetry` section — those
  * rows are context, never CI gates.
  *
  * With `--check` it also loads a committed baseline
@@ -35,6 +36,7 @@
 
 #include "act/act_module.hh"
 #include "bench/bench_json.hh"
+#include "fleet/service.hh"
 #include "deps/input_generator.hh"
 #include "diagnosis/pipeline.hh"
 #include "runner/campaign.hh"
@@ -57,7 +59,7 @@ using bench::MicroResult;
 
 struct Options
 {
-    std::string out = "BENCH_PR6.json";
+    std::string out = "BENCH_PR7.json";
     std::string baseline = "bench/BENCH_BASELINE.json";
     bool check = false;
     double threshold = 0.30;
@@ -333,6 +335,46 @@ runFig8Mini()
     return result;
 }
 
+bench::WallClockResult
+runFleetStream(std::vector<bench::TelemetryEntry> &telemetry,
+               bool quick)
+{
+    // The fleet streaming service end to end: record, stream through
+    // the shard pipeline, merge. Work is repeat-bounded (not
+    // duration-bounded) so every run ingests the same event total;
+    // only the wall clock varies. Trend context, never a gate.
+    fleet::FleetConfig config;
+    config.clients = 8;
+    config.shards = 2;
+    config.repeat = quick ? 1 : 3;
+
+    auto &reg = act::telemetry::MetricsRegistry::global();
+    const bool was_enabled = reg.enabled();
+    reg.setEnabled(true);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::FleetResult run = fleet::runFleetService(config);
+    bench::WallClockResult result;
+    result.name = "fleet_stream";
+    result.ms = wallMs(t0);
+    reg.setEnabled(was_enabled);
+
+    const auto &totals = run.report.totals;
+    if (run.wall_s > 0.0) {
+        telemetry.push_back(
+            {"fleet_stream_events_per_s",
+             static_cast<double>(totals.events) / run.wall_s});
+        telemetry.push_back(
+            {"fleet_stream_predictions_per_s",
+             static_cast<double>(totals.predictions) / run.wall_s});
+    }
+    telemetry.push_back({"fleet_stream_events",
+                         static_cast<double>(totals.events)});
+    telemetry.push_back({"fleet_stream_dropped_events",
+                         static_cast<double>(totals.events_dropped)});
+    return result;
+}
+
 // --- Driver ----------------------------------------------------------
 
 bool
@@ -426,6 +468,19 @@ run(const Options &options)
         report.wall_clock.push_back(fig8);
         std::printf("%-26s %14s %13.0f ms\n", fig8.name.c_str(), "-",
                     fig8.ms);
+    }
+    if (wantBench(options, "fleet_stream")) {
+        const std::size_t first_entry = report.telemetry.size();
+        const auto fleet_wall =
+            runFleetStream(report.telemetry, options.quick);
+        report.wall_clock.push_back(fleet_wall);
+        std::printf("%-26s %14s %13.0f ms\n", fleet_wall.name.c_str(),
+                    "-", fleet_wall.ms);
+        for (std::size_t i = first_entry; i < report.telemetry.size();
+             ++i)
+            std::printf("%-40s %16.0f\n",
+                        report.telemetry[i].name.c_str(),
+                        report.telemetry[i].value);
     }
 
     if (!writeBenchReport(report, options.out)) {
