@@ -3,12 +3,14 @@
  * google-benchmark microbenchmarks of the simulator's hot paths: NN
  * inference (software double and hardware fixed point), on-line
  * back-propagation, dependence encoding/tracking, the MESI cache
- * access path and Debug Buffer postprocessing.
+ * access path, Debug Buffer postprocessing, and the offline
+ * concurrency detectors of the analysis pipeline.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "act/act_module.hh"
+#include "analysis/pipeline.hh"
 #include "deps/input_generator.hh"
 #include "diagnosis/postprocess.hh"
 #include "sim/memsys.hh"
@@ -179,6 +181,93 @@ BM_Postprocess(benchmark::State &state)
         benchmark::DoNotOptimize(postprocess(entries, correct));
 }
 BENCHMARK(BM_Postprocess);
+
+/** Lock-rich shared-memory stream exercising every detector. */
+Trace
+detectorBenchTrace(std::size_t events, std::uint32_t threads)
+{
+    Trace trace;
+    Rng rng(0xd37ec7);
+    for (std::size_t i = 0; i < events; ++i) {
+        TraceEvent event;
+        event.tid = static_cast<ThreadId>(rng.next(threads));
+        const Addr lock = 0x100 + (event.tid % 2) * 0x10;
+        const bool locked = rng.chance(0.8);
+        if (locked) {
+            event.kind = EventKind::kLock;
+            event.addr = lock;
+            event.pc = 0x500000 + event.tid;
+            trace.append(event);
+        }
+        event.addr = 0x1000 + rng.next(512) * 8;
+        event.kind =
+            rng.chance(0.4) ? EventKind::kStore : EventKind::kLoad;
+        event.pc = 0x400000 + (event.addr & 0xfff);
+        trace.append(event);
+        if (locked) {
+            event.kind = EventKind::kUnlock;
+            event.addr = lock;
+            event.pc = 0x500100 + event.tid;
+            trace.append(event);
+        }
+    }
+    return trace;
+}
+
+void
+BM_LocksetDetect(benchmark::State &state)
+{
+    const Trace trace = detectorBenchTrace(20000, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(detectLocksetRaces(trace));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        trace.size() * state.iterations()));
+}
+BENCHMARK(BM_LocksetDetect);
+
+void
+BM_LockOrderDetect(benchmark::State &state)
+{
+    const Trace trace = detectorBenchTrace(20000, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(detectLockOrderCycles(trace));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        trace.size() * state.iterations()));
+}
+BENCHMARK(BM_LockOrderDetect);
+
+void
+BM_AtomicityDetect(benchmark::State &state)
+{
+    const Trace trace = detectorBenchTrace(20000, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(detectAtomicityViolations(trace));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        trace.size() * state.iterations()));
+}
+BENCHMARK(BM_AtomicityDetect);
+
+void
+BM_OrderCheck(benchmark::State &state)
+{
+    const Trace trace = detectorBenchTrace(20000, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checkOrderViolations(trace));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        trace.size() * state.iterations()));
+}
+BENCHMARK(BM_OrderCheck);
+
+void
+BM_AnalysisPipeline(benchmark::State &state)
+{
+    const Trace trace = detectorBenchTrace(20000, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runAnalysisPipeline(trace));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        trace.size() * state.iterations()));
+}
+BENCHMARK(BM_AnalysisPipeline);
 
 } // namespace
 } // namespace act

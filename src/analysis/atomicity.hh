@@ -1,0 +1,119 @@
+/**
+ * @file
+ * AVIO-style atomicity-violation detector.
+ *
+ * For two consecutive accesses p (preceding) and c (current) by one
+ * thread to the same address, every remote access r that interleaved
+ * between them forms a triple (p, r, c). Four of the eight kind
+ * combinations are unserializable — no serial order of the two threads
+ * produces the same reads-from relation (Lu et al., AVIO):
+ *
+ *     p=R r=W c=R   the two local reads see different values
+ *     p=W r=W c=R   the local read sees the remote, not its own, write
+ *     p=R r=W c=W   the remote write is lost
+ *     p=W r=R c=W   the remote read sees a half-done update
+ *
+ * Unserializable interleavings are common in correct executions (a
+ * lock-protected counter updated by two threads produces W-W-R every
+ * time the lock changes hands), so raw detection over one trace is
+ * noisy by design. The pipeline therefore *mines* the static triples
+ * that appear in passing runs as an invariant baseline and reports only
+ * the triples unique to the failing run — AVIO's extraction phase.
+ */
+
+#ifndef ACT_ANALYSIS_ATOMICITY_HH
+#define ACT_ANALYSIS_ATOMICITY_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/detector.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Static unserializable triples observed in passing executions. */
+class AtomicityBaseline
+{
+  public:
+    /** Fold in every unserializable static triple of @p trace. */
+    void addPassingTrace(const Trace &trace);
+
+    bool contains(std::uint64_t triple_key) const
+    {
+        return triples_.count(triple_key) != 0;
+    }
+
+    std::size_t size() const { return triples_.size(); }
+
+  private:
+    std::unordered_set<std::uint64_t> triples_;
+};
+
+/** Incremental atomicity detector (one instance per event stream). */
+class AtomicityDetector
+{
+  public:
+    /** Detection mode; @p baseline may be null (report every triple). */
+    explicit AtomicityDetector(const AtomicityBaseline *baseline =
+                                   nullptr)
+        : baseline_(baseline)
+    {}
+
+    /** Consume one event in stream order. */
+    void observe(const TraceEvent &event);
+
+    const AnalysisReport &report() const { return report_; }
+    AnalysisReport takeReport() { return std::move(report_); }
+
+    /** Static keys of every unserializable triple seen (mining). */
+    const std::unordered_set<std::uint64_t> &tripleKeys() const
+    {
+        return triples_;
+    }
+
+    /** Stable key of a static triple (PCs + kind pattern). */
+    static std::uint64_t tripleKey(Pc p_pc, Pc r_pc, Pc c_pc,
+                                   bool p_store, bool r_store,
+                                   bool c_store);
+
+  private:
+    /** One static remote access inside a local window. */
+    struct RemoteAccess
+    {
+        Pc pc = kInvalidPc;
+        bool is_store = false;
+        SeqNum seq = 0;     //!< First dynamic instance in this window.
+        ThreadId tid = 0;
+    };
+
+    /** Last local access by one thread, plus the interleaved remotes. */
+    struct LocalWindow
+    {
+        bool valid = false;
+        Pc pc = kInvalidPc;
+        bool is_store = false;
+        SeqNum seq = 0;
+        std::vector<RemoteAccess> remotes; //!< Deduped by (pc, kind).
+    };
+
+    std::unordered_map<Addr,
+                       std::unordered_map<ThreadId, LocalWindow>>
+        state_;
+    const AtomicityBaseline *baseline_;
+    std::unordered_set<std::uint64_t> triples_;
+    AnalysisReport report_;
+};
+
+/**
+ * Run the atomicity detector over a whole recorded trace; findings are
+ * the unserializable triples absent from @p baseline (all of them when
+ * @p baseline is null).
+ */
+AnalysisReport detectAtomicityViolations(
+    const Trace &trace, const AtomicityBaseline *baseline = nullptr);
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_ATOMICITY_HH

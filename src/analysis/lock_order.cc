@@ -1,0 +1,168 @@
+#include "analysis/lock_order.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <set>
+
+namespace act
+{
+
+namespace
+{
+
+/** Rotate @p cycle so the smallest lock address leads. */
+std::vector<Addr>
+canonicalCycle(std::vector<Addr> cycle)
+{
+    const auto smallest =
+        std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), smallest, cycle.end());
+    return cycle;
+}
+
+} // namespace
+
+void
+LockOrderDetector::observe(const TraceEvent &event)
+{
+    switch (event.kind) {
+      case EventKind::kLock: {
+        std::vector<HeldLock> &stack = held_[event.tid];
+        for (const HeldLock &held : stack) {
+            if (held.lock == event.addr)
+                continue; // Relock; the trace linter owns that rule.
+            LockOrderEdge edge;
+            edge.held = held.lock;
+            edge.acquired = event.addr;
+            edge.tid = event.tid;
+            edge.held_pc = held.pc;
+            edge.acquired_pc = event.pc;
+            edge.held_seq = held.seq;
+            edge.acquired_seq = event.seq;
+            edge.count = 0;
+            auto [it, inserted] = edges_.try_emplace(
+                std::make_pair(held.lock, event.addr), edge);
+            ++it->second.count;
+        }
+        stack.push_back({event.addr, event.pc, event.seq});
+        break;
+      }
+      case EventKind::kUnlock: {
+        std::vector<HeldLock> &stack = held_[event.tid];
+        // Unlock need not be LIFO: erase the matching entry, newest
+        // first.
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->lock == event.addr) {
+                stack.erase(std::next(it).base());
+                break;
+            }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+AnalysisReport
+LockOrderDetector::finish() const
+{
+    AnalysisReport report;
+
+    // Sorted adjacency (edges_ is an ordered map), so the DFS below is
+    // a pure function of the edge set.
+    std::map<Addr, std::vector<Addr>> successors;
+    for (const auto &[key, edge] : edges_)
+        successors[key.first].push_back(key.second);
+
+    enum class Color : std::uint8_t { kWhite, kOnPath, kDone };
+    std::map<Addr, Color> color;
+    for (const auto &[node, next] : successors) {
+        color.try_emplace(node, Color::kWhite);
+        for (const Addr succ : next)
+            color.try_emplace(succ, Color::kWhite);
+    }
+
+    std::set<std::vector<Addr>> seen_cycles;
+    std::vector<Addr> path;
+
+    const std::function<void(Addr)> visit = [&](Addr node) {
+        color[node] = Color::kOnPath;
+        path.push_back(node);
+        const auto it = successors.find(node);
+        if (it != successors.end()) {
+            for (const Addr succ : it->second) {
+                if (color[succ] == Color::kOnPath) {
+                    // Back edge: the path from succ to node closes a
+                    // cycle succ -> ... -> node -> succ.
+                    const auto start = std::find(path.begin(),
+                                                 path.end(), succ);
+                    seen_cycles.insert(canonicalCycle(
+                        std::vector<Addr>(start, path.end())));
+                } else if (color[succ] == Color::kWhite) {
+                    visit(succ);
+                }
+            }
+        }
+        path.pop_back();
+        color[node] = Color::kDone;
+    };
+    for (const auto &[node, next] : successors) {
+        if (color[node] == Color::kWhite)
+            visit(node);
+    }
+
+    for (const std::vector<Addr> &cycle : seen_cycles) {
+        AnalysisFinding finding;
+        finding.detector = DetectorKind::kLockOrder;
+        finding.code = "lock-cycle";
+        finding.addr = cycle.front();
+        std::string locks;
+        std::uint64_t instances = 0;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            const Addr from = cycle[i];
+            const Addr to = cycle[(i + 1) % cycle.size()];
+            const auto edge = edges_.find(std::make_pair(from, to));
+            if (edge != edges_.end()) {
+                finding.pcs.push_back(edge->second.acquired_pc);
+                finding.witness_seqs.push_back(
+                    edge->second.acquired_seq);
+                finding.witness_tids.push_back(edge->second.tid);
+                instances = std::max(instances, edge->second.count);
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%s0x%llx",
+                          i == 0 ? "" : " -> ",
+                          static_cast<unsigned long long>(from));
+            locks += buf;
+        }
+        finding.count = std::max<std::uint64_t>(instances, 1);
+        finding.message = "lock-order cycle " + locks + " -> back";
+        report.add(std::move(finding));
+    }
+    return report;
+}
+
+std::vector<LockOrderEdge>
+LockOrderDetector::edges() const
+{
+    std::vector<LockOrderEdge> out;
+    out.reserve(edges_.size());
+    for (const auto &[key, edge] : edges_)
+        out.push_back(edge);
+    return out;
+}
+
+AnalysisReport
+detectLockOrderCycles(const Trace &trace)
+{
+    LockOrderDetector detector;
+    for (const TraceEvent &event : trace.events())
+        detector.observe(event);
+    AnalysisReport report = detector.finish();
+    report.events_analyzed = trace.size();
+    return report;
+}
+
+} // namespace act

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lock-order-graph deadlock detector.
+ *
+ * Maintains each thread's stack of held locks; acquiring B while
+ * holding A adds the edge A -> B to a global lock-order graph, with the
+ * first dynamic witness (thread, acquire seqs/PCs) kept per edge. After
+ * the trace is consumed, a DFS over the graph (nodes and successors
+ * visited in sorted lock-address order, so the result is deterministic)
+ * extracts every cycle reachable from a back edge: a cycle A -> B ->
+ * ... -> A means two executions can acquire the locks in opposing
+ * orders and deadlock, even if this trace happened to get through.
+ * Cycles are canonicalised (rotated so the smallest lock address leads)
+ * before dedup, so the same cycle discovered from different entry
+ * points reports once.
+ */
+
+#ifndef ACT_ANALYSIS_LOCK_ORDER_HH
+#define ACT_ANALYSIS_LOCK_ORDER_HH
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/detector.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** One ordered acquisition edge with its first witness. */
+struct LockOrderEdge
+{
+    Addr held = 0;    //!< Lock already held...
+    Addr acquired = 0; //!< ...when this one was acquired.
+    ThreadId tid = 0;
+    Pc held_pc = kInvalidPc;     //!< Acquire site of the held lock.
+    Pc acquired_pc = kInvalidPc; //!< Acquire site of the new lock.
+    SeqNum held_seq = 0;
+    SeqNum acquired_seq = 0;
+    std::uint64_t count = 0; //!< Dynamic occurrences of the edge.
+};
+
+/** Incremental lock-order detector (one instance per event stream). */
+class LockOrderDetector
+{
+  public:
+    /** Consume one event in stream order. */
+    void observe(const TraceEvent &event);
+
+    /** Cycle detection over the accumulated graph. Idempotent. */
+    AnalysisReport finish() const;
+
+    /** All accumulated edges, keyed (held, acquired), sorted. */
+    std::vector<LockOrderEdge> edges() const;
+
+  private:
+    struct HeldLock
+    {
+        Addr lock = 0;
+        Pc pc = kInvalidPc;
+        SeqNum seq = 0;
+    };
+
+    /** Per-thread stack of held locks (acquisition order). */
+    std::unordered_map<ThreadId, std::vector<HeldLock>> held_;
+
+    /** (held, acquired) -> first witness + count; ordered map so the
+     *  adjacency derived from it is sorted for free. */
+    std::map<std::pair<Addr, Addr>, LockOrderEdge> edges_;
+};
+
+/** Run the lock-order detector over a whole recorded trace. */
+AnalysisReport detectLockOrderCycles(const Trace &trace);
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_LOCK_ORDER_HH

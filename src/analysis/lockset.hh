@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Eraser-style lockset race detector.
+ *
+ * A second, independent race lens alongside the vector-clock oracle:
+ * instead of deriving happens-before, it checks the locking discipline
+ * directly. Each shared location v carries a candidate lockset C(v) —
+ * the intersection of the locks held at every access since v became
+ * shared — and a state machine (Virgin -> Exclusive -> Shared ->
+ * Shared-Modified) that postpones refinement and reporting until v is
+ * genuinely shared and written, exactly as in Savage et al.'s Eraser.
+ * An access in the Shared-Modified state with an empty C(v) is a
+ * discipline violation; it is reported as the static pair (last write
+ * PC, current access PC) so findings line up with the RAW-dependence
+ * pairs ACT predicts and the bug catalog records.
+ *
+ * The detector is incremental — observe() consumes one event at a time
+ * — so the same class serves the offline pipeline, `actlint analyze`
+ * and the fleet service's per-block online mode.
+ */
+
+#ifndef ACT_ANALYSIS_LOCKSET_HH
+#define ACT_ANALYSIS_LOCKSET_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/detector.hh"
+#include "trace/trace.hh"
+
+namespace act
+{
+
+/** Eraser state of one shared location. */
+enum class LocksetState : std::uint8_t
+{
+    kVirgin,        //!< Never accessed.
+    kExclusive,     //!< Accessed by one thread only (no refinement).
+    kShared,        //!< Read by multiple threads, never written since.
+    kSharedModified //!< Written while shared: C(v) empty => report.
+};
+
+const char *locksetStateName(LocksetState state);
+
+/** Incremental lockset detector (one instance per event stream). */
+class LocksetDetector
+{
+  public:
+    /** Consume one event in stream order. */
+    void observe(const TraceEvent &event);
+
+    const AnalysisReport &report() const { return report_; }
+    AnalysisReport takeReport() { return std::move(report_); }
+
+    // Introspection for property tests and diagnostics.
+
+    /** State of @p addr (kVirgin when never seen). */
+    LocksetState state(Addr addr) const;
+
+    /** Candidate lockset C(addr), sorted; meaningless while kVirgin or
+     *  kExclusive (refinement has not started). */
+    std::vector<Addr> candidateLocks(Addr addr) const;
+
+    /** Locks currently held by @p tid, sorted. */
+    std::vector<Addr> heldLocks(ThreadId tid) const;
+
+  private:
+    struct VarState
+    {
+        LocksetState state = LocksetState::kVirgin;
+        ThreadId owner = kInvalidThread; //!< kExclusive only.
+        std::vector<Addr> lockset;       //!< Sorted C(v).
+        bool lockset_started = false;    //!< First refinement done.
+
+        Pc last_write_pc = kInvalidPc;
+        ThreadId last_write_tid = kInvalidThread;
+        SeqNum last_write_seq = 0;
+    };
+
+    void refine(VarState &var, const std::vector<Addr> &held);
+    void reportViolation(const VarState &var, const TraceEvent &event);
+
+    std::unordered_map<Addr, VarState> vars_;
+    std::unordered_map<ThreadId, std::vector<Addr>> held_;
+    AnalysisReport report_;
+};
+
+/** Run the lockset detector over a whole recorded trace. */
+AnalysisReport detectLocksetRaces(const Trace &trace);
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_LOCKSET_HH

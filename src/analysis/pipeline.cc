@@ -1,0 +1,253 @@
+#include "analysis/pipeline.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <unordered_set>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/spans.hh"
+
+namespace act
+{
+
+namespace
+{
+
+/** Registry handles (stable: detector output is a pure function of the
+ *  trace set analysed, independent of thread count). */
+struct AnalysisMetrics
+{
+    telemetry::Counter runs;
+    telemetry::Counter events;
+    telemetry::Counter findings;
+    telemetry::Counter racy_pairs;
+
+    static const AnalysisMetrics &
+    get()
+    {
+        static const AnalysisMetrics metrics = [] {
+            auto &reg = telemetry::MetricsRegistry::global();
+            const auto kStable = telemetry::Stability::kStable;
+            AnalysisMetrics m;
+            m.runs = reg.counter("analysis.runs", kStable);
+            m.events = reg.counter("analysis.events", kStable);
+            m.findings = reg.counter("analysis.findings", kStable);
+            m.racy_pairs = reg.counter("analysis.racy_pairs", kStable);
+            return m;
+        }();
+        return metrics;
+    }
+};
+
+std::uint64_t
+pairKey(Pc store_pc, Pc load_pc)
+{
+    return hash3(store_pc, load_pc, 0x9a12);
+}
+
+} // namespace
+
+std::string
+PipelineResult::toText() const
+{
+    std::string out;
+    char buf[96];
+    const DetectorKind kinds[] = {
+        DetectorKind::kLockset, DetectorKind::kLockOrder,
+        DetectorKind::kAtomicity, DetectorKind::kOrder};
+    for (const DetectorKind kind : kinds) {
+        std::snprintf(buf, sizeof(buf), "%-10s %zu finding(s)\n",
+                      detectorName(kind), report.countFor(kind));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%-10s %zu racy pair(s)\n", "hb",
+                  races.races().size());
+    out += buf;
+    for (const AnalysisFinding &finding : report.ranked()) {
+        out += "  ";
+        out += finding.toString();
+        out += '\n';
+    }
+    for (const Race &race : races.races()) {
+        out += "  hb/";
+        out += race.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+PipelineResult
+runAnalysisPipeline(const Trace &trace, const PipelineOptions &options)
+{
+    const auto start = std::chrono::steady_clock::now();
+    telemetry::ScopedSpan span("analysis.pipeline", "analysis");
+    PipelineResult result;
+
+    const AtomicityBaseline *atomicity_baseline =
+        options.baselines != nullptr ? &options.baselines->atomicity
+                                     : nullptr;
+    const OrderInvariants *order_invariants =
+        options.baselines != nullptr ? &options.baselines->order
+                                     : nullptr;
+
+    // Every detector writes its own pre-assigned slot; the merge below
+    // runs in fixed order, so the result cannot depend on scheduling.
+    AnalysisReport slots[kDetectorCount];
+    std::vector<std::function<void()>> tasks;
+    if (options.lockset) {
+        tasks.push_back(
+            [&] { slots[0] = detectLocksetRaces(trace); });
+    }
+    if (options.lock_order) {
+        tasks.push_back(
+            [&] { slots[1] = detectLockOrderCycles(trace); });
+    }
+    if (options.atomicity) {
+        tasks.push_back([&] {
+            slots[2] =
+                detectAtomicityViolations(trace, atomicity_baseline);
+        });
+    }
+    if (options.order) {
+        tasks.push_back([&] {
+            slots[3] = checkOrderViolations(trace, order_invariants);
+        });
+    }
+    if (options.hb_races)
+        tasks.push_back([&] { result.races = detectRaces(trace); });
+
+    const unsigned workers =
+        std::min<unsigned>(options.jobs > 0 ? options.jobs : 1,
+                           static_cast<unsigned>(tasks.size()));
+    if (workers <= 1) {
+        for (const auto &task : tasks)
+            task();
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            threads.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < tasks.size(); i = next.fetch_add(1)) {
+                    tasks[i]();
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    for (AnalysisReport &slot : slots)
+        result.report.merge(slot);
+
+    const AnalysisMetrics &m = AnalysisMetrics::get();
+    m.runs.inc();
+    m.events.add(result.report.events_analyzed);
+    m.findings.add(result.report.size());
+    m.racy_pairs.add(result.races.races().size());
+
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+}
+
+EnsembleScore
+scoreEnsemble(const PipelineResult &result,
+              const std::vector<RawDependence> &predictions)
+{
+    // Dedup to distinct inter-thread static pairs, preserving order.
+    std::vector<std::pair<Pc, Pc>> pairs;
+    std::unordered_set<std::uint64_t> seen;
+    for (const RawDependence &dep : predictions) {
+        if (!dep.inter_thread)
+            continue;
+        if (seen.insert(pairKey(dep.store_pc, dep.load_pc)).second)
+            pairs.emplace_back(dep.store_pc, dep.load_pc);
+    }
+
+    const auto pairPredicted = [&seen](Pc a, Pc b) {
+        return seen.count(pairKey(a, b)) != 0 ||
+               seen.count(pairKey(b, a)) != 0;
+    };
+
+    EnsembleScore score;
+    const DetectorKind kinds[] = {
+        DetectorKind::kLockset, DetectorKind::kLockOrder,
+        DetectorKind::kAtomicity, DetectorKind::kOrder};
+
+    for (const DetectorKind kind : kinds) {
+        OracleScore lens;
+        for (const auto &[store_pc, load_pc] : pairs) {
+            ++lens.considered;
+            if (result.report.matchesPair(kind, store_pc, load_pc))
+                ++lens.true_positives;
+            else
+                ++lens.false_positives;
+        }
+        for (const AnalysisFinding &finding :
+             result.report.findings()) {
+            if (finding.detector != kind)
+                continue;
+            bool matched = false;
+            for (const auto &[store_pc, load_pc] : pairs) {
+                if (finding.coversPair(store_pc, load_pc)) {
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                ++lens.false_negatives;
+        }
+        score.per_detector[detectorName(kind)] = lens;
+    }
+
+    {
+        OracleScore hb;
+        for (const auto &[store_pc, load_pc] : pairs) {
+            ++hb.considered;
+            if (result.races.isRacyPair(store_pc, load_pc))
+                ++hb.true_positives;
+            else
+                ++hb.false_positives;
+        }
+        for (const Race &race : result.races.rawRaces()) {
+            if (!pairPredicted(race.prior_pc, race.later_pc))
+                ++hb.false_negatives;
+        }
+        score.per_detector["hb"] = hb;
+    }
+
+    for (const auto &[store_pc, load_pc] : pairs) {
+        ++score.fused.considered;
+        if (result.report.matchesPairAny(store_pc, load_pc) ||
+            result.races.isRacyPair(store_pc, load_pc)) {
+            ++score.fused.true_positives;
+        } else {
+            ++score.fused.false_positives;
+        }
+    }
+    // Fused misses: ground-truth items (any lens) nothing predicted.
+    for (const AnalysisFinding &finding : result.report.findings()) {
+        bool matched = false;
+        for (const auto &[store_pc, load_pc] : pairs) {
+            if (finding.coversPair(store_pc, load_pc)) {
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            ++score.fused.false_negatives;
+    }
+    for (const Race &race : result.races.rawRaces()) {
+        if (!pairPredicted(race.prior_pc, race.later_pc))
+            ++score.fused.false_negatives;
+    }
+    return score;
+}
+
+} // namespace act

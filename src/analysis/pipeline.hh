@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The pluggable analysis pipeline: every offline detector in one pass.
+ *
+ * Runs the lockset, lock-order, atomicity and order-violation detectors
+ * plus the vector-clock happens-before oracle over one (read-only)
+ * trace — concurrently when asked to — and merges their findings into
+ * one deduplicated AnalysisReport. Merging happens in fixed detector
+ * order into pre-assigned slots, so the merged report (and its text
+ * rendering) is byte-identical at jobs=1 and jobs=4; the wall-clock
+ * member is the only scheduling-dependent field and is excluded from
+ * toText().
+ *
+ * The ensemble scorer extends RaceReport::score() to every lens: for a
+ * set of predicted RAW dependences (ACT's ranked Debug Buffer
+ * candidates) it produces one OracleScore per detector — ground truth
+ * being that detector's findings — plus a fused score where a
+ * prediction counts as a true positive when *any* lens corroborates it.
+ * That is what table5/diagnose-act report as the per-detector and fused
+ * precision/recall columns.
+ *
+ * Dormancy contract (DESIGN section 13): nothing in this file runs
+ * unless a caller asks for it. Campaign reports are byte-identical with
+ * the pipeline disabled, and telemetry counters ("analysis.*") follow
+ * the usual disabled-registry rules.
+ */
+
+#ifndef ACT_ANALYSIS_PIPELINE_HH
+#define ACT_ANALYSIS_PIPELINE_HH
+
+#include <map>
+#include <string>
+
+#include "analysis/atomicity.hh"
+#include "analysis/detector.hh"
+#include "analysis/lock_order.hh"
+#include "analysis/lockset.hh"
+#include "analysis/order_check.hh"
+#include "analysis/race_oracle.hh"
+
+namespace act
+{
+
+/** Invariants mined from passing traces for the training-able lenses. */
+struct MinedBaselines
+{
+    AtomicityBaseline atomicity;
+    OrderInvariants order;
+
+    /** Fold one passing trace into both baselines. */
+    void
+    addPassingTrace(const Trace &trace)
+    {
+        atomicity.addPassingTrace(trace);
+        order.addPassingTrace(trace);
+    }
+};
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    bool lockset = true;
+    bool lock_order = true;
+    bool atomicity = true;
+    bool order = true;
+    bool hb_races = true; //!< FastTrack oracle (the fifth lens).
+
+    /** Detector-level parallelism (1 = sequential). The report is
+     *  byte-identical for every value. */
+    unsigned jobs = 1;
+
+    /** Mined invariants; null = single-trace mode for both lenses. */
+    const MinedBaselines *baselines = nullptr;
+};
+
+/** Everything one pipeline pass learned about a trace. */
+struct PipelineResult
+{
+    /** Merged detector findings (lockset/lock-order/atomicity/order). */
+    AnalysisReport report;
+
+    /** The happens-before oracle's racy pairs (empty when disabled). */
+    RaceReport races;
+
+    /** Scheduling-dependent; never part of the deterministic text. */
+    double wall_ms = 0.0;
+
+    /**
+     * Deterministic rendering: per-detector finding counts, then the
+     * ranked findings, then the oracle's racy pairs.
+     */
+    std::string toText() const;
+};
+
+/** Run every enabled detector over @p trace. */
+PipelineResult runAnalysisPipeline(const Trace &trace,
+                                   const PipelineOptions &options = {});
+
+/** Per-lens + fused precision/recall of a prediction set. */
+struct EnsembleScore
+{
+    /** Keyed "lockset", "lock-order", "atomicity", "order", "hb". */
+    std::map<std::string, OracleScore> per_detector;
+
+    /** TP when any lens corroborates the predicted pair. */
+    OracleScore fused;
+};
+
+/**
+ * Score predicted RAW dependences against every lens of @p result.
+ * Intra-thread predictions are skipped (same convention as
+ * RaceReport::score); duplicate predicted pairs count once.
+ */
+EnsembleScore scoreEnsemble(const PipelineResult &result,
+                            const std::vector<RawDependence> &predictions);
+
+} // namespace act
+
+#endif // ACT_ANALYSIS_PIPELINE_HH

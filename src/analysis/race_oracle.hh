@@ -57,7 +57,20 @@ struct Race
     std::string toString() const;
 };
 
-/** Precision/recall of a prediction set against the oracle. */
+/**
+ * Precision/recall of a prediction set against an oracle.
+ *
+ * Edge-case conventions (explicit, not divide-by-zero accidents):
+ *
+ *  - empty prediction set (considered == 0): precision is vacuously
+ *    1.0 — no prediction was wrong. Recall stays governed by the
+ *    ground truth: 0.0 when races were there to find, 1.0 when the
+ *    ground truth is empty too (nothing to find, nothing missed);
+ *  - empty ground truth (true_positives + false_negatives == 0):
+ *    recall is vacuously 1.0;
+ *  - duplicate predicted pairs: scorers deduplicate by static pair
+ *    before counting, so a pair predicted twice is considered once.
+ */
 struct OracleScore
 {
     std::size_t considered = 0;      //!< Inter-thread predictions scored.
@@ -68,7 +81,7 @@ struct OracleScore
     double
     precision() const
     {
-        return considered == 0 ? 0.0
+        return considered == 0 ? 1.0
                                : static_cast<double>(true_positives) /
                                      static_cast<double>(considered);
     }
@@ -77,7 +90,7 @@ struct OracleScore
     recall() const
     {
         const std::size_t racy = true_positives + false_negatives;
-        return racy == 0 ? 0.0
+        return racy == 0 ? 1.0
                          : static_cast<double>(true_positives) /
                                static_cast<double>(racy);
     }

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Post-campaign analysis sweep: the detector pipeline over every
+ * cached trace.
+ *
+ * A campaign leaves its recordings in the content-hash trace cache;
+ * `actrun run <campaign> --analyze` re-reads each `.trc` and runs the
+ * full analysis pipeline over it on the work-stealing pool, one trace
+ * per task, results landing in pre-assigned slots. The rendered text
+ * is ordered by the sorted file list and contains no timing, so it is
+ * byte-identical across `--jobs 1` and `--jobs 4` — the same contract
+ * the campaign reports obey. The sweep writes to its own artifact
+ * (`analysis.txt`), never into report.json/report.csv, so campaign
+ * reports stay byte-identical whether or not the sweep ran.
+ */
+
+#ifndef ACT_RUNNER_ANALYSIS_SWEEP_HH
+#define ACT_RUNNER_ANALYSIS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace act
+{
+
+/** Outcome of one sweep. */
+struct AnalysisSweepResult
+{
+    std::string text;           //!< Deterministic per-trace report.
+    std::size_t traces = 0;     //!< Trace files analysed.
+    std::size_t unreadable = 0; //!< Files readTrace rejected.
+    std::uint64_t findings = 0; //!< Detector findings, summed.
+    std::uint64_t racy_pairs = 0; //!< HB oracle pairs, summed.
+    double wall_ms = 0.0;
+};
+
+/**
+ * Analyse every `.trc` under @p cache_dir (sorted order) with
+ * @p jobs worker threads (0 = hardware concurrency).
+ */
+AnalysisSweepResult analyzeCachedTraces(const std::string &cache_dir,
+                                        unsigned jobs);
+
+} // namespace act
+
+#endif // ACT_RUNNER_ANALYSIS_SWEEP_HH

@@ -89,6 +89,9 @@ table5Campaign()
             job.kind = JobKind::kDiagnoseAct;
             job.scheme = Scheme::kAct;
             job.workload = name;
+            // Table V also reports the multi-detector ensemble columns
+            // (per-detector + fused precision/recall) for the ACT cells.
+            job.knobs.analyze = true;
             if (name == "mysql1") {
                 // The paper: the buggy sequence is not in the default
                 // 60-entry Debug Buffer; a larger one is needed.

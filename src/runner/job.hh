@@ -115,6 +115,16 @@ struct JobKnobs
      */
     std::vector<std::uint64_t> extra_root_pcs;
 
+    /**
+     * Run the multi-detector analysis pipeline on diagnose-act jobs:
+     * mine atomicity/order invariants from the training traces, run
+     * every detector over the failing trace, and report per-detector +
+     * fused ensemble precision/recall columns. Off by default —
+     * fault-free reports are byte-identical with the pipeline disabled
+     * (table5 turns it on; `actrun --no-analysis` forces it back off).
+     */
+    bool analyze = false;
+
     // Resilience jobs (kResilience) and runner fault injection.
     double fault_rate = 0.0;        //!< Uniform FaultPlan rate.
     std::uint64_t fault_seed = 1;   //!< FaultPlan seed.

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <thread>
 
+#include "analysis/pipeline.hh"
 #include "analysis/race_oracle.hh"
 #include "baselines/aviso.hh"
 #include "baselines/pbi.hh"
@@ -291,8 +292,8 @@ runDiagnoseActImpl(const JobSpec &spec, TraceCache &cache,
     WorkloadParams failure_params;
     failure_params.seed = knobs.failure_seed;
     failure_params.trigger_failure = true;
-    const RaceReport oracle =
-        detectRaces(cache.record(*workload, failure_params));
+    const Trace failing_trace = cache.record(*workload, failure_params);
+    const RaceReport oracle = detectRaces(failing_trace);
     const RawDependence root = workload->buggyDependence();
     std::vector<RawDependence> predicted;
     for (const auto &candidate : act.report.ranked) {
@@ -325,6 +326,100 @@ runDiagnoseActImpl(const JobSpec &spec, TraceCache &cache,
     result.labels["dbg.pos"] =
         act.debug_position ? formatCell("%zu", *act.debug_position)
                            : std::string("evicted");
+
+    if (knobs.analyze) {
+        // Multi-detector ensemble: mine benign-interleaving baselines
+        // from the same passing traces training consumed (all cache
+        // hits), run every detector over the failing trace, and score
+        // ACT's predictions through each lens plus the fused union.
+        MinedBaselines baselines;
+        for (std::size_t i = 0; i < setup.training.traces; ++i) {
+            WorkloadParams train_params;
+            train_params.seed = setup.training.seed_base + i;
+            baselines.addPassingTrace(
+                cache.record(*workload, train_params));
+        }
+        PipelineOptions popts;
+        popts.hb_races = false; // Reuse `oracle` computed above.
+        popts.baselines = &baselines;
+        PipelineResult analysis = runAnalysisPipeline(failing_trace, popts);
+        analysis.races = oracle;
+        const EnsembleScore ensemble = scoreEnsemble(analysis, predicted);
+
+        const auto lensKey = [](const std::string &name) {
+            std::string key; // "lock-order" -> "lockorder" etc.
+            for (const char c : name)
+                if (c != '-')
+                    key += c;
+            return key;
+        };
+        const auto emitLens = [&result](const std::string &key,
+                                        const OracleScore &s) {
+            result.metrics["ens_" + key + "_tp"] =
+                static_cast<double>(s.true_positives);
+            result.metrics["ens_" + key + "_fp"] =
+                static_cast<double>(s.false_positives);
+            result.metrics["ens_" + key + "_prec"] = s.precision();
+            result.metrics["ens_" + key + "_recall"] = s.recall();
+        };
+        for (const auto &lens : ensemble.per_detector)
+            emitLens(lensKey(lens.first), lens.second);
+        emitLens("fused", ensemble.fused);
+
+        result.metrics["analysis_findings"] =
+            static_cast<double>(analysis.report.size());
+        for (std::size_t d = 0; d < kDetectorCount; ++d) {
+            const auto kind = static_cast<DetectorKind>(d);
+            result.metrics["det_" + lensKey(detectorName(kind))] =
+                static_cast<double>(analysis.report.countFor(kind));
+        }
+
+        // Catalog agreement: which lenses flag the known root pair,
+        // and whether the bug's own detector class is among them.
+        std::string flagged_by;
+        for (std::size_t d = 0; d < kDetectorCount; ++d) {
+            const auto kind = static_cast<DetectorKind>(d);
+            if (analysis.report.matchesPair(kind, root.store_pc,
+                                            root.load_pc)) {
+                if (!flagged_by.empty())
+                    flagged_by += '+';
+                flagged_by += detectorName(kind);
+            }
+        }
+        if (oracle.isRacy(root)) {
+            if (!flagged_by.empty())
+                flagged_by += '+';
+            flagged_by += "hb";
+        }
+        result.metrics["analysis_root_flagged"] =
+            flagged_by.empty() ? 0.0 : 1.0;
+        result.labels["analysis"] =
+            flagged_by.empty() ? std::string("clean") : flagged_by;
+
+        double class_match = 0.0;
+        switch (workload->bugClass()) {
+        case BugClass::kAtomicityViolation:
+            class_match = analysis.report.matchesPair(
+                              DetectorKind::kAtomicity, root.store_pc,
+                              root.load_pc)
+                              ? 1.0
+                              : 0.0;
+            break;
+        case BugClass::kOrderViolation:
+            class_match = analysis.report.matchesPair(
+                              DetectorKind::kOrder, root.store_pc,
+                              root.load_pc)
+                              ? 1.0
+                              : 0.0;
+            break;
+        default:
+            // Sequential / raceless bugs: agreement means the
+            // concurrency detectors stay quiet.
+            class_match = analysis.report.empty() ? 1.0 : 0.0;
+            break;
+        }
+        result.metrics["analysis_class_match"] = class_match;
+    }
 
     if (inject != nullptr) {
         // Degradation accounting: what the fault plan actually did and

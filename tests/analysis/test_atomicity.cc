@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the AVIO-style atomicity-violation detector: the four
+ * unserializable interleaving patterns, the serializable ones, and the
+ * passing-run baseline that suppresses benign triples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/atomicity.hh"
+
+namespace act
+{
+namespace
+{
+
+constexpr Addr kData = 0x2000;
+constexpr Pc kP = 0x10; //!< Preceding local access.
+constexpr Pc kR = 0x20; //!< Interleaved remote access.
+constexpr Pc kC = 0x11; //!< Current local access.
+
+TraceEvent
+makeEvent(EventKind kind, ThreadId tid, Pc pc, Addr addr)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+}
+
+/** Local p, remote r, local c — all on kData. */
+Trace
+tripleTrace(EventKind p, EventKind r, EventKind c)
+{
+    Trace trace;
+    trace.append(makeEvent(p, 0, kP, kData));
+    trace.append(makeEvent(r, 1, kR, kData));
+    trace.append(makeEvent(c, 0, kC, kData));
+    return trace;
+}
+
+struct Pattern
+{
+    EventKind p, r, c;
+    const char *code;
+    bool unserializable;
+};
+
+TEST(Atomicity, TheFourUnserializablePatternsReport)
+{
+    const Pattern patterns[] = {
+        {EventKind::kLoad, EventKind::kStore, EventKind::kLoad,
+         "R-W-R", true},
+        {EventKind::kStore, EventKind::kStore, EventKind::kLoad,
+         "W-W-R", true},
+        {EventKind::kLoad, EventKind::kStore, EventKind::kStore,
+         "R-W-W", true},
+        {EventKind::kStore, EventKind::kLoad, EventKind::kStore,
+         "W-R-W", true},
+    };
+    for (const Pattern &pattern : patterns) {
+        const AnalysisReport report = detectAtomicityViolations(
+            tripleTrace(pattern.p, pattern.r, pattern.c));
+        ASSERT_EQ(report.size(), 1u) << pattern.code;
+        const AnalysisFinding &finding = report.findings()[0];
+        EXPECT_EQ(finding.detector, DetectorKind::kAtomicity);
+        EXPECT_EQ(finding.code, pattern.code);
+        EXPECT_EQ(finding.pcs, (std::vector<Pc>{kP, kR, kC}));
+        EXPECT_EQ(finding.addr, kData);
+        EXPECT_EQ(finding.witness_tids,
+                  (std::vector<ThreadId>{0, 1, 0}));
+    }
+}
+
+TEST(Atomicity, SerializablePatternsStayQuiet)
+{
+    const Pattern patterns[] = {
+        {EventKind::kLoad, EventKind::kLoad, EventKind::kLoad,
+         "R-R-R", false},
+        {EventKind::kLoad, EventKind::kLoad, EventKind::kStore,
+         "R-R-W", false},
+        {EventKind::kStore, EventKind::kLoad, EventKind::kLoad,
+         "W-R-R", false},
+        {EventKind::kStore, EventKind::kStore, EventKind::kStore,
+         "W-W-W", false},
+    };
+    for (const Pattern &pattern : patterns) {
+        EXPECT_TRUE(detectAtomicityViolations(
+                        tripleTrace(pattern.p, pattern.r, pattern.c))
+                        .empty())
+            << pattern.code;
+    }
+}
+
+TEST(Atomicity, RemoteOnAnotherAddressIsNotInterleaved)
+{
+    Trace trace;
+    trace.append(makeEvent(EventKind::kLoad, 0, kP, kData));
+    trace.append(makeEvent(EventKind::kStore, 1, kR, kData + 64));
+    trace.append(makeEvent(EventKind::kLoad, 0, kC, kData));
+    EXPECT_TRUE(detectAtomicityViolations(trace).empty());
+}
+
+TEST(Atomicity, LocalAccessClosesTheWindow)
+{
+    // p .. c (no remote), then r, then c2: the (p, r, c2) combination
+    // never forms — r interleaves the (c, c2) window only.
+    Trace trace;
+    trace.append(makeEvent(EventKind::kLoad, 0, kP, kData));
+    trace.append(makeEvent(EventKind::kLoad, 0, kC, kData));
+    trace.append(makeEvent(EventKind::kStore, 1, kR, kData));
+    trace.append(makeEvent(EventKind::kLoad, 0, 0x12, kData));
+    const AnalysisReport report = detectAtomicityViolations(trace);
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_EQ(report.findings()[0].pcs,
+              (std::vector<Pc>{kC, kR, 0x12}));
+}
+
+TEST(Atomicity, DynamicRepeatsFoldIntoOneStaticTriple)
+{
+    Trace trace;
+    for (int i = 0; i < 6; ++i) {
+        trace.append(makeEvent(EventKind::kLoad, 0, kP, kData));
+        trace.append(makeEvent(EventKind::kStore, 1, kR, kData));
+        trace.append(makeEvent(EventKind::kLoad, 0, kC, kData));
+    }
+    const AnalysisReport report = detectAtomicityViolations(trace);
+    // (kP,kR,kC) repeats, plus the wrap-around windows (kC,..,kP).
+    for (const AnalysisFinding &finding : report.findings())
+        EXPECT_GE(finding.count, 1u);
+    EXPECT_TRUE(report.matchesPair(DetectorKind::kAtomicity, kR, kC));
+}
+
+TEST(Atomicity, BaselineSuppressesBenignTriples)
+{
+    const Trace benign = tripleTrace(
+        EventKind::kStore, EventKind::kStore, EventKind::kLoad);
+
+    AtomicityBaseline baseline;
+    baseline.addPassingTrace(benign);
+    EXPECT_EQ(baseline.size(), 1u);
+
+    // The same static triple in the "failing" trace: suppressed.
+    EXPECT_TRUE(detectAtomicityViolations(benign, &baseline).empty());
+
+    // A different triple (new remote PC) still reports.
+    Trace fresh;
+    fresh.append(makeEvent(EventKind::kStore, 0, kP, kData));
+    fresh.append(makeEvent(EventKind::kStore, 1, 0x99, kData));
+    fresh.append(makeEvent(EventKind::kLoad, 0, kC, kData));
+    const AnalysisReport report =
+        detectAtomicityViolations(fresh, &baseline);
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_TRUE(report.findings()[0].coversPair(0x99, kC));
+}
+
+TEST(Atomicity, TripleKeySeparatesPatternsAndPcs)
+{
+    const std::uint64_t base = AtomicityDetector::tripleKey(
+        kP, kR, kC, false, true, false);
+    EXPECT_NE(base, AtomicityDetector::tripleKey(kP, kR, kC, true,
+                                                 true, false));
+    EXPECT_NE(base, AtomicityDetector::tripleKey(kP, kR, kC + 1, false,
+                                                 true, false));
+    EXPECT_EQ(base, AtomicityDetector::tripleKey(kP, kR, kC, false,
+                                                 true, false));
+}
+
+TEST(Atomicity, StackAccessesAreIgnored)
+{
+    Trace trace;
+    TraceEvent p = makeEvent(EventKind::kLoad, 0, kP, kData);
+    TraceEvent r = makeEvent(EventKind::kStore, 1, kR, kData);
+    TraceEvent c = makeEvent(EventKind::kLoad, 0, kC, kData);
+    p.stack = r.stack = c.stack = true;
+    trace.append(p);
+    trace.append(r);
+    trace.append(c);
+    EXPECT_TRUE(detectAtomicityViolations(trace).empty());
+}
+
+} // namespace
+} // namespace act

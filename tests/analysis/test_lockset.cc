@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property tests for the Eraser-style lockset detector: the
+ * Virgin -> Exclusive -> Shared -> Shared-Modified state machine,
+ * candidate-lockset refinement, and the discipline-violation reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/lockset.hh"
+
+namespace act
+{
+namespace
+{
+
+constexpr Addr kLockA = 0x1000;
+constexpr Addr kLockB = 0x1100;
+constexpr Addr kData = 0x2000;
+
+TraceEvent
+makeEvent(EventKind kind, ThreadId tid, Pc pc, Addr addr)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.pc = pc;
+    e.addr = addr;
+    return e;
+}
+
+TEST(Lockset, StateMachineFollowsEraser)
+{
+    LocksetDetector detector;
+    EXPECT_EQ(detector.state(kData), LocksetState::kVirgin);
+
+    // First access: Exclusive to the owner, regardless of locks.
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    EXPECT_EQ(detector.state(kData), LocksetState::kExclusive);
+
+    // Owner keeps touching it: still Exclusive.
+    detector.observe(makeEvent(EventKind::kLoad, 0, 0x11, kData));
+    EXPECT_EQ(detector.state(kData), LocksetState::kExclusive);
+
+    // First remote read: Shared (reporting still off).
+    detector.observe(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    EXPECT_EQ(detector.state(kData), LocksetState::kShared);
+
+    // A write while shared: Shared-Modified, and with no common lock
+    // the empty C(v) is a violation.
+    detector.observe(makeEvent(EventKind::kStore, 1, 0x21, kData));
+    EXPECT_EQ(detector.state(kData), LocksetState::kSharedModified);
+    EXPECT_FALSE(detector.report().empty());
+}
+
+TEST(Lockset, ConsistentLockingProducesNoFindings)
+{
+    LocksetDetector detector;
+    for (ThreadId tid = 0; tid < 3; ++tid) {
+        detector.observe(makeEvent(EventKind::kLock, tid, 1, kLockA));
+        detector.observe(
+            makeEvent(EventKind::kStore, tid, 0x10 + tid, kData));
+        detector.observe(
+            makeEvent(EventKind::kLoad, tid, 0x20 + tid, kData));
+        detector.observe(makeEvent(EventKind::kUnlock, tid, 2, kLockA));
+    }
+    EXPECT_TRUE(detector.report().empty());
+    EXPECT_EQ(detector.state(kData), LocksetState::kSharedModified);
+    EXPECT_EQ(detector.candidateLocks(kData),
+              std::vector<Addr>{kLockA});
+}
+
+TEST(Lockset, RefinementIntersectsHeldLocks)
+{
+    LocksetDetector detector;
+    // t0 writes under A+B; t1 writes under B only: C(v) = {B}.
+    detector.observe(makeEvent(EventKind::kLock, 0, 1, kLockA));
+    detector.observe(makeEvent(EventKind::kLock, 0, 2, kLockB));
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 3, kLockB));
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 4, kLockA));
+    detector.observe(makeEvent(EventKind::kLock, 1, 5, kLockB));
+    detector.observe(makeEvent(EventKind::kStore, 1, 0x20, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 1, 6, kLockB));
+    EXPECT_TRUE(detector.report().empty());
+    EXPECT_EQ(detector.candidateLocks(kData),
+              std::vector<Addr>{kLockB});
+}
+
+TEST(Lockset, UnlockedInitialisationByOwnerIsForgiven)
+{
+    LocksetDetector detector;
+    // Owner initialises without locks (the Eraser allowance) ...
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x11, kData));
+    // ... and all post-publication accesses hold the lock.
+    detector.observe(makeEvent(EventKind::kLock, 1, 1, kLockA));
+    detector.observe(makeEvent(EventKind::kStore, 1, 0x20, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 1, 2, kLockA));
+    detector.observe(makeEvent(EventKind::kLock, 0, 3, kLockA));
+    detector.observe(makeEvent(EventKind::kLoad, 0, 0x12, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 4, kLockA));
+    EXPECT_TRUE(detector.report().empty());
+}
+
+TEST(Lockset, EmptyInterSectionReportsPairWithLastWriter)
+{
+    LocksetDetector detector;
+    detector.observe(makeEvent(EventKind::kLock, 0, 1, kLockA));
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 2, kLockA));
+    // Remote write under a *different* lock: refinement starts here
+    // (forgiving the init phase), so C(v) = {B} and nothing reports.
+    detector.observe(makeEvent(EventKind::kLock, 1, 3, kLockB));
+    detector.observe(makeEvent(EventKind::kStore, 1, 0x20, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 1, 4, kLockB));
+    EXPECT_TRUE(detector.report().empty());
+    // t0 returns under A: C(v) = {B} intersect {A} = empty. The finding
+    // pairs the last writer with the offending access.
+    detector.observe(makeEvent(EventKind::kLock, 0, 5, kLockA));
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x12, kData));
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 6, kLockA));
+
+    const AnalysisReport &report = detector.report();
+    ASSERT_EQ(report.size(), 1u);
+    const AnalysisFinding &finding = report.findings()[0];
+    EXPECT_EQ(finding.detector, DetectorKind::kLockset);
+    EXPECT_EQ(finding.code, "unlocked-shared-write");
+    EXPECT_TRUE(finding.coversPair(0x20, 0x12));
+    EXPECT_EQ(finding.addr, kData);
+    EXPECT_FALSE(finding.witness_seqs.empty());
+    EXPECT_TRUE(report.matchesPair(DetectorKind::kLockset, 0x20, 0x12));
+}
+
+TEST(Lockset, RepeatedViolationDedupsIntoCount)
+{
+    LocksetDetector detector;
+    detector.observe(makeEvent(EventKind::kStore, 0, 0x10, kData));
+    detector.observe(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    for (int i = 0; i < 4; ++i)
+        detector.observe(makeEvent(EventKind::kStore, 1, 0x21, kData));
+    // One static defect (0x10 -> 0x21 write) plus the repeated
+    // same-PC writes folding into its count, not new findings.
+    for (const AnalysisFinding &finding : detector.report().findings())
+        EXPECT_GE(finding.count, 1u);
+    const std::size_t statics = detector.report().size();
+    detector.observe(makeEvent(EventKind::kStore, 1, 0x21, kData));
+    EXPECT_EQ(detector.report().size(), statics);
+}
+
+TEST(Lockset, HeldLockTrackingIsBalanced)
+{
+    LocksetDetector detector;
+    detector.observe(makeEvent(EventKind::kLock, 0, 1, kLockA));
+    detector.observe(makeEvent(EventKind::kLock, 0, 2, kLockB));
+    EXPECT_EQ(detector.heldLocks(0),
+              (std::vector<Addr>{kLockA, kLockB}));
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 3, kLockA));
+    EXPECT_EQ(detector.heldLocks(0), std::vector<Addr>{kLockB});
+    detector.observe(makeEvent(EventKind::kUnlock, 0, 4, kLockB));
+    EXPECT_TRUE(detector.heldLocks(0).empty());
+}
+
+TEST(Lockset, StackAccessesAreIgnored)
+{
+    LocksetDetector detector;
+    TraceEvent store = makeEvent(EventKind::kStore, 0, 0x10, kData);
+    store.stack = true;
+    detector.observe(store);
+    TraceEvent load = makeEvent(EventKind::kLoad, 1, 0x20, kData);
+    load.stack = true;
+    detector.observe(load);
+    EXPECT_EQ(detector.state(kData), LocksetState::kVirgin);
+    EXPECT_TRUE(detector.report().empty());
+}
+
+TEST(Lockset, SingleThreadedStreamNeverReports)
+{
+    LocksetDetector detector;
+    for (int i = 0; i < 100; ++i) {
+        detector.observe(
+            makeEvent(EventKind::kStore, 0, 0x10 + (i % 7), kData + i));
+        detector.observe(
+            makeEvent(EventKind::kLoad, 0, 0x40 + (i % 5), kData + i));
+    }
+    EXPECT_TRUE(detector.report().empty());
+}
+
+} // namespace
+} // namespace act

@@ -197,6 +197,69 @@ TEST(RaceOracle, ScorePrecisionRecall)
     EXPECT_DOUBLE_EQ(score.recall(), 0.5);
 }
 
+TEST(RaceOracle, ScoreEmptyPredictionsAreVacuouslyPrecise)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    });
+    const OracleScore score = detectRaces(t).score({});
+    EXPECT_EQ(score.considered, 0u);
+    EXPECT_EQ(score.false_negatives, 1u);
+    // Nothing predicted, so nothing predicted wrongly: precision is
+    // vacuously perfect while recall reports the miss.
+    EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(score.recall(), 0.0);
+}
+
+TEST(RaceOracle, ScoreEmptyGroundTruthHasVacuousRecall)
+{
+    // A race-free trace: the conflicting pair is lock-ordered.
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kLock, 0, 1, kLockAddr));
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kUnlock, 0, 2, kLockAddr));
+        trace.append(makeEvent(EventKind::kLock, 1, 3, kLockAddr));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+        trace.append(makeEvent(EventKind::kUnlock, 1, 4, kLockAddr));
+    });
+    const RaceReport report = detectRaces(t);
+    ASSERT_TRUE(report.empty());
+
+    RawDependence predicted;
+    predicted.store_pc = 0x10;
+    predicted.load_pc = 0x20;
+    predicted.inter_thread = true;
+    const OracleScore wrong = report.score({predicted});
+    EXPECT_EQ(wrong.true_positives, 0u);
+    EXPECT_EQ(wrong.false_positives, 1u);
+    EXPECT_DOUBLE_EQ(wrong.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(wrong.recall(), 1.0); // Nothing there to miss.
+
+    // Both sides empty: both metrics vacuously perfect.
+    const OracleScore nothing = report.score({});
+    EXPECT_DOUBLE_EQ(nothing.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(nothing.recall(), 1.0);
+}
+
+TEST(RaceOracle, ScoreDeduplicatesPredictedPairs)
+{
+    const Trace t = twoThreadTrace([](Trace &trace) {
+        trace.append(makeEvent(EventKind::kStore, 0, 0x10, kData));
+        trace.append(makeEvent(EventKind::kLoad, 1, 0x20, kData));
+    });
+    RawDependence hit;
+    hit.store_pc = 0x10;
+    hit.load_pc = 0x20;
+    hit.inter_thread = true;
+    const OracleScore score =
+        detectRaces(t).score({hit, hit, hit, hit});
+    EXPECT_EQ(score.considered, 1u);
+    EXPECT_EQ(score.true_positives, 1u);
+    EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
 /**
  * Catalog agreement: every concurrency bug's root-cause dependence is
  * a happens-before race on the failing path; sequential bugs (one

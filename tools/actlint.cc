@@ -22,6 +22,23 @@
  *                            range checks) — the same validation the
  *                            fleet service applies to ingress blocks
  *                            [--block N: events per block, default 512]
+ *   analyze [<file.trc>... | name...]
+ *                            run the multi-detector analysis pipeline
+ *                            (lockset races, lock-order cycles,
+ *                            atomicity violations, order violations +
+ *                            the happens-before oracle). With .trc
+ *                            files: analyse each in single-trace mode
+ *                            and print every finding. With workload
+ *                            names (all bug workloads + kernels by
+ *                            default): mine atomicity/order baselines
+ *                            from passing runs, analyse the failing
+ *                            run, and check the detector verdicts
+ *                            against the bug catalog — atomicity/order
+ *                            bugs must be flagged by their own detector
+ *                            class on the root dependence, and
+ *                            sequential bugs must produce no findings
+ *                            [--jobs N: detector-level parallelism; the
+ *                             output is byte-identical for every N]
  *   config                   validate the default ActConfig against
  *                            every built-in encoder
  *   weights <file>           validate a WeightStore blob against its
@@ -43,6 +60,7 @@
 #include "act/act_config.hh"
 #include "act/weight_store.hh"
 #include "analysis/config_check.hh"
+#include "analysis/pipeline.hh"
 #include "analysis/race_oracle.hh"
 #include "analysis/trace_lint.hh"
 #include "deps/encoder.hh"
@@ -72,6 +90,11 @@ usage()
         " dir\n"
         "  stream <file.trc>... [--block N] batch-lint traces as event"
         " blocks\n"
+        "  analyze [<file.trc>...|name...] [--jobs N]\n"
+        "                                  run the detector pipeline on"
+        " traces, or\n"
+        "                                  on workload runs with"
+        " bug-catalog checks\n"
         "  config                          validate the default"
         " ActConfig\n"
         "  weights <file>                  validate a WeightStore"
@@ -352,6 +375,188 @@ cmdStream(const std::vector<std::string> &args, std::size_t block_events)
     return errors == 0 ? kExitClean : kExitFindings;
 }
 
+/** Trace mode of `analyze`: single-trace pipeline, full findings. */
+int
+cmdAnalyzeTraces(const std::vector<std::string> &args, unsigned jobs)
+{
+    std::size_t errors = 0;
+    for (const std::string &path : args) {
+        Trace trace;
+        if (!readTrace(path, trace)) {
+            std::printf("%s: unreadable (missing, truncated or not a "
+                        "trace file)\n",
+                        path.c_str());
+            ++errors;
+            continue;
+        }
+        PipelineOptions options;
+        options.jobs = jobs;
+        const PipelineResult result = runAnalysisPipeline(trace, options);
+        std::printf("%s: %zu event(s), %zu finding(s), %zu racy "
+                    "pair(s)\n",
+                    path.c_str(), trace.size(), result.report.size(),
+                    result.races.races().size());
+        std::fputs(result.toText().c_str(), stdout);
+    }
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+/**
+ * Workload mode of `analyze`: mine atomicity/order baselines from
+ * passing runs (same seed base the diagnosis pipeline trains on),
+ * analyse the failing run, and check the verdicts against the bug
+ * catalog. Returns the number of disagreements.
+ */
+std::size_t
+analyzeWorkload(const std::string &name, unsigned jobs)
+{
+    constexpr std::uint64_t kMineSeedBase = 100;
+    constexpr std::size_t kMineTraces = 10;
+
+    const auto workload = makeWorkload(name);
+    std::size_t errors = 0;
+
+    MinedBaselines baselines;
+    for (std::size_t i = 0; i < kMineTraces; ++i) {
+        WorkloadParams params;
+        params.seed = kMineSeedBase + i;
+        baselines.addPassingTrace(workload->record(params));
+    }
+
+    const bool has_bug = workload->failureKind() != FailureKind::kNone;
+    WorkloadParams failing;
+    failing.seed = 999;
+    failing.trigger_failure = has_bug;
+    const Trace trace = workload->record(failing);
+
+    PipelineOptions options;
+    options.jobs = jobs;
+    options.baselines = &baselines;
+    const PipelineResult result = runAnalysisPipeline(trace, options);
+
+    char counts[128];
+    std::snprintf(counts, sizeof(counts),
+                  "lockset=%llu lockorder=%llu atomicity=%llu "
+                  "order=%llu hb=%zu",
+                  static_cast<unsigned long long>(
+                      result.report.countFor(DetectorKind::kLockset)),
+                  static_cast<unsigned long long>(
+                      result.report.countFor(DetectorKind::kLockOrder)),
+                  static_cast<unsigned long long>(
+                      result.report.countFor(DetectorKind::kAtomicity)),
+                  static_cast<unsigned long long>(
+                      result.report.countFor(DetectorKind::kOrder)),
+                  result.races.races().size());
+
+    if (!has_bug) {
+        // Prediction kernels have no catalog entry; informational only.
+        std::printf("%-12s kernel         %s\n", name.c_str(), counts);
+        return errors;
+    }
+
+    const RawDependence root = workload->buggyDependence();
+    std::string flagged_by;
+    for (std::size_t d = 0; d < kDetectorCount; ++d) {
+        const auto kind = static_cast<DetectorKind>(d);
+        if (result.report.matchesPair(kind, root.store_pc,
+                                      root.load_pc)) {
+            if (!flagged_by.empty())
+                flagged_by += '+';
+            flagged_by += detectorName(kind);
+        }
+    }
+    if (result.races.isRacy(root)) {
+        if (!flagged_by.empty())
+            flagged_by += '+';
+        flagged_by += "hb";
+    }
+
+    // Catalog agreement: the bug's own detector class must flag the
+    // root dependence; sequential bugs must produce no findings.
+    switch (workload->bugClass()) {
+    case BugClass::kAtomicityViolation:
+        if (!result.report.matchesPair(DetectorKind::kAtomicity,
+                                       root.store_pc, root.load_pc)) {
+            std::printf("%s: catalog disagreement: atomicity bug not "
+                        "flagged by the atomicity detector on root %s\n",
+                        name.c_str(), root.toString().c_str());
+            ++errors;
+        }
+        break;
+    case BugClass::kOrderViolation:
+        if (!result.report.matchesPair(DetectorKind::kOrder,
+                                       root.store_pc, root.load_pc)) {
+            std::printf("%s: catalog disagreement: order bug not "
+                        "flagged by the order detector on root %s\n",
+                        name.c_str(), root.toString().c_str());
+            ++errors;
+        }
+        break;
+    default:
+        if (!result.report.empty()) {
+            std::printf("%s: catalog disagreement: sequential bug "
+                        "shows %zu concurrency finding(s)\n",
+                        name.c_str(), result.report.size());
+            ++errors;
+        }
+        break;
+    }
+    if (workload->concurrent() &&
+        !result.report.matchesPairAny(root.store_pc, root.load_pc)) {
+        std::printf("%s: catalog disagreement: no detector flags the "
+                    "root dependence %s\n",
+                    name.c_str(), root.toString().c_str());
+        ++errors;
+    }
+
+    std::printf("%-12s %-14s %s root=%s\n", name.c_str(),
+                workload->concurrent() ? "concurrent bug"
+                                       : "sequential bug",
+                counts,
+                flagged_by.empty() ? "clean" : flagged_by.c_str());
+    return errors;
+}
+
+int
+cmdAnalyze(const std::vector<std::string> &args, unsigned jobs)
+{
+    // Any .trc argument selects trace mode (and then all must be .trc).
+    const auto isTraceFile = [](const std::string &arg) {
+        const std::string suffix = ".trc";
+        return arg.size() >= suffix.size() &&
+               arg.compare(arg.size() - suffix.size(), suffix.size(),
+                           suffix) == 0;
+    };
+    const bool trace_mode =
+        !args.empty() && std::any_of(args.begin(), args.end(),
+                                     isTraceFile);
+    if (trace_mode) {
+        if (!std::all_of(args.begin(), args.end(), isTraceFile)) {
+            std::fprintf(stderr, "analyze: mixing .trc files and "
+                                 "workload names is not supported\n");
+            return kExitUsage;
+        }
+        return cmdAnalyzeTraces(args, jobs);
+    }
+
+    registerAllWorkloads();
+    std::vector<std::string> names = args;
+    if (names.empty())
+        names = WorkloadRegistry::instance().names();
+    std::size_t errors = 0;
+    for (const std::string &name : names) {
+        if (!WorkloadRegistry::instance().contains(name)) {
+            std::printf("unknown workload: %s\n", name.c_str());
+            ++errors;
+            continue;
+        }
+        errors += analyzeWorkload(name, jobs);
+    }
+    std::printf("%zu workload(s) analysed, %zu disagreement(s)\n",
+                names.size(), errors);
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
 int
 cmdConfig()
 {
@@ -413,6 +618,7 @@ run(int argc, char **argv)
     bool show_races = false;
     std::string cache_dir;
     std::size_t block_events = 512;
+    unsigned pipeline_jobs = 1;
     std::vector<std::string> args;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -424,6 +630,10 @@ run(int argc, char **argv)
             block_events =
                 static_cast<std::size_t>(std::strtoull(argv[++i],
                                                        nullptr, 10));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            pipeline_jobs =
+                static_cast<unsigned>(std::strtoul(argv[++i],
+                                                   nullptr, 10));
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return kExitUsage;
@@ -440,6 +650,8 @@ run(int argc, char **argv)
         return cmdReport(args, cache_dir);
     if (command == "stream")
         return cmdStream(args, block_events);
+    if (command == "analyze")
+        return cmdAnalyze(args, pipeline_jobs);
     if (command == "config")
         return cmdConfig();
     if (command == "weights")

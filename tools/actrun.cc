@@ -22,6 +22,12 @@
  *                     (load in chrome://tracing or Perfetto)
  *   --metrics-interval S  periodic metrics line on stderr every S
  *                     seconds (implies metrics collection)
+ *   --analyze       after the campaign, run the multi-detector analysis
+ *                   pipeline over every cached trace and write the
+ *                   deterministic per-trace report to <out>/analysis.txt
+ *                   (report.json/report.csv are untouched)
+ *   --no-analysis   force JobKnobs::analyze off on every job (the
+ *                   byte-identity check for the dormancy contract)
  *   --log-level L     quiet | normal | debug
  *
  * Exit codes for `run`: 0 = all jobs succeeded, 3 = the campaign
@@ -45,6 +51,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runner/analysis_sweep.hh"
 #include "runner/campaign.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
@@ -69,6 +76,8 @@ struct Options
     std::string metrics_out;
     std::string trace_out;
     std::uint64_t metrics_interval_s = 0;
+    bool analyze = false;
+    bool no_analysis = false;
     std::vector<std::string> positional;
 };
 
@@ -200,6 +209,10 @@ parse(int argc, char **argv)
             if (end == text || *end != '\0')
                 ACT_FATAL("--deadline-ms expects a number, got: "
                           << text);
+        } else if (arg == "--analyze") {
+            options.analyze = true;
+        } else if (arg == "--no-analysis") {
+            options.no_analysis = true;
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             options.metrics_out = argv[++i];
         } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -251,7 +264,11 @@ cmdRun(const Options &options)
     if (!campaignExists(name))
         ACT_FATAL("unknown campaign: " << name
                                        << " (see `actrun list`)");
-    const Campaign campaign = makeCampaign(name);
+    Campaign campaign = makeCampaign(name);
+    if (options.no_analysis) {
+        for (JobSpec &job : campaign.jobs)
+            job.knobs.analyze = false;
+    }
 
     const std::string out =
         options.out.empty() ? "actrun-out/" + name : options.out;
@@ -323,6 +340,25 @@ cmdRun(const Options &options)
     std::printf("report:       %s, %s\n", json_path.c_str(),
                 csv_path.c_str());
 
+    if (options.analyze) {
+        if (run_options.cache_dir.empty()) {
+            ACT_FATAL("--analyze needs a disk trace cache "
+                      "(incompatible with --cache none)");
+        }
+        const AnalysisSweepResult sweep =
+            analyzeCachedTraces(run_options.cache_dir, options.jobs);
+        const std::string analysis_path = out + "/analysis.txt";
+        if (!writeTextFile(analysis_path, sweep.text))
+            ACT_FATAL("cannot write " << analysis_path);
+        std::printf("analysis:     %zu trace(s), %llu finding(s), "
+                    "%llu racy pair(s), %zu unreadable, %.0f ms -> %s\n",
+                    sweep.traces,
+                    static_cast<unsigned long long>(sweep.findings),
+                    static_cast<unsigned long long>(sweep.racy_pairs),
+                    sweep.unreadable, sweep.wall_ms,
+                    analysis_path.c_str());
+    }
+
     if (!options.metrics_out.empty()) {
         const std::string json = telemetry::snapshotJson(
             telemetry::MetricsRegistry::global().snapshot());
@@ -393,7 +429,8 @@ usage()
                  "[--out DIR] [--cache DIR] [--no-mem-cache] "
                  "[--verbose] [--fail-fast] [--max-attempts N] "
                  "[--deadline-ms N] [--metrics-out F] [--trace-out F] "
-                 "[--metrics-interval S] [--log-level L]\n");
+                 "[--metrics-interval S] [--analyze] [--no-analysis] "
+                 "[--log-level L]\n");
     return 2;
 }
 

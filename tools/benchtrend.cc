@@ -3,11 +3,12 @@
  * benchtrend — the repo's benchmark-trajectory harness.
  *
  * Runs the simulate→track→infer micro hot paths (the same inner loops
- * `bench/micro_hotpaths` times under google-benchmark) with a
+ * `bench/micro_hotpaths` times under google-benchmark) plus the
+ * offline concurrency detectors of the analysis pipeline with a
  * self-calibrating best-of-N driver, plus three coarse wall-clock
  * measurements (the smoke campaign, a reduced Figure 8 overhead run,
  * and the fleet streaming service), and writes the results as
- * machine-readable JSON (`BENCH_PR7.json` by default). The smoke
+ * machine-readable JSON (`BENCH_PR8.json` by default). The smoke
  * campaign and the fleet run execute with the telemetry registry
  * enabled and report counter-derived throughput (simulated events/s,
  * fleet ingest events/s) in the report's `telemetry` section — those
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "act/act_module.hh"
+#include "analysis/pipeline.hh"
 #include "bench/bench_json.hh"
 #include "fleet/service.hh"
 #include "deps/input_generator.hh"
@@ -59,7 +61,7 @@ using bench::MicroResult;
 
 struct Options
 {
-    std::string out = "BENCH_PR7.json";
+    std::string out = "BENCH_PR8.json";
     std::string baseline = "bench/BENCH_BASELINE.json";
     bool check = false;
     double threshold = 0.30;
@@ -92,6 +94,50 @@ syntheticTrace(std::size_t events, std::uint32_t threads)
         event.pc = 0x400000 + (event.addr & 0xfff);
         event.gap = static_cast<std::uint16_t>(rng.next(8));
         trace.append(event);
+    }
+    return trace;
+}
+
+/**
+ * A lock-rich shared-memory stream for the detector benches: threads
+ * take one of two locks (inconsistently nested now and then), touch a
+ * shared working set, and occasionally skip the lock — so every
+ * detector does real state-machine work instead of fast-pathing.
+ */
+Trace
+detectorTrace(std::size_t events, std::uint32_t threads)
+{
+    Trace trace;
+    Rng rng(0xd37ec7);
+    for (std::size_t i = 0; i < events; ++i) {
+        TraceEvent event;
+        event.tid = static_cast<ThreadId>(rng.next(threads));
+        const Addr lock_a = 0x100 + (event.tid % 2) * 0x10;
+        const Addr lock_b = 0x100 + ((event.tid + 1) % 2) * 0x10;
+        const bool locked = rng.chance(0.8);
+        if (locked) {
+            event.kind = EventKind::kLock;
+            event.addr = lock_a;
+            event.pc = 0x500000 + event.tid;
+            trace.append(event);
+            if (rng.chance(0.1)) {
+                event.addr = lock_b;
+                trace.append(event);
+            }
+        }
+        event.addr = 0x1000 + rng.next(512) * 8;
+        event.kind =
+            rng.chance(0.4) ? EventKind::kStore : EventKind::kLoad;
+        event.pc = 0x400000 + (event.addr & 0xfff);
+        trace.append(event);
+        if (locked) {
+            event.kind = EventKind::kUnlock;
+            event.addr = lock_b;
+            event.pc = 0x500100 + event.tid;
+            trace.append(event);
+            event.addr = lock_a;
+            trace.append(event);
+        }
     }
     return trace;
 }
@@ -238,6 +284,82 @@ benchTraceIo(const MicroHarness &harness, const Trace &trace)
         });
     std::remove(path.c_str());
     return result;
+}
+
+// One iteration of each detector bench = one full pass over the
+// lock-rich synthetic trace, so events/s is directly comparable
+// across the four detectors and the merged pipeline.
+
+MicroResult
+benchLocksetDetect(const MicroHarness &harness, const Trace &trace)
+{
+    return harness.run("lockset_detect",
+                       static_cast<double>(trace.size()),
+                       [&trace](std::uint64_t iters) {
+                           for (std::uint64_t i = 0; i < iters; ++i) {
+                               const auto report =
+                                   detectLocksetRaces(trace);
+                               keep(report.size());
+                           }
+                       });
+}
+
+MicroResult
+benchLockOrderDetect(const MicroHarness &harness, const Trace &trace)
+{
+    return harness.run("lockorder_detect",
+                       static_cast<double>(trace.size()),
+                       [&trace](std::uint64_t iters) {
+                           for (std::uint64_t i = 0; i < iters; ++i) {
+                               const auto report =
+                                   detectLockOrderCycles(trace);
+                               keep(report.size());
+                           }
+                       });
+}
+
+MicroResult
+benchAtomicityDetect(const MicroHarness &harness, const Trace &trace)
+{
+    return harness.run("atomicity_detect",
+                       static_cast<double>(trace.size()),
+                       [&trace](std::uint64_t iters) {
+                           for (std::uint64_t i = 0; i < iters; ++i) {
+                               const auto report =
+                                   detectAtomicityViolations(trace);
+                               keep(report.size());
+                           }
+                       });
+}
+
+MicroResult
+benchOrderCheck(const MicroHarness &harness, const Trace &trace)
+{
+    return harness.run("order_check",
+                       static_cast<double>(trace.size()),
+                       [&trace](std::uint64_t iters) {
+                           for (std::uint64_t i = 0; i < iters; ++i) {
+                               const auto report =
+                                   checkOrderViolations(trace);
+                               keep(report.size());
+                           }
+                       });
+}
+
+MicroResult
+benchAnalysisPipeline(const MicroHarness &harness, const Trace &trace)
+{
+    // All five lenses, sequential: the per-trace cost `actrun
+    // --analyze` pays for each cached trace.
+    return harness.run("analysis_pipeline",
+                       static_cast<double>(trace.size()),
+                       [&trace](std::uint64_t iters) {
+                           for (std::uint64_t i = 0; i < iters; ++i) {
+                               const auto result =
+                                   runAnalysisPipeline(trace);
+                               keep(result.report.size());
+                           }
+                       });
 }
 
 // --- Wall-clock measurements ----------------------------------------
@@ -453,6 +575,18 @@ run(const Options &options)
         add(benchActModule(harness));
     if (wantBench(options, "trace_io_roundtrip"))
         add(benchTraceIo(harness, synthetic));
+
+    const Trace detector_trace = detectorTrace(50000, 4);
+    if (wantBench(options, "lockset_detect"))
+        add(benchLocksetDetect(harness, detector_trace));
+    if (wantBench(options, "lockorder_detect"))
+        add(benchLockOrderDetect(harness, detector_trace));
+    if (wantBench(options, "atomicity_detect"))
+        add(benchAtomicityDetect(harness, detector_trace));
+    if (wantBench(options, "order_check"))
+        add(benchOrderCheck(harness, detector_trace));
+    if (wantBench(options, "analysis_pipeline"))
+        add(benchAnalysisPipeline(harness, detector_trace));
 
     if (wantBench(options, "campaign_smoke")) {
         const auto smoke = runSmokeCampaign(report.telemetry);
