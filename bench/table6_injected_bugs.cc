@@ -33,8 +33,14 @@ run()
     OnlineStats filter;
     std::size_t diagnosed = 0;
     for (const auto &target : injectedBugTargets()) {
+        std::vector<Finding> findings;
         const auto workload =
-            makeInjectedWorkload(target.kernel, target.function);
+            makeInjectedWorkload(target.kernel, target.function, &findings);
+        if (workload == nullptr) {
+            table.row({target.kernel, target.function, "-", "-", "-"});
+            std::fprintf(stderr, "%s", formatFindings(findings).c_str());
+            continue;
+        }
         const std::uint32_t chain =
             workload->chainByFunction(target.function);
 

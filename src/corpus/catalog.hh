@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ground-truth bug catalogs: JSON serialisation and validation.
+ *
+ * Every corpus variant ships a small JSON document recording what was
+ * injected where — the LAVA-style ground truth the scoring aggregator
+ * joins diagnoses against. The writer emits a fixed key order so
+ * catalogs are byte-identical across regenerations; the reader goes
+ * through the telemetry JSON tree, and the validator reports every
+ * structural or consistency problem as a structured Finding so
+ * `actlint catalog` can gate on it.
+ */
+
+#ifndef ACT_CORPUS_CATALOG_HH
+#define ACT_CORPUS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "corpus/corpus.hh"
+
+namespace act::corpus
+{
+
+/** Schema tag every catalog carries. */
+inline constexpr const char *kCatalogSchema = "act-bug-catalog-v1";
+
+/** Serialise @p catalog (stable key order, trailing newline). */
+std::string catalogJson(const CorpusCatalog &catalog);
+
+/**
+ * Parse a catalog document. @return false (with a message in
+ * @p error when non-null) on malformed JSON or missing/mistyped
+ * fields; consistency is NOT checked here — see validateCatalog().
+ */
+bool parseCatalogJson(const std::string &json, CorpusCatalog &out,
+                      std::string *error = nullptr);
+
+/**
+ * Full validation of a catalog document: parses it, then checks the
+ * schema tag, the bug-class/lens pairing, PC sanity (valid, distinct
+ * root), parameter ranges, and that the embedded name agrees with the
+ * body fields. One Finding per problem; empty result = valid.
+ */
+std::vector<Finding> validateCatalog(const std::string &json);
+
+} // namespace act::corpus
+
+#endif // ACT_CORPUS_CATALOG_HH

@@ -1,0 +1,463 @@
+#include "corpus/corpus.hh"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/hashing.hh"
+#include "common/rng.hh"
+#include "workloads/emitter.hh"
+#include "workloads/kernel.hh"
+
+namespace act::corpus
+{
+
+namespace
+{
+
+// Static layout of the phase harness. Function indices 80..83 are far
+// above anything the kernel engine assigns (chain functions are the
+// chain indices, boundary inits live at 90+chain, the wrong path at
+// 99), so harness PCs can never collide with a mined site's PCs.
+constexpr std::uint32_t kBarrierFn = 80;
+constexpr std::uint32_t kHarnessFn = 81;
+constexpr std::uint32_t kInitFn = 82;
+constexpr std::uint32_t kAuxFn = 83;
+
+constexpr std::uint32_t kSlotArray = 48;   //!< Phase-unique slots.
+constexpr std::uint32_t kAccArray = 49;    //!< Shared accumulator.
+constexpr std::uint32_t kGoArray = 50;     //!< Barrier "go" word.
+constexpr std::uint32_t kArriveArray = 51; //!< Barrier arrive words.
+
+constexpr std::uint32_t kAccLock = 7;    //!< Guards the accumulator.
+constexpr std::uint32_t kBarrierLock = 6;
+
+constexpr std::uint32_t kThreads = 3; //!< Master + two workers.
+constexpr std::uint32_t kPhases = 6;
+
+/** Stream salts (arbitrary, fixed forever). */
+constexpr std::uint64_t kSiteSalt = 0xc0a9;
+constexpr std::uint64_t kShapeSalt = 0x7713;
+constexpr std::uint64_t kRunSalt = 0xc0;
+
+bool
+siteOnSlot(CorpusBugClass bug_class)
+{
+    switch (bug_class) {
+      case CorpusBugClass::kReorderedSync:
+      case CorpusBugClass::kDroppedBarrier:
+      case CorpusBugClass::kStaleReadWindow:
+      case CorpusBugClass::kOffByOnePhase:
+        return true;
+      case CorpusBugClass::kRemovedLock:
+      case CorpusBugClass::kSplitCriticalSection:
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+corpusBugClassName(CorpusBugClass bug_class)
+{
+    switch (bug_class) {
+      case CorpusBugClass::kReorderedSync: return "reordered-sync";
+      case CorpusBugClass::kDroppedBarrier: return "dropped-barrier";
+      case CorpusBugClass::kStaleReadWindow: return "stale-read-window";
+      case CorpusBugClass::kOffByOnePhase: return "off-by-one-phase";
+      case CorpusBugClass::kRemovedLock: return "removed-lock";
+      case CorpusBugClass::kSplitCriticalSection:
+        return "split-critical-section";
+    }
+    return "?";
+}
+
+bool
+parseCorpusBugClass(const std::string &name, CorpusBugClass &out)
+{
+    for (std::size_t i = 0; i < kCorpusBugClassCount; ++i) {
+        const auto bug_class = static_cast<CorpusBugClass>(i);
+        if (name == corpusBugClassName(bug_class)) {
+            out = bug_class;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+corpusLensName(CorpusBugClass bug_class)
+{
+    switch (bug_class) {
+      case CorpusBugClass::kReorderedSync: return "order";
+      case CorpusBugClass::kDroppedBarrier: return "hb";
+      case CorpusBugClass::kStaleReadWindow: return "hb";
+      case CorpusBugClass::kOffByOnePhase: return "order";
+      case CorpusBugClass::kRemovedLock: return "lockset";
+      case CorpusBugClass::kSplitCriticalSection: return "atomicity";
+    }
+    return "?";
+}
+
+BugClass
+workloadBugClass(CorpusBugClass bug_class)
+{
+    switch (bug_class) {
+      case CorpusBugClass::kReorderedSync:
+      case CorpusBugClass::kOffByOnePhase:
+        return BugClass::kOrderViolation;
+      case CorpusBugClass::kSplitCriticalSection:
+        return BugClass::kAtomicityViolation;
+      case CorpusBugClass::kDroppedBarrier:
+      case CorpusBugClass::kStaleReadWindow:
+      case CorpusBugClass::kRemovedLock:
+        return BugClass::kInjected;
+    }
+    return BugClass::kInjected;
+}
+
+std::string
+corpusName(const CorpusVariantDesc &desc)
+{
+    return "corpus/" + desc.base + "/" +
+           corpusBugClassName(desc.bug_class) + "/" +
+           std::to_string(desc.seed);
+}
+
+bool
+isCorpusName(const std::string &name)
+{
+    return name.rfind("corpus/", 0) == 0;
+}
+
+bool
+parseCorpusName(const std::string &name, CorpusVariantDesc &out)
+{
+    // corpus/<base>/<class>/<seed>, all four segments non-empty.
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t slash = name.find('/', start);
+        if (slash == std::string::npos) {
+            parts.push_back(name.substr(start));
+            break;
+        }
+        parts.push_back(name.substr(start, slash - start));
+        start = slash + 1;
+    }
+    if (parts.size() != 4 || parts[0] != "corpus" || parts[1].empty() ||
+        parts[2].empty() || parts[3].empty())
+        return false;
+
+    CorpusVariantDesc desc;
+    desc.base = parts[1];
+    if (!parseCorpusBugClass(parts[2], desc.bug_class))
+        return false;
+    for (const char c : parts[3]) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    char *end = nullptr;
+    desc.seed = std::strtoull(parts[3].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    // Reject values that overflowed into a different rendering.
+    if (std::to_string(desc.seed) != parts[3])
+        return false;
+    out = std::move(desc);
+    return true;
+}
+
+CorpusWorkload::CorpusWorkload(CorpusVariantDesc desc, RawSite site)
+    : desc_(std::move(desc)), site_(site)
+{
+    const KernelSpec spec = kernelSpecFor(desc_.base);
+    workload_id_ = spec.workload_id;
+    const AddressMap map(workload_id_);
+
+    init_pc_ = map.pc(kInitFn, 0);
+    const bool on_slot = siteOnSlot(desc_.bug_class);
+    slot_store_pc_ = on_slot ? site_.store_pc : map.pc(kAuxFn, 0);
+    slot_load_pc_ = on_slot ? site_.load_pc : map.pc(kAuxFn, 1);
+    acc_store_pc_ = on_slot ? map.pc(kAuxFn, 2) : site_.store_pc;
+    acc_load_pc_ = on_slot ? map.pc(kAuxFn, 3) : site_.load_pc;
+
+    // Shape draws: fixed stream so (base, class, seed) pins the whole
+    // variant. trigger_phase stays in [2, phases-2] — late enough that
+    // the lockset refinement and atomicity windows are established,
+    // early enough that off-by-one still has a next phase to poach.
+    Rng rng(hashCombine(mix64(desc_.seed), kShapeSalt));
+    const auto trigger =
+        static_cast<std::uint32_t>(2 + rng.next(kPhases - 3));
+    const auto victim = static_cast<std::uint32_t>(1 + rng.next(2));
+
+    catalog_.name = corpusName(desc_);
+    catalog_.base_kernel = desc_.base;
+    catalog_.bug_class = corpusBugClassName(desc_.bug_class);
+    catalog_.lens = corpusLensName(desc_.bug_class);
+    catalog_.seed = desc_.seed;
+    catalog_.site_store_pc = site_.store_pc;
+    catalog_.site_load_pc = site_.load_pc;
+    catalog_.threads = kThreads;
+    catalog_.phases = kPhases;
+    catalog_.trigger_phase = trigger;
+    catalog_.victim = victim;
+
+    switch (desc_.bug_class) {
+      case CorpusBugClass::kReorderedSync:
+      case CorpusBugClass::kOffByOnePhase:
+        // The consumers read the boundary-init value instead of the
+        // produced one: the untrained writer is the init store.
+        catalog_.root_store_pc = init_pc_;
+        catalog_.root_load_pc = slot_load_pc_;
+        break;
+      case CorpusBugClass::kDroppedBarrier:
+      case CorpusBugClass::kStaleReadWindow:
+        catalog_.root_store_pc = slot_store_pc_;
+        catalog_.root_load_pc = slot_load_pc_;
+        break;
+      case CorpusBugClass::kRemovedLock:
+      case CorpusBugClass::kSplitCriticalSection:
+        catalog_.root_store_pc = acc_store_pc_;
+        catalog_.root_load_pc = acc_load_pc_;
+        break;
+    }
+}
+
+std::string
+CorpusWorkload::description() const
+{
+    return "corpus variant: " + catalog_.bug_class + " staged on a " +
+           desc_.base + " communication site (" + catalog_.lens +
+           " lens)";
+}
+
+RawDependence
+CorpusWorkload::buggyDependence() const
+{
+    return RawDependence{catalog_.root_store_pc, catalog_.root_load_pc,
+                         true};
+}
+
+void
+CorpusWorkload::run(TraceSink &sink, const WorkloadParams &params) const
+{
+    const AddressMap map(workload_id_);
+    const CorpusBugClass bug = desc_.bug_class;
+    const bool fire = params.trigger_failure;
+    const std::uint32_t trigger = catalog_.trigger_phase;
+    const std::uint32_t victim = catalog_.victim;
+
+    const Addr acc = map.shared(kAccArray, 0);
+    const Addr go = map.shared(kGoArray, 0);
+    const Addr acc_lock = map.lockAddr(kAccLock);
+    const Addr bar_lock = map.lockAddr(kBarrierLock);
+    const auto slot = [&map](std::uint32_t p) {
+        return map.shared(kSlotArray, p);
+    };
+    const auto arrive = [&map](ThreadId w) {
+        return map.shared(kArriveArray, w);
+    };
+
+    const Pc bar_lock_pc = map.pc(kBarrierFn, 0);
+    const Pc bar_arrive_store_pc = map.pc(kBarrierFn, 1);
+    const Pc bar_unlock_pc = map.pc(kBarrierFn, 2);
+    const Pc bar_arrive_load_pc = map.pc(kBarrierFn, 3);
+    const Pc bar_go_store_pc = map.pc(kBarrierFn, 4);
+    const Pc bar_go_load_pc = map.pc(kBarrierFn, 5);
+    const Pc create_pc = map.pc(kHarnessFn, 0);
+    const Pc exit_pc = map.pc(kHarnessFn, 1);
+    const Pc rmw_lock_pc = map.pc(kHarnessFn, 2);
+    const Pc rmw_unlock_pc = map.pc(kHarnessFn, 3);
+    const Pc noise_store_pc = map.pc(kHarnessFn, 4);
+    const Pc noise_load_pc = map.pc(kHarnessFn, 5);
+
+    Rng master(hashCombine(mix64(params.seed),
+                           hashCombine(mix64(desc_.seed), kRunSalt)));
+    ThreadEmitter t0(sink, 0, master.fork(1), 2, 6);
+    ThreadEmitter w1(sink, 1, master.fork(2), 2, 6);
+    ThreadEmitter w2(sink, 2, master.fork(3), 2, 6);
+    ThreadEmitter *const emitters[kThreads] = {&t0, &w1, &w2};
+    ThreadEmitter *const workers[2] = {&w1, &w2};
+
+    // Chain-release barrier on bar_lock: the unlock -> next-lock edges
+    // of the arrive stores, the master's collect/go section and the go
+    // loads transitively order every pre-barrier event of every thread
+    // before every post-barrier event of every thread.
+    const auto barrier = [&]() {
+        for (ThreadEmitter *w : workers) {
+            w->lock(bar_lock_pc, bar_lock);
+            w->store(bar_arrive_store_pc, arrive(w->tid()));
+            w->unlock(bar_unlock_pc, bar_lock);
+        }
+        t0.lock(bar_lock_pc, bar_lock);
+        for (ThreadEmitter *w : workers)
+            t0.load(bar_arrive_load_pc, arrive(w->tid()));
+        t0.store(bar_go_store_pc, go);
+        t0.unlock(bar_unlock_pc, bar_lock);
+        for (ThreadEmitter *w : workers) {
+            w->lock(bar_lock_pc, bar_lock);
+            w->load(bar_go_load_pc, go);
+            w->unlock(bar_unlock_pc, bar_lock);
+        }
+    };
+
+    const auto lockedRmw = [&](ThreadEmitter &e) {
+        e.lock(rmw_lock_pc, acc_lock);
+        e.load(acc_load_pc_, acc);
+        e.store(acc_store_pc_, acc);
+        e.unlock(rmw_unlock_pc, acc_lock);
+    };
+
+    // Boundary init: every slot and the accumulator get their initial
+    // value before the workers exist, so the create edges order the
+    // init stores before everything else.
+    for (std::uint32_t p = 0; p < kPhases; ++p)
+        t0.store(init_pc_, slot(p));
+    t0.store(init_pc_, acc);
+    t0.create(create_pc, 1);
+    t0.create(create_pc, 2);
+
+    for (std::uint32_t p = 0; p < kPhases; ++p) {
+        const bool bug_phase = fire && p == trigger;
+
+        // Produce: the master publishes this phase's slot.
+        if (!(bug_phase && bug == CorpusBugClass::kReorderedSync))
+            t0.store(slot_store_pc_, slot(p));
+
+        // Stale-read window: the victim peeks before the barrier
+        // publishes the slot.
+        if (bug_phase && bug == CorpusBugClass::kStaleReadWindow)
+            workers[victim - 1]->load(slot_load_pc_, slot(p));
+
+        if (!(bug_phase && bug == CorpusBugClass::kDroppedBarrier))
+            barrier();
+
+        // Consume: workers read the slot, order rotating per phase.
+        for (std::uint32_t i = 0; i < 2; ++i) {
+            ThreadEmitter *w = workers[(p + i) % 2];
+            Addr addr = slot(p);
+            if (bug_phase && bug == CorpusBugClass::kOffByOnePhase &&
+                w->tid() == victim)
+                addr = slot(p + 1);
+            w->load(slot_load_pc_, addr);
+        }
+
+        // Reordered sync: the publish finally happens — after the
+        // consumers already read the init value.
+        if (bug_phase && bug == CorpusBugClass::kReorderedSync)
+            t0.store(slot_store_pc_, slot(p));
+
+        // Private per-thread noise: RAW material for ACT's sequence
+        // model that no concurrency lens can see.
+        for (ThreadEmitter *e : emitters) {
+            const Addr priv = map.perThread(e->tid(), 0, p);
+            e->store(noise_store_pc, priv);
+            e->load(noise_load_pc, priv);
+        }
+
+        // Read-modify-write round on the shared accumulator, rotating
+        // start thread. The lens-steered classes move the victim last
+        // so its misbehaviour meets another thread's fresh store.
+        std::vector<std::uint32_t> order = {p % kThreads,
+                                            (p + 1) % kThreads,
+                                            (p + 2) % kThreads};
+        const bool steer = bug_phase &&
+                           (bug == CorpusBugClass::kRemovedLock ||
+                            bug == CorpusBugClass::kSplitCriticalSection);
+        if (steer) {
+            std::vector<std::uint32_t> reordered;
+            for (const std::uint32_t tid : order) {
+                if (tid != victim)
+                    reordered.push_back(tid);
+            }
+            reordered.push_back(victim);
+            order = reordered;
+        }
+        for (const std::uint32_t tid : order) {
+            ThreadEmitter &e = *emitters[tid];
+            if (steer && tid == victim &&
+                bug == CorpusBugClass::kRemovedLock) {
+                // The whole RMW runs bare: empty lockset on a
+                // shared-modified variable.
+                e.load(acc_load_pc_, acc);
+                e.store(acc_store_pc_, acc);
+            } else if (steer && tid == victim &&
+                       bug == CorpusBugClass::kSplitCriticalSection) {
+                // Atomicity, not mutual exclusion, is what breaks:
+                // both halves hold the lock, but the master's full RMW
+                // lands between the victim's read and its write-back.
+                e.lock(rmw_lock_pc, acc_lock);
+                e.load(acc_load_pc_, acc);
+                e.unlock(rmw_unlock_pc, acc_lock);
+                lockedRmw(t0);
+                e.lock(rmw_lock_pc, acc_lock);
+                e.store(acc_store_pc_, acc);
+                e.unlock(rmw_unlock_pc, acc_lock);
+            } else {
+                lockedRmw(e);
+            }
+        }
+
+        barrier();
+    }
+
+    w1.exitThread(exit_pc);
+    w2.exitThread(exit_pc);
+    t0.exitThread(exit_pc);
+}
+
+std::unique_ptr<CorpusWorkload>
+makeCorpusWorkload(const std::string &name, std::vector<Finding> *findings)
+{
+    const auto fail = [findings](const std::string &code,
+                                 const std::string &message) {
+        if (findings != nullptr)
+            findings->push_back(makeFinding("corpus", code,
+                                            Severity::kError, message));
+        return nullptr;
+    };
+
+    CorpusVariantDesc desc;
+    if (!parseCorpusName(name, desc)) {
+        return fail("bad-name",
+                    "not a corpus/<base>/<class>/<seed> name: '" + name +
+                        "'");
+    }
+    if (!isCorpusBase(desc.base)) {
+        return fail("unknown-kernel",
+                    "unknown corpus base kernel '" + desc.base +
+                        "' in '" + name + "'");
+    }
+    const std::vector<RawSite> &sites = mineRawSites(desc.base);
+    if (sites.empty()) {
+        return fail("no-sites", "base kernel '" + desc.base +
+                                    "' exposes no inter-thread RAW "
+                                    "sites to stage a bug on");
+    }
+
+    Rng rng(hashCombine(mix64(desc.seed), kSiteSalt));
+    const RawSite site = sites[rng.next(sites.size())];
+    return std::make_unique<CorpusWorkload>(std::move(desc), site);
+}
+
+std::vector<CorpusVariantDesc>
+corpusSlice(std::uint64_t master_seed, std::size_t count,
+            const std::vector<std::string> &bases)
+{
+    const std::vector<std::string> pool =
+        bases.empty() ? corpusBaseNames() : bases;
+    std::vector<CorpusVariantDesc> slice;
+    slice.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        CorpusVariantDesc desc;
+        desc.base = pool[i % pool.size()];
+        desc.bug_class =
+            static_cast<CorpusBugClass>(i % kCorpusBugClassCount);
+        desc.seed = hashCombine(mix64(master_seed), mix64(i + 1));
+        slice.push_back(std::move(desc));
+    }
+    return slice;
+}
+
+} // namespace act::corpus

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Seeded bug-injection corpus: parameterized variant workloads.
+ *
+ * Tables V/VI evaluate diagnosis on 16 hand-written bugs — too few
+ * rows for error bars. This subsystem manufactures bugs at scale: a
+ * variant workload re-stages one mined communication site of a real
+ * prediction kernel (see mine.hh) inside a phase-structured harness —
+ * producer/consumer slots behind a lock-chain barrier plus a
+ * lock-protected shared accumulator — and perturbs exactly one piece
+ * of synchronisation according to its bug class. Each class is
+ * engineered to be flagged by one specific detector lens, and every
+ * variant exports a machine-readable ground-truth catalog (class,
+ * lens, injected site, root PC pair, seed, parameters), so sweeping a
+ * corpus yields per-class precision/recall curves instead of
+ * anecdotes.
+ *
+ * The six classes and their matching lenses:
+ *
+ *   reordered-sync          producer's store slips past the barrier; the
+ *                           consumers read the init value -> an untrained
+ *                           inter-thread writer (order lens).
+ *   dropped-barrier         the phase barrier between produce and consume
+ *                           is elided -> a store->load race (hb lens).
+ *   stale-read-window       the victim reads the slot before the barrier
+ *                           publishes it -> a store->load race (hb lens).
+ *   off-by-one-phase        the victim consumes next phase's slot, still
+ *                           holding only the init value -> untrained
+ *                           writer (order lens).
+ *   removed-lock            the victim's read-modify-write of the shared
+ *                           accumulator drops the lock -> empty lockset
+ *                           on a shared-modified variable (lockset lens).
+ *   split-critical-section  the victim's accumulator RMW is split into
+ *                           two critical sections with a full remote RMW
+ *                           between them -> an unserializable R-W-W
+ *                           triple absent from the mined baseline
+ *                           (atomicity lens).
+ *
+ * Everything is a pure function of the variant descriptor: same
+ * (base, class, seed) -> byte-identical traces and catalogs on every
+ * machine, at any parallelism (DESIGN section 14).
+ */
+
+#ifndef ACT_CORPUS_CORPUS_HH
+#define ACT_CORPUS_CORPUS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "corpus/mine.hh"
+#include "workloads/workload.hh"
+
+namespace act::corpus
+{
+
+/** The injected bug taxonomy. */
+enum class CorpusBugClass : std::uint8_t
+{
+    kReorderedSync,
+    kDroppedBarrier,
+    kStaleReadWindow,
+    kOffByOnePhase,
+    kRemovedLock,
+    kSplitCriticalSection
+};
+
+inline constexpr std::size_t kCorpusBugClassCount = 6;
+
+/**
+ * Default master seed for pinned slices: the table6-corpus campaign,
+ * the CI corpus-smoke slice and `actgen` all derive from it unless
+ * overridden, so their variants coincide (and share trace-cache hits).
+ */
+inline constexpr std::uint64_t kCorpusMasterSeed = 0xc0ffee;
+
+/** Stable kebab-case name, e.g. "removed-lock". */
+const char *corpusBugClassName(CorpusBugClass bug_class);
+
+/** Parse a class name; false on unknown input. */
+bool parseCorpusBugClass(const std::string &name, CorpusBugClass &out);
+
+/**
+ * The detector lens engineered to flag this class: "order", "hb",
+ * "lockset" or "atomicity".
+ */
+const char *corpusLensName(CorpusBugClass bug_class);
+
+/** The Workload::bugClass() classification of a corpus class. */
+BugClass workloadBugClass(CorpusBugClass bug_class);
+
+/** One variant's identity. */
+struct CorpusVariantDesc
+{
+    std::string base;              //!< Base kernel the site was mined from.
+    CorpusBugClass bug_class = CorpusBugClass::kReorderedSync;
+    std::uint64_t seed = 0;        //!< Variant seed (site + phase draws).
+
+    bool operator==(const CorpusVariantDesc &) const = default;
+};
+
+/** Render "corpus/<base>/<class>/<seed>". */
+std::string corpusName(const CorpusVariantDesc &desc);
+
+/** Parse a corpus workload name; false when malformed. */
+bool parseCorpusName(const std::string &name, CorpusVariantDesc &out);
+
+/** True when @p name uses the corpus name grammar ("corpus/..."). */
+bool isCorpusName(const std::string &name);
+
+/** Ground truth exported with every variant. */
+struct CorpusCatalog
+{
+    std::string name;       //!< Full variant name.
+    std::string base_kernel;
+    std::string bug_class;  //!< corpusBugClassName().
+    std::string lens;       //!< corpusLensName().
+    std::uint64_t seed = 0;
+
+    Pc site_store_pc = kInvalidPc; //!< Mined communication site.
+    Pc site_load_pc = kInvalidPc;
+    Pc root_store_pc = kInvalidPc; //!< Pair the matching lens must flag.
+    Pc root_load_pc = kInvalidPc;
+
+    std::uint32_t threads = 0;
+    std::uint32_t phases = 0;
+    std::uint32_t trigger_phase = 0;
+    std::uint32_t victim = 0; //!< Worker thread the bug steers.
+
+    bool operator==(const CorpusCatalog &) const = default;
+};
+
+/**
+ * One generated variant: a deterministic phase-harness workload whose
+ * failing execution contains exactly the catalogued bug.
+ */
+class CorpusWorkload : public Workload
+{
+  public:
+    /** Build from a validated descriptor and its mined site. */
+    CorpusWorkload(CorpusVariantDesc desc, RawSite site);
+
+    std::string name() const override { return catalog_.name; }
+    std::string description() const override;
+    std::uint32_t threadCount() const override { return catalog_.threads; }
+
+    FailureKind
+    failureKind() const override
+    {
+        return FailureKind::kCompletion;
+    }
+
+    BugClass
+    bugClass() const override
+    {
+        return workloadBugClass(desc_.bug_class);
+    }
+
+    RawDependence buggyDependence() const override;
+
+    void run(TraceSink &sink, const WorkloadParams &params) const override;
+
+    const CorpusCatalog &catalog() const { return catalog_; }
+    CorpusBugClass corpusBugClass() const { return desc_.bug_class; }
+
+  private:
+    CorpusVariantDesc desc_;
+    RawSite site_;
+    CorpusCatalog catalog_;
+    std::uint32_t workload_id_ = 0; //!< Base kernel's address region.
+
+    // Derived static layout (fixed at construction).
+    Pc init_pc_ = 0;
+    Pc slot_store_pc_ = 0;
+    Pc slot_load_pc_ = 0;
+    Pc acc_store_pc_ = 0;
+    Pc acc_load_pc_ = 0;
+};
+
+/**
+ * Materialise the variant named by @p name.
+ *
+ * On failure (malformed name, unknown base kernel, unknown class, or a
+ * base with no mineable sites) returns nullptr and, when @p findings
+ * is non-null, appends one structured error explaining why.
+ */
+std::unique_ptr<CorpusWorkload>
+makeCorpusWorkload(const std::string &name,
+                   std::vector<Finding> *findings = nullptr);
+
+/**
+ * Derive a deterministic @p count-variant slice from one master seed:
+ * classes round-robin through the taxonomy, bases round-robin through
+ * @p bases (default: every corpus base), and each variant's own seed is
+ * an independent hash of (master_seed, index).
+ */
+std::vector<CorpusVariantDesc>
+corpusSlice(std::uint64_t master_seed, std::size_t count,
+            const std::vector<std::string> &bases = {});
+
+} // namespace act::corpus
+
+#endif // ACT_CORPUS_CORPUS_HH

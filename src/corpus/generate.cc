@@ -1,0 +1,117 @@
+#include "corpus/generate.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "corpus/catalog.hh"
+
+namespace act::corpus
+{
+
+namespace
+{
+
+std::string
+manifestJson(const GenerateOptions &options,
+             const std::vector<GeneratedVariant> &variants)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"act-corpus-manifest-v1\",\n";
+    out << "  \"master_seed\": \"" << options.master_seed << "\",\n";
+    out << "  \"count\": " << variants.size() << ",\n";
+    out << "  \"traces\": " << (options.traces ? "true" : "false")
+        << ",\n";
+    out << "  \"failure_seed\": \"" << options.failure_seed << "\",\n";
+    out << "  \"variants\": [\n";
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        char index[32];
+        std::snprintf(index, sizeof(index), "%04zu", i);
+        out << "    {\"index\": " << i << ", \"name\": \""
+            << corpusName(variants[i].desc) << "\", \"catalog\": \""
+            << "catalog-" << index << ".json\"";
+        if (options.traces)
+            out << ", \"trace\": \"variant-" << index << ".trc\"";
+        out << "}" << (i + 1 < variants.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace
+
+GenerateResult
+generateCorpus(const GenerateOptions &options)
+{
+    GenerateResult result;
+    const std::vector<CorpusVariantDesc> slice =
+        corpusSlice(options.master_seed, options.count, options.bases);
+    result.variants.resize(slice.size());
+
+    std::mutex findings_mutex;
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= slice.size())
+                return;
+            std::vector<Finding> local;
+            const auto workload =
+                makeCorpusWorkload(corpusName(slice[i]), &local);
+            if (workload == nullptr) {
+                std::lock_guard<std::mutex> guard(findings_mutex);
+                for (Finding &finding : local)
+                    result.findings.push_back(std::move(finding));
+                continue;
+            }
+            GeneratedVariant &out = result.variants[i];
+            out.desc = slice[i];
+            out.catalog_json = catalogJson(workload->catalog());
+            if (options.traces) {
+                WorkloadParams params;
+                params.seed = options.failure_seed;
+                params.trigger_failure = true;
+                out.failing = workload->record(params);
+            }
+        }
+    };
+
+    const unsigned jobs = options.jobs == 0 ? 1 : options.jobs;
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    // Findings accumulate in completion order; sort for determinism.
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.message < b.message;
+              });
+
+    // Drop slots that never materialised so indices stay dense; the
+    // findings carry the explanation.
+    if (!result.findings.empty()) {
+        std::vector<GeneratedVariant> kept;
+        for (GeneratedVariant &variant : result.variants) {
+            if (!variant.catalog_json.empty())
+                kept.push_back(std::move(variant));
+        }
+        result.variants = std::move(kept);
+    }
+
+    result.manifest_json = manifestJson(options, result.variants);
+    return result;
+}
+
+} // namespace act::corpus

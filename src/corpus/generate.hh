@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Corpus materialisation: turn a (seed, count) slice into catalogs,
+ * failing traces and a manifest — the library behind `actgen`.
+ *
+ * Generation is embarrassingly parallel and slot-addressed: worker
+ * threads fill a pre-sized result vector by index, so the produced
+ * bytes are identical at --jobs 1 and --jobs 8 and across
+ * regeneration from the same master seed. Variants that fail to
+ * materialise (impossible for built-in bases, but reachable through
+ * explicit base lists) surface as structured findings, never as holes
+ * silently skipped.
+ */
+
+#ifndef ACT_CORPUS_GENERATE_HH
+#define ACT_CORPUS_GENERATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "corpus/corpus.hh"
+#include "trace/trace.hh"
+
+namespace act::corpus
+{
+
+/** What to materialise. */
+struct GenerateOptions
+{
+    std::uint64_t master_seed = kCorpusMasterSeed;
+    std::size_t count = 32;
+    std::vector<std::string> bases; //!< Empty = every corpus base.
+    unsigned jobs = 1;              //!< Worker threads.
+    bool traces = false;            //!< Also record failing traces.
+    std::uint64_t failure_seed = 999;
+};
+
+/** One materialised variant. */
+struct GeneratedVariant
+{
+    CorpusVariantDesc desc;
+    std::string catalog_json;
+    Trace failing; //!< Failing execution; empty unless traces asked.
+};
+
+/** The whole corpus, in slice index order. */
+struct GenerateResult
+{
+    std::vector<GeneratedVariant> variants;
+    std::string manifest_json;
+    std::vector<Finding> findings; //!< Materialisation failures.
+
+    bool ok() const { return clean(findings); }
+};
+
+/** Materialise the corpus described by @p options. */
+GenerateResult generateCorpus(const GenerateOptions &options);
+
+} // namespace act::corpus
+
+#endif // ACT_CORPUS_GENERATE_HH

@@ -1,0 +1,90 @@
+#include "corpus/mine.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "deps/tracker.hh"
+#include "trace/trace.hh"
+#include "workloads/kernel.hh"
+
+namespace act::corpus
+{
+
+namespace
+{
+
+/** Probe seeds; two traces so rotation-dependent pairs both appear. */
+constexpr std::uint64_t kProbeSeedBase = 100;
+constexpr std::size_t kProbeTraces = 2;
+
+std::vector<RawSite>
+mineUncached(const std::string &base)
+{
+    std::map<std::pair<Pc, Pc>, std::uint64_t> pairs;
+    const KernelWorkload kernel(kernelSpecFor(base));
+    for (std::size_t i = 0; i < kProbeTraces; ++i) {
+        WorkloadParams params;
+        params.seed = kProbeSeedBase + i;
+        const Trace trace = kernel.record(params);
+        DependenceTracker tracker;
+        for (const TraceEvent &event : trace.events()) {
+            const auto dep = tracker.observe(event);
+            if (dep && dep->inter_thread &&
+                dep->store_pc != dep->load_pc)
+                ++pairs[{dep->store_pc, dep->load_pc}];
+        }
+    }
+    std::vector<RawSite> sites;
+    sites.reserve(pairs.size());
+    for (const auto &[pair, count] : pairs)
+        sites.push_back(RawSite{pair.first, pair.second, count});
+    return sites; // std::map iteration is already (store, load) sorted.
+}
+
+} // namespace
+
+bool
+isCorpusBase(const std::string &base)
+{
+    for (const std::string &name : concurrentKernelNames()) {
+        if (name == base)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+corpusBaseNames()
+{
+    // Only kernels with actual inter-thread communication can host an
+    // injected bug (swaptions, for one, is embarrassingly parallel and
+    // exposes nothing to mine). Membership is decided by mining itself
+    // — memoized, so this stays cheap after the first call.
+    std::vector<std::string> bases;
+    for (const std::string &name : concurrentKernelNames()) {
+        if (!mineRawSites(name).empty())
+            bases.push_back(name);
+    }
+    return bases;
+}
+
+const std::vector<RawSite> &
+mineRawSites(const std::string &base)
+{
+    static std::mutex mutex;
+    static std::map<std::string, std::vector<RawSite>> cache;
+    static const std::vector<RawSite> kEmpty;
+
+    if (!isCorpusBase(base))
+        return kEmpty;
+
+    std::lock_guard<std::mutex> guard(mutex);
+    auto it = cache.find(base);
+    if (it == cache.end())
+        it = cache.emplace(base, mineUncached(base)).first;
+    return it->second;
+}
+
+} // namespace act::corpus

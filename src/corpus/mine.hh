@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RAW-dependence site mining for the bug-injection corpus.
+ *
+ * LAVA finds injectable sites by tracing a correct execution and
+ * looking for dead, uncomplicated data flows (DUAs) it can later wire
+ * to an attack point. The corpus generator's analogue: record correct
+ * executions of a base prediction kernel and harvest the inter-thread
+ * RAW (store PC, load PC) pairs they exhibit. Each mined pair is a
+ * communication site that demonstrably occurs in the wild — a variant
+ * workload then re-stages that site inside a controlled phase harness
+ * and perturbs its synchronisation, so the injected bug carries the
+ * static signature of real kernel communication rather than made-up
+ * addresses.
+ *
+ * Mining is deterministic (fixed seeds, sorted output) and memoized
+ * per base kernel behind a mutex, so materialising hundreds of
+ * variants of the same base records its probe traces exactly once.
+ */
+
+#ifndef ACT_CORPUS_MINE_HH
+#define ACT_CORPUS_MINE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace act::corpus
+{
+
+/** One mined inter-thread communication site. */
+struct RawSite
+{
+    Pc store_pc = kInvalidPc; //!< Producer instruction in the base kernel.
+    Pc load_pc = kInvalidPc;  //!< Consumer instruction in the base kernel.
+    std::uint64_t count = 0;  //!< Dynamic occurrences across probe traces.
+
+    bool operator==(const RawSite &) const = default;
+};
+
+/** Base kernels the corpus may mine (the concurrent prediction set). */
+std::vector<std::string> corpusBaseNames();
+
+/** True when @p base is a valid corpus base kernel. */
+bool isCorpusBase(const std::string &base);
+
+/**
+ * Mine the inter-thread RAW sites of base kernel @p base from two
+ * correct probe traces (fixed seeds). Pairs with store_pc == load_pc
+ * are dropped; the result is sorted by (store_pc, load_pc) and
+ * memoized for the process lifetime.
+ *
+ * @return The sorted site list; empty when @p base is unknown.
+ */
+const std::vector<RawSite> &mineRawSites(const std::string &base);
+
+} // namespace act::corpus
+
+#endif // ACT_CORPUS_MINE_HH

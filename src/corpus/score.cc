@@ -1,0 +1,236 @@
+#include "corpus/score.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "corpus/corpus.hh"
+
+namespace act::corpus
+{
+
+namespace
+{
+
+struct Pool
+{
+    double lens_tp = 0;
+    double lens_fp = 0;
+    double act_tp = 0;
+    double act_fp = 0;
+    std::size_t n = 0;
+
+    void
+    add(const CorpusOutcome &o)
+    {
+        lens_tp += o.lens_tp;
+        lens_fp += o.lens_fp;
+        act_tp += o.act_tp;
+        act_fp += o.act_fp;
+        ++n;
+    }
+};
+
+/** Pooled precision; empty prediction pool is vacuously precise. */
+double
+precision(double tp, double fp)
+{
+    const double considered = tp + fp;
+    return considered == 0.0 ? 1.0 : tp / considered;
+}
+
+double
+recall(double tp, std::size_t n)
+{
+    return n == 0 ? 1.0 : tp / static_cast<double>(n);
+}
+
+struct PoolStats
+{
+    double lens_p = 1.0;
+    double lens_r = 1.0;
+    double act_p = 1.0;
+    double act_r = 1.0;
+};
+
+PoolStats
+statsOf(const Pool &pool)
+{
+    PoolStats stats;
+    stats.lens_p = precision(pool.lens_tp, pool.lens_fp);
+    stats.lens_r = recall(pool.lens_tp, pool.n);
+    stats.act_p = precision(pool.act_tp, pool.act_fp);
+    stats.act_r = recall(pool.act_tp, pool.n);
+    return stats;
+}
+
+/** Percentile of a sorted sample at quantile @p q (nearest rank). */
+double
+percentile(std::vector<double> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[idx];
+}
+
+ClassCurve
+curveFor(const std::string &bug_class, const std::string &lens,
+         const std::vector<const CorpusOutcome *> &members,
+         std::uint64_t bootstrap_seed, std::size_t resamples)
+{
+    ClassCurve curve;
+    curve.bug_class = bug_class;
+    curve.lens = lens;
+    curve.variants = members.size();
+
+    Pool pool;
+    for (const CorpusOutcome *o : members)
+        pool.add(*o);
+    const PoolStats point = statsOf(pool);
+    curve.lens_precision.value = point.lens_p;
+    curve.lens_recall.value = point.lens_r;
+    curve.act_precision.value = point.act_p;
+    curve.act_recall.value = point.act_r;
+
+    if (members.empty() || resamples == 0) {
+        curve.lens_precision.lo = curve.lens_precision.hi = point.lens_p;
+        curve.lens_recall.lo = curve.lens_recall.hi = point.lens_r;
+        curve.act_precision.lo = curve.act_precision.hi = point.act_p;
+        curve.act_recall.lo = curve.act_recall.hi = point.act_r;
+        return curve;
+    }
+
+    // Percentile bootstrap over variants. The RNG stream depends only
+    // on (seed, class name) — via a fixed FNV-1a, not std::hash, which
+    // is implementation-defined — so the intervals are stable across
+    // machines and adding a class never perturbs another's.
+    std::uint64_t class_hash = 1469598103934665603ULL;
+    for (const char c : bug_class) {
+        class_hash ^= static_cast<unsigned char>(c);
+        class_hash *= 1099511628211ULL;
+    }
+    Rng rng(hashCombine(mix64(bootstrap_seed), class_hash));
+    std::vector<double> lens_p;
+    std::vector<double> lens_r;
+    std::vector<double> act_p;
+    std::vector<double> act_r;
+    lens_p.reserve(resamples);
+    lens_r.reserve(resamples);
+    act_p.reserve(resamples);
+    act_r.reserve(resamples);
+    for (std::size_t b = 0; b < resamples; ++b) {
+        Pool sample;
+        for (std::size_t i = 0; i < members.size(); ++i)
+            sample.add(*members[rng.next(members.size())]);
+        const PoolStats stats = statsOf(sample);
+        lens_p.push_back(stats.lens_p);
+        lens_r.push_back(stats.lens_r);
+        act_p.push_back(stats.act_p);
+        act_r.push_back(stats.act_r);
+    }
+    const auto bracket = [](Interval &interval, std::vector<double> &s) {
+        interval.lo = percentile(s, 0.025);
+        interval.hi = percentile(s, 0.975);
+    };
+    bracket(curve.lens_precision, lens_p);
+    bracket(curve.lens_recall, lens_r);
+    bracket(curve.act_precision, act_p);
+    bracket(curve.act_recall, act_r);
+    return curve;
+}
+
+std::string
+cell(const Interval &interval)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f [%.3f,%.3f]", interval.value,
+                  interval.lo, interval.hi);
+    return buf;
+}
+
+} // namespace
+
+std::vector<ClassCurve>
+corpusCurves(std::vector<CorpusOutcome> outcomes,
+             std::uint64_t bootstrap_seed, std::size_t resamples)
+{
+    std::sort(outcomes.begin(), outcomes.end(),
+              [](const CorpusOutcome &a, const CorpusOutcome &b) {
+                  return a.variant < b.variant;
+              });
+
+    std::map<std::string, std::vector<const CorpusOutcome *>> by_class;
+    std::map<std::string, std::string> lens_of;
+    for (const CorpusOutcome &o : outcomes) {
+        by_class[o.bug_class].push_back(&o);
+        lens_of.emplace(o.bug_class, o.lens);
+    }
+
+    // Taxonomy order first (the fixed six), then any stragglers in
+    // lexicographic order, then the overall pool.
+    std::vector<std::string> order;
+    for (std::size_t i = 0; i < kCorpusBugClassCount; ++i) {
+        const auto name =
+            corpusBugClassName(static_cast<CorpusBugClass>(i));
+        if (by_class.count(name) != 0)
+            order.push_back(name);
+    }
+    for (const auto &[name, members] : by_class) {
+        if (std::find(order.begin(), order.end(), name) == order.end())
+            order.push_back(name);
+    }
+
+    std::vector<ClassCurve> curves;
+    curves.reserve(order.size() + 1);
+    for (const std::string &name : order) {
+        curves.push_back(curveFor(name, lens_of[name], by_class[name],
+                                  bootstrap_seed, resamples));
+    }
+
+    std::vector<const CorpusOutcome *> all;
+    all.reserve(outcomes.size());
+    for (const CorpusOutcome &o : outcomes)
+        all.push_back(&o);
+    curves.push_back(
+        curveFor("overall", "-", all, bootstrap_seed, resamples));
+    return curves;
+}
+
+std::string
+corpusReport(std::vector<CorpusOutcome> outcomes,
+             std::uint64_t bootstrap_seed, std::size_t resamples)
+{
+    const std::size_t variants = outcomes.size();
+    const std::vector<ClassCurve> curves =
+        corpusCurves(std::move(outcomes), bootstrap_seed, resamples);
+
+    std::ostringstream out;
+    out << "table6-corpus: per-class precision/recall, " << variants
+        << " variants, " << resamples
+        << "-resample bootstrap 95% CIs (seed 0x" << std::hex
+        << bootstrap_seed << std::dec << ")\n\n";
+
+    char header[256];
+    std::snprintf(header, sizeof(header),
+                  "%-24s %-10s %4s  %-21s %-21s %-21s %-21s\n",
+                  "class", "lens", "n", "lens precision",
+                  "lens recall", "act precision", "act recall");
+    out << header;
+    for (const ClassCurve &curve : curves) {
+        char row[320];
+        std::snprintf(row, sizeof(row),
+                      "%-24s %-10s %4zu  %-21s %-21s %-21s %-21s\n",
+                      curve.bug_class.c_str(), curve.lens.c_str(),
+                      curve.variants, cell(curve.lens_precision).c_str(),
+                      cell(curve.lens_recall).c_str(),
+                      cell(curve.act_precision).c_str(),
+                      cell(curve.act_recall).c_str());
+        out << row;
+    }
+    return out.str();
+}
+
+} // namespace act::corpus

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Corpus scoring: per-bug-class precision/recall with bootstrap CIs.
+ *
+ * One CorpusOutcome summarises one swept variant: did the matching
+ * detector lens flag the catalogued root pair (and how many distinct
+ * off-root findings did it raise), and did ACT's ranked Debug Buffer
+ * predict the root (and how many other pairs did it predict). The
+ * aggregator pools outcomes per bug class into precision/recall
+ * points and brackets each with a seeded percentile-bootstrap 95%
+ * confidence interval — resampling variants, never randomness from
+ * the clock, so the rendered table is byte-identical across runs,
+ * thread counts and machines.
+ *
+ * Conventions mirror OracleScore: an empty prediction set has
+ * precision 1.0 (nothing claimed, nothing wrong); recall is the share
+ * of variants whose root was flagged.
+ */
+
+#ifndef ACT_CORPUS_SCORE_HH
+#define ACT_CORPUS_SCORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace act::corpus
+{
+
+/** One variant's joined diagnosis-vs-catalog outcome. */
+struct CorpusOutcome
+{
+    std::string variant;   //!< Full corpus name (sorts the report).
+    std::string bug_class; //!< corpusBugClassName() of the variant.
+    std::string lens;      //!< Matching detector lens.
+
+    double lens_tp = 0;  //!< 1 when the matching lens flagged the root.
+    double lens_fp = 0;  //!< Distinct matching-lens findings off-root.
+    double act_tp = 0;   //!< 1 when ACT predicted the root pair.
+    double act_fp = 0;   //!< Deduped ACT predictions off-root.
+    double act_rank = -1; //!< ACT's rank of the root (-1 = absent).
+};
+
+/** A point estimate bracketed by its bootstrap interval. */
+struct Interval
+{
+    double value = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Pooled precision/recall of one bug class (or the overall pool). */
+struct ClassCurve
+{
+    std::string bug_class;
+    std::string lens;
+    std::size_t variants = 0;
+
+    Interval lens_precision;
+    Interval lens_recall;
+    Interval act_precision;
+    Interval act_recall;
+};
+
+/** Default bootstrap shape: fixed seed, 200 resamples, 95% interval. */
+inline constexpr std::uint64_t kBootstrapSeed = 0xb007;
+inline constexpr std::size_t kBootstrapResamples = 200;
+
+/**
+ * Pool @p outcomes per bug class (rows in taxonomy order, any unknown
+ * class names after them lexicographically) and append one "overall"
+ * row pooling everything. Deterministic for fixed inputs.
+ */
+std::vector<ClassCurve>
+corpusCurves(std::vector<CorpusOutcome> outcomes,
+             std::uint64_t bootstrap_seed = kBootstrapSeed,
+             std::size_t resamples = kBootstrapResamples);
+
+/** Render the deterministic table6-corpus text report. */
+std::string
+corpusReport(std::vector<CorpusOutcome> outcomes,
+             std::uint64_t bootstrap_seed = kBootstrapSeed,
+             std::size_t resamples = kBootstrapResamples);
+
+} // namespace act::corpus
+
+#endif // ACT_CORPUS_SCORE_HH

@@ -1,6 +1,7 @@
 #include "runner/campaign.hh"
 
 #include "common/logging.hh"
+#include "corpus/corpus.hh"
 #include "workloads/bugs.hh"
 #include "workloads/emitter.hh"
 #include "workloads/kernel.hh"
@@ -269,13 +270,47 @@ resilienceCampaign()
     return campaign;
 }
 
+/**
+ * table6-corpus: the pinned 32-variant slice of the seeded bug-injection
+ * corpus, one kCorpus cell per variant. The slice is a pure function of
+ * the master seed (0xc0ffee), so the job list — and with it the whole
+ * report — is byte-identical across builds; larger sweeps go through
+ * `actgen` + `actrun --corpus`, which build the same job shape for an
+ * arbitrary slice. Knobs are dialled down smoke-style: corpus variants
+ * are small three-thread kernels, and the sweep's power comes from
+ * variant count, not per-variant training depth.
+ */
+Campaign
+table6CorpusCampaign()
+{
+    Campaign campaign;
+    campaign.name = "table6-corpus";
+    campaign.description =
+        "table6-corpus: 32 seeded bug-injection variants, per-class "
+        "precision/recall vs ground-truth catalogs";
+    for (const corpus::CorpusVariantDesc &desc :
+         corpus::corpusSlice(corpus::kCorpusMasterSeed, 32)) {
+        JobSpec job;
+        job.id = static_cast<std::uint32_t>(campaign.jobs.size());
+        job.kind = JobKind::kCorpus;
+        job.scheme = Scheme::kAct;
+        job.workload = corpus::corpusName(desc);
+        job.knobs.train_traces = 4;
+        job.knobs.diagnosis_epochs = 40;
+        job.knobs.diagnosis_max_examples = 4000;
+        job.knobs.postmortem_traces = 3;
+        campaign.jobs.push_back(std::move(job));
+    }
+    return campaign;
+}
+
 } // namespace
 
 std::vector<std::string>
 campaignNames()
 {
     return {"fig7a", "table4", "table4-ablation", "table5",
-            "table-resilience", "smoke"};
+            "table6-corpus", "table-resilience", "smoke"};
 }
 
 bool
@@ -299,6 +334,8 @@ makeCampaign(const std::string &name)
         return table4AblationCampaign();
     if (name == "table5")
         return table5Campaign();
+    if (name == "table6-corpus")
+        return table6CorpusCampaign();
     if (name == "table-resilience")
         return resilienceCampaign();
     if (name == "smoke")

@@ -1,0 +1,65 @@
+#include "runner/corpus_sweep.hh"
+
+#include <map>
+
+namespace act
+{
+
+bool
+campaignHasCorpus(const Campaign &campaign)
+{
+    for (const JobSpec &spec : campaign.jobs) {
+        if (spec.kind == JobKind::kCorpus)
+            return true;
+    }
+    return false;
+}
+
+std::vector<corpus::CorpusOutcome>
+corpusOutcomes(const Campaign &campaign,
+               const std::vector<JobResult> &results)
+{
+    std::map<std::uint32_t, const JobResult *> by_id;
+    for (const JobResult &result : results)
+        by_id[result.id] = &result;
+
+    const auto metric = [](const JobResult &result, const char *key,
+                           double fallback) {
+        const auto it = result.metrics.find(key);
+        return it == result.metrics.end() ? fallback : it->second;
+    };
+
+    std::vector<corpus::CorpusOutcome> outcomes;
+    for (const JobSpec &spec : campaign.jobs) {
+        if (spec.kind != JobKind::kCorpus)
+            continue;
+        const auto it = by_id.find(spec.id);
+        if (it == by_id.end() || !it->second->ok)
+            continue;
+        const JobResult &result = *it->second;
+
+        corpus::CorpusOutcome outcome;
+        outcome.variant = spec.workload;
+        const auto cls = result.labels.find("class");
+        const auto lens = result.labels.find("lens");
+        outcome.bug_class =
+            cls == result.labels.end() ? "?" : cls->second;
+        outcome.lens = lens == result.labels.end() ? "?" : lens->second;
+        outcome.lens_tp = metric(result, "lens_tp", 0.0);
+        outcome.lens_fp = metric(result, "lens_fp", 0.0);
+        outcome.act_tp = metric(result, "act_tp", 0.0);
+        outcome.act_fp = metric(result, "act_fp", 0.0);
+        outcome.act_rank = metric(result, "act_rank", -1.0);
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
+}
+
+std::string
+corpusSweepReport(const Campaign &campaign,
+                  const std::vector<JobResult> &results)
+{
+    return corpus::corpusReport(corpusOutcomes(campaign, results));
+}
+
+} // namespace act

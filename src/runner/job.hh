@@ -34,7 +34,8 @@ enum class JobKind : std::uint8_t
     kDiagnoseAct,  //!< Table V ACT column: full single-failure loop.
     kDiagnoseAviso, //!< Table V Aviso column.
     kDiagnosePbi,  //!< Table V PBI column.
-    kResilience    //!< Diagnose-act under an injected fault plan.
+    kResilience,   //!< Diagnose-act under an injected fault plan.
+    kCorpus        //!< table6-corpus cell: one injected-bug variant.
 };
 
 /** Why a job's result slot carries no trustworthy numbers. */

@@ -13,11 +13,15 @@
 #include <chrono>
 #include <thread>
 
+#include <set>
+
+#include "analysis/finding.hh"
 #include "analysis/pipeline.hh"
 #include "analysis/race_oracle.hh"
 #include "baselines/aviso.hh"
 #include "baselines/pbi.hh"
 #include "common/logging.hh"
+#include "corpus/corpus.hh"
 #include "diagnosis/pipeline.hh"
 #include "faults/fault_injector.hh"
 #include "nn/topology_search.hh"
@@ -551,6 +555,125 @@ runDiagnosePbi(const JobSpec &spec, TraceCache &cache, JobResult &result)
             : formatCell("- (%zu)", outcome.total_predicates);
 }
 
+/**
+ * table6-corpus cell: one injected-bug variant through the full ACT
+ * diagnosis loop plus every detector lens, joined against the
+ * variant's ground-truth catalog. The job deposits the flat tp/fp
+ * counts the corpus sweep aggregator pools into per-class
+ * precision/recall curves; the variant itself never enters the
+ * workload registry (DESIGN section 14 dormancy contract).
+ */
+void
+runCorpus(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    const JobKnobs &knobs = spec.knobs;
+    std::vector<Finding> findings;
+    const auto workload = corpus::makeCorpusWorkload(spec.workload, &findings);
+    if (workload == nullptr) {
+        throw std::runtime_error("corpus variant rejected: " +
+                                 formatFindings(findings));
+    }
+    const corpus::CorpusCatalog catalog = workload->catalog();
+    const RawDependence root = workload->buggyDependence();
+
+    // Full ACT loop on the variant, cache-fed like every other job.
+    TraceProvider provider =
+        [&cache](const Workload &w, const WorkloadParams &p) {
+            return cache.record(w, p);
+        };
+    DiagnosisSetup setup;
+    setup.training.traces = knobs.train_traces;
+    setup.training.max_examples = knobs.diagnosis_max_examples;
+    setup.training.trainer.max_epochs = knobs.diagnosis_epochs;
+    setup.training.trace_provider = provider;
+    setup.trace_provider = provider;
+    setup.postmortem_traces = knobs.postmortem_traces;
+    setup.failure_seed = knobs.failure_seed;
+    if (knobs.debug_buffer_entries > 0)
+        setup.system.act.debug_buffer_entries = knobs.debug_buffer_entries;
+    const DiagnosisResult act = diagnoseFailure(*workload, setup);
+
+    // ACT's predictions, deduplicated by static pair and scored
+    // against the catalog's root: the pair itself is the positive.
+    std::set<std::pair<Pc, Pc>> act_pairs;
+    for (const auto &candidate : act.report.ranked) {
+        if (candidate.sequence.deps.empty())
+            continue;
+        const RawDependence &dep = candidate.sequence.deps.back();
+        if (dep.inter_thread)
+            act_pairs.insert({dep.store_pc, dep.load_pc});
+    }
+    const bool act_tp =
+        act_pairs.count({root.store_pc, root.load_pc}) != 0;
+    const std::size_t act_fp = act_pairs.size() - (act_tp ? 1 : 0);
+
+    // Run the variant's matching detector lens over the failing trace,
+    // with baselines mined from the same passing traces training
+    // consumed (all cache hits).
+    WorkloadParams failure_params;
+    failure_params.seed = knobs.failure_seed;
+    failure_params.trigger_failure = true;
+    const Trace failing_trace = cache.record(*workload, failure_params);
+    const RaceReport oracle = detectRaces(failing_trace);
+
+    MinedBaselines baselines;
+    for (std::size_t i = 0; i < setup.training.traces; ++i) {
+        WorkloadParams train_params;
+        train_params.seed = setup.training.seed_base + i;
+        baselines.addPassingTrace(cache.record(*workload, train_params));
+    }
+    PipelineOptions popts;
+    popts.hb_races = false; // Reuse `oracle` computed above.
+    popts.baselines = &baselines;
+    PipelineResult analysis = runAnalysisPipeline(failing_trace, popts);
+    analysis.races = oracle;
+
+    bool lens_tp = false;
+    std::size_t lens_fp = 0;
+    if (catalog.lens == "hb") {
+        for (const Race &race : oracle.rawRaces()) {
+            if (race.prior_pc == root.store_pc &&
+                race.later_pc == root.load_pc) {
+                lens_tp = true;
+            } else {
+                ++lens_fp;
+            }
+        }
+    } else {
+        DetectorKind kind = DetectorKind::kLockset;
+        if (catalog.lens == "atomicity")
+            kind = DetectorKind::kAtomicity;
+        else if (catalog.lens == "order")
+            kind = DetectorKind::kOrder;
+        for (const AnalysisFinding &finding :
+             analysis.report.findings()) {
+            if (finding.detector != kind)
+                continue;
+            if (finding.coversPair(root.store_pc, root.load_pc))
+                lens_tp = true;
+            else
+                ++lens_fp;
+        }
+    }
+
+    result.labels["class"] = catalog.bug_class;
+    result.labels["lens"] = catalog.lens;
+    result.labels["base"] = catalog.base_kernel;
+    result.labels["rank"] =
+        act.rank ? formatCell("%zu", *act.rank) : std::string("-");
+    result.metrics["lens_tp"] = lens_tp ? 1.0 : 0.0;
+    result.metrics["lens_fp"] = static_cast<double>(lens_fp);
+    result.metrics["act_tp"] = act_tp ? 1.0 : 0.0;
+    result.metrics["act_fp"] = static_cast<double>(act_fp);
+    result.metrics["act_rank"] =
+        act.rank ? static_cast<double>(*act.rank) : -1.0;
+    result.metrics["diagnosed"] = act.rank ? 1.0 : 0.0;
+    result.metrics["oracle_races"] =
+        static_cast<double>(oracle.races().size());
+    result.metrics["analysis_findings"] =
+        static_cast<double>(analysis.report.size());
+}
+
 } // namespace
 
 const char *
@@ -563,6 +686,7 @@ jobKindName(JobKind kind)
       case JobKind::kDiagnoseAviso: return "diagnose-aviso";
       case JobKind::kDiagnosePbi: return "diagnose-pbi";
       case JobKind::kResilience: return "resilience";
+      case JobKind::kCorpus: return "corpus";
     }
     return "?";
 }
@@ -645,6 +769,9 @@ runJob(const JobSpec &spec, TraceCache &cache, const JobContext &context)
         break;
       case JobKind::kResilience:
         runResilience(spec, cache, result);
+        break;
+      case JobKind::kCorpus:
+        runCorpus(spec, cache, result);
         break;
     }
     result.ok = true;

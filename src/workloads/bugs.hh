@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/finding.hh"
 #include "workloads/kernel.hh"
 #include "workloads/workload.hh"
 
@@ -40,9 +41,15 @@ std::vector<InjectedBugTarget> injectedBugTargets();
  * Build a prediction kernel with a communication bug injected into the
  * named function (Table VI methodology: the function is treated as new
  * code, excluded from training).
+ *
+ * On an unknown kernel or a function the kernel does not define,
+ * returns nullptr and — when @p findings is non-null — appends one
+ * structured error (pass "workloads", code "unknown-kernel" or
+ * "unknown-function") instead of aborting the process.
  */
 std::unique_ptr<KernelWorkload> makeInjectedWorkload(
-    const std::string &kernel, const std::string &function);
+    const std::string &kernel, const std::string &function,
+    std::vector<Finding> *findings = nullptr);
 
 /** Register the real-bug workloads with the global registry. */
 void registerBugWorkloads();

@@ -13,6 +13,8 @@
 
 #include "workloads/bugs.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "workloads/bug_base.hh"
 
@@ -267,11 +269,34 @@ injectedBugTargets()
 }
 
 std::unique_ptr<KernelWorkload>
-makeInjectedWorkload(const std::string &kernel, const std::string &function)
+makeInjectedWorkload(const std::string &kernel, const std::string &function,
+                     std::vector<Finding> *findings)
 {
+    const auto fail = [findings](const std::string &code,
+                                 const std::string &message) {
+        if (findings != nullptr) {
+            findings->push_back(
+                makeFinding("workloads", code, Severity::kError, message));
+        }
+        return nullptr;
+    };
+
+    const auto kernels = predictionKernelNames();
+    if (std::find(kernels.begin(), kernels.end(), kernel) == kernels.end())
+        return fail("unknown-kernel",
+                    "no prediction kernel named '" + kernel + "'");
+
     const KernelSpec spec = kernelSpecFor(kernel);
-    const KernelWorkload probe(spec);
-    const std::uint32_t chain = probe.chainByFunction(function);
+    std::uint32_t chain = static_cast<std::uint32_t>(spec.chains.size());
+    for (std::uint32_t c = 0; c < spec.chains.size(); ++c) {
+        if (spec.chains[c].function == function)
+            chain = c;
+    }
+    if (chain == spec.chains.size())
+        return fail("unknown-function", "kernel '" + kernel +
+                                            "' has no function named '" +
+                                            function + "'");
+
     InjectedBug bug;
     bug.chain = chain;
     bug.position = spec.chains[chain].length / 2;

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Corpus scoring: pooled precision/recall arithmetic, the
+ * OracleScore-mirroring edge conventions, taxonomy-ordered rows, and
+ * the determinism of the bootstrap intervals (seeded resampling — the
+ * same outcome pool renders the same table forever).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/score.hh"
+
+namespace act::corpus
+{
+namespace
+{
+
+CorpusOutcome
+outcome(const std::string &variant, const std::string &bug_class,
+        const std::string &lens, double lens_tp, double lens_fp,
+        double act_tp, double act_fp)
+{
+    CorpusOutcome out;
+    out.variant = variant;
+    out.bug_class = bug_class;
+    out.lens = lens;
+    out.lens_tp = lens_tp;
+    out.lens_fp = lens_fp;
+    out.act_tp = act_tp;
+    out.act_fp = act_fp;
+    return out;
+}
+
+const ClassCurve *
+rowFor(const std::vector<ClassCurve> &curves, const std::string &name)
+{
+    for (const ClassCurve &curve : curves) {
+        if (curve.bug_class == name)
+            return &curve;
+    }
+    return nullptr;
+}
+
+TEST(CorpusCurves, PooledPrecisionAndRecall)
+{
+    std::vector<CorpusOutcome> outcomes;
+    // removed-lock: 2 variants, roots flagged both times, 2 total FPs
+    // -> precision 2/4 = 0.5, recall 2/2 = 1.0.
+    outcomes.push_back(
+        outcome("corpus/lu/removed-lock/1", "removed-lock", "lockset",
+                1, 1, 1, 0));
+    outcomes.push_back(
+        outcome("corpus/lu/removed-lock/2", "removed-lock", "lockset",
+                1, 1, 0, 1));
+    const auto curves = corpusCurves(outcomes);
+
+    const ClassCurve *row = rowFor(curves, "removed-lock");
+    ASSERT_NE(nullptr, row);
+    EXPECT_EQ("lockset", row->lens);
+    EXPECT_EQ(2u, row->variants);
+    EXPECT_DOUBLE_EQ(0.5, row->lens_precision.value);
+    EXPECT_DOUBLE_EQ(1.0, row->lens_recall.value);
+    // ACT: 1 TP, 1 FP pooled -> precision 0.5; recall 1/2.
+    EXPECT_DOUBLE_EQ(0.5, row->act_precision.value);
+    EXPECT_DOUBLE_EQ(0.5, row->act_recall.value);
+
+    const ClassCurve *overall = rowFor(curves, "overall");
+    ASSERT_NE(nullptr, overall);
+    EXPECT_EQ(2u, overall->variants);
+}
+
+TEST(CorpusCurves, EmptyPredictionsHavePrecisionOne)
+{
+    std::vector<CorpusOutcome> outcomes;
+    outcomes.push_back(outcome("corpus/lu/dropped-barrier/1",
+                               "dropped-barrier", "hb", 0, 0, 0, 0));
+    const auto curves = corpusCurves(outcomes);
+    const ClassCurve *row = rowFor(curves, "dropped-barrier");
+    ASSERT_NE(nullptr, row);
+    EXPECT_DOUBLE_EQ(1.0, row->lens_precision.value); // Nothing claimed.
+    EXPECT_DOUBLE_EQ(0.0, row->lens_recall.value);    // Root missed.
+}
+
+TEST(CorpusCurves, EmptyPoolYieldsOnlyOverallRow)
+{
+    const auto curves = corpusCurves({});
+    ASSERT_EQ(1u, curves.size());
+    EXPECT_EQ("overall", curves[0].bug_class);
+    EXPECT_EQ(0u, curves[0].variants);
+    EXPECT_DOUBLE_EQ(1.0, curves[0].lens_precision.value);
+    EXPECT_DOUBLE_EQ(1.0, curves[0].lens_recall.value);
+}
+
+TEST(CorpusCurves, RowsFollowTaxonomyOrder)
+{
+    std::vector<CorpusOutcome> outcomes;
+    outcomes.push_back(outcome("corpus/lu/removed-lock/1",
+                               "removed-lock", "lockset", 1, 0, 1, 0));
+    outcomes.push_back(outcome("corpus/lu/reordered-sync/1",
+                               "reordered-sync", "order", 1, 0, 1, 0));
+    outcomes.push_back(outcome("corpus/lu/dropped-barrier/1",
+                               "dropped-barrier", "hb", 1, 0, 1, 0));
+    const auto curves = corpusCurves(outcomes);
+    ASSERT_EQ(4u, curves.size());
+    EXPECT_EQ("reordered-sync", curves[0].bug_class);
+    EXPECT_EQ("dropped-barrier", curves[1].bug_class);
+    EXPECT_EQ("removed-lock", curves[2].bug_class);
+    EXPECT_EQ("overall", curves[3].bug_class);
+}
+
+TEST(CorpusCurves, IntervalsBracketTheEstimateDeterministically)
+{
+    std::vector<CorpusOutcome> outcomes;
+    for (int i = 0; i < 16; ++i) {
+        outcomes.push_back(outcome(
+            "corpus/lu/stale-read-window/" + std::to_string(i),
+            "stale-read-window", "hb", i % 2 ? 1.0 : 0.0, i % 3 ? 1.0 : 0.0,
+            i % 2 ? 1.0 : 0.0, 0));
+    }
+    const auto first = corpusCurves(outcomes);
+    const auto second = corpusCurves(outcomes);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_DOUBLE_EQ(first[i].lens_precision.lo,
+                         second[i].lens_precision.lo);
+        EXPECT_DOUBLE_EQ(first[i].lens_precision.hi,
+                         second[i].lens_precision.hi);
+        EXPECT_LE(first[i].lens_precision.lo, first[i].lens_precision.value);
+        EXPECT_GE(first[i].lens_precision.hi, first[i].lens_precision.value);
+        EXPECT_LE(first[i].lens_recall.lo, first[i].lens_recall.value);
+        EXPECT_GE(first[i].lens_recall.hi, first[i].lens_recall.value);
+    }
+    // A mixed pool has genuine sampling spread: the interval is not a
+    // point.
+    const ClassCurve *row = rowFor(first, "stale-read-window");
+    ASSERT_NE(nullptr, row);
+    EXPECT_LT(row->lens_recall.lo, row->lens_recall.hi);
+
+    // The bootstrap seed only moves the interval endpoints; the point
+    // estimate is resampling-free.
+    const auto reseeded = corpusCurves(outcomes, kBootstrapSeed + 1);
+    const ClassCurve *other = rowFor(reseeded, "stale-read-window");
+    ASSERT_NE(nullptr, other);
+    EXPECT_DOUBLE_EQ(row->lens_recall.value, other->lens_recall.value);
+    EXPECT_LE(other->lens_recall.lo, other->lens_recall.value);
+    EXPECT_GE(other->lens_recall.hi, other->lens_recall.value);
+}
+
+TEST(CorpusCurves, OutcomeOrderDoesNotMatter)
+{
+    std::vector<CorpusOutcome> outcomes;
+    for (int i = 0; i < 8; ++i) {
+        outcomes.push_back(outcome(
+            "corpus/fft/off-by-one-phase/" + std::to_string(i),
+            "off-by-one-phase", "order", i % 2 ? 1.0 : 0.0, 1.0,
+            1.0, i % 4 ? 0.0 : 2.0));
+    }
+    std::vector<CorpusOutcome> shuffled(outcomes.rbegin(),
+                                        outcomes.rend());
+    // Aggregation sorts by variant name first, so reversed input
+    // resamples identically.
+    const std::string a = corpusReport(outcomes);
+    const std::string b = corpusReport(shuffled);
+    EXPECT_EQ(a, b);
+}
+
+TEST(CorpusReport, RendersHeaderAndRows)
+{
+    std::vector<CorpusOutcome> outcomes;
+    outcomes.push_back(outcome("corpus/lu/removed-lock/1",
+                               "removed-lock", "lockset", 1, 1, 1, 0));
+    const std::string report = corpusReport(outcomes);
+    EXPECT_NE(std::string::npos, report.find("table6-corpus"));
+    EXPECT_NE(std::string::npos, report.find("removed-lock"));
+    EXPECT_NE(std::string::npos, report.find("lockset"));
+    EXPECT_NE(std::string::npos, report.find("overall"));
+    EXPECT_NE(std::string::npos, report.find("0.500"));
+}
+
+} // namespace
+} // namespace act::corpus

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Corpus sweep through the campaign runner: the table6-corpus campaign
+ * is well-formed, corpus cells run through the ordinary executor and
+ * trace cache, and the joined report — JSON rows and the rendered
+ * precision/recall table — is byte-identical across thread counts.
+ * Runs a 6-job sub-slice (one per bug class) rather than all 32; the
+ * full slice is covered by the corpus agreement test and CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hh"
+#include "runner/campaign.hh"
+#include "runner/corpus_sweep.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+
+namespace act
+{
+namespace
+{
+
+Campaign
+corpusSubCampaign(std::size_t count)
+{
+    Campaign full = makeCampaign("table6-corpus");
+    Campaign sub;
+    sub.name = full.name;
+    sub.description = full.description;
+    for (std::size_t i = 0; i < count && i < full.jobs.size(); ++i) {
+        JobSpec job = full.jobs[i];
+        job.id = static_cast<std::uint32_t>(sub.jobs.size());
+        sub.jobs.push_back(std::move(job));
+    }
+    return sub;
+}
+
+TEST(CorpusSweep, CampaignIsWellFormed)
+{
+    const Campaign campaign = makeCampaign("table6-corpus");
+    EXPECT_EQ(32u, campaign.jobs.size());
+    EXPECT_TRUE(campaignHasCorpus(campaign));
+    for (const JobSpec &job : campaign.jobs) {
+        EXPECT_EQ(JobKind::kCorpus, job.kind);
+        EXPECT_TRUE(corpus::isCorpusName(job.workload)) << job.workload;
+        corpus::CorpusVariantDesc desc;
+        EXPECT_TRUE(corpus::parseCorpusName(job.workload, desc));
+    }
+    EXPECT_FALSE(campaignHasCorpus(makeCampaign("smoke")));
+}
+
+TEST(CorpusSweep, ReportIsIdenticalAcrossThreadCounts)
+{
+    const Campaign campaign = corpusSubCampaign(6);
+
+    RunOptions options;
+    options.jobs = 1;
+    const CampaignRunResult serial = runCampaign(campaign, options);
+    ASSERT_EQ(0u, serial.failedJobs());
+
+    options.jobs = 4;
+    const CampaignRunResult parallel = runCampaign(campaign, options);
+    ASSERT_EQ(0u, parallel.failedJobs());
+
+    EXPECT_EQ(reportJson(campaign, serial.results),
+              reportJson(campaign, parallel.results));
+    const std::string table = corpusSweepReport(campaign, serial.results);
+    EXPECT_EQ(table, corpusSweepReport(campaign, parallel.results));
+
+    // The table carries one row per swept class plus the overall pool.
+    EXPECT_NE(std::string::npos, table.find("table6-corpus"));
+    EXPECT_NE(std::string::npos, table.find("overall"));
+
+    // Each cell joined against its catalog: the matching lens found
+    // the root in every variant (the agreement test pins this per
+    // variant; here it survives the runner round-trip).
+    const auto outcomes = corpusOutcomes(campaign, serial.results);
+    ASSERT_EQ(campaign.jobs.size(), outcomes.size());
+    for (const corpus::CorpusOutcome &outcome : outcomes)
+        EXPECT_EQ(1.0, outcome.lens_tp) << outcome.variant;
+}
+
+TEST(CorpusSweep, FailedJobsAreExcludedFromThePool)
+{
+    Campaign campaign = corpusSubCampaign(2);
+    std::vector<JobResult> results(2);
+    results[0].id = 0;
+    results[0].ok = true;
+    results[0].labels["class"] = "reordered-sync";
+    results[0].labels["lens"] = "order";
+    results[0].metrics["lens_tp"] = 1.0;
+    results[1].id = 1;
+    results[1].ok = false;
+    results[1].failure = JobFailure::kException;
+    const auto outcomes = corpusOutcomes(campaign, results);
+    ASSERT_EQ(1u, outcomes.size());
+    EXPECT_EQ(campaign.jobs[0].workload, outcomes[0].variant);
+}
+
+} // namespace
+} // namespace act

@@ -177,6 +177,88 @@ TEST_F(BugsFixture, InjectedBugTargetsResolve)
     }
 }
 
+TEST_F(BugsFixture, GoldenTableVAndViRootsArePinned)
+{
+    // Byte-identical pin of the Table V / Table VI bug inventory: the
+    // workload names, bug classes and root-cause PC pairs the reports
+    // are scored against. Any drift here silently re-bases every
+    // downstream table, so it must be a deliberate, reviewed change —
+    // update the golden string only alongside the matching report
+    // re-baselines.
+    std::ostringstream out;
+    for (const auto &name : realBugNames()) {
+        const auto workload = makeWorkload(name);
+        const RawDependence root = workload->buggyDependence();
+        out << name << " class=" << static_cast<int>(workload->bugClass())
+            << " root=0x" << std::hex << root.store_pc << "->0x"
+            << root.load_pc << std::dec
+            << " inter=" << (root.inter_thread ? 1 : 0) << "\n";
+    }
+    for (const auto &target : injectedBugTargets()) {
+        const auto workload =
+            makeInjectedWorkload(target.kernel, target.function);
+        ASSERT_NE(nullptr, workload);
+        const RawDependence root = workload->buggyDependence();
+        out << target.kernel << "/" << target.function
+            << " class=" << static_cast<int>(workload->bugClass())
+            << " root=0x" << std::hex << root.store_pc << "->0x"
+            << root.load_pc << std::dec
+            << " inter=" << (root.inter_thread ? 1 : 0) << "\n";
+    }
+    const std::string golden =
+        "aget class=1 root=0x180a000->0x180c004 inter=1\n"
+        "apache class=2 root=0x1914000->0x190c004 inter=1\n"
+        "memcached class=2 root=0x1a18000->0x1a0c004 inter=1\n"
+        "mysql1 class=2 root=0x1b19000->0x1b0c004 inter=1\n"
+        "mysql2 class=2 root=0x1c1a000->0x1c0c004 inter=1\n"
+        "mysql3 class=2 root=0x1d1b000->0x1d0c004 inter=1\n"
+        "pbzip2 class=1 root=0x1e1d000->0x1e0c004 inter=1\n"
+        "gzip class=3 root=0x1f0b000->0x1f0a004 inter=0\n"
+        "seq class=3 root=0x200a000->0x2010004 inter=0\n"
+        "ptx class=4 root=0x2111000->0x210a004 inter=0\n"
+        "paste class=4 root=0x2208808->0x220a004 inter=0\n"
+        "ocean/TouchArray class=5 root=0x85a000->0x80002c inter=0\n"
+        "barnes/VListInteraction class=5 root=0x95a000->0x900024 "
+        "inter=0\n"
+        "fluidanimate/ComputeDensitiesMT class=5 "
+        "root=0xb5a000->0xb00034 inter=0\n"
+        "lu/TouchA class=5 root=0x55a000->0x50002c inter=0\n"
+        "swaptions/worker class=5 root=0xd5a000->0xd0003c inter=0\n";
+    EXPECT_EQ(golden, out.str());
+}
+
+TEST_F(BugsFixture, InjectedWorkloadRejectsUnknownKernel)
+{
+    std::vector<Finding> findings;
+    EXPECT_EQ(nullptr,
+              makeInjectedWorkload("no-such-kernel", "worker", &findings));
+    ASSERT_EQ(1u, findings.size());
+    EXPECT_EQ("workloads", findings[0].pass);
+    EXPECT_EQ("unknown-kernel", findings[0].code);
+    EXPECT_EQ(Severity::kError, findings[0].severity);
+    EXPECT_NE(std::string::npos,
+              findings[0].message.find("no-such-kernel"));
+}
+
+TEST_F(BugsFixture, InjectedWorkloadRejectsUnknownFunction)
+{
+    std::vector<Finding> findings;
+    EXPECT_EQ(nullptr,
+              makeInjectedWorkload("lu", "NoSuchFunction", &findings));
+    ASSERT_EQ(1u, findings.size());
+    EXPECT_EQ("unknown-function", findings[0].code);
+    EXPECT_NE(std::string::npos,
+              findings[0].message.find("NoSuchFunction"));
+}
+
+TEST_F(BugsFixture, InjectedWorkloadErrorPathToleratesNullFindings)
+{
+    // The findings sink is optional; both error paths must survive a
+    // null pointer (the old implementation aborted the process here).
+    EXPECT_EQ(nullptr, makeInjectedWorkload("no-such-kernel", "worker"));
+    EXPECT_EQ(nullptr, makeInjectedWorkload("lu", "NoSuchFunction"));
+}
+
 TEST_F(BugsFixture, GzipDashPositionsMatchFigure2d)
 {
     // Correct runs: '-' first or absent; failing run: '-' mid-input.

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * actgen — corpus generator CLI.
+ *
+ * Subcommands:
+ *   list [--seed S] [--count N] [--bases a,b,...]
+ *       print the variant names of the slice, one per line, without
+ *       materialising anything — the slice is a pure function of the
+ *       master seed, so this is what a later `gen` will produce
+ *   gen --out DIR [--seed S] [--count N] [--jobs N] [--traces]
+ *       [--bases a,b,...]
+ *       materialise the slice into DIR: one catalog-NNNN.json per
+ *       variant, optional variant-NNNN.trc failing traces (--traces),
+ *       and a manifest.json tying names to files. Byte-identical
+ *       output for any --jobs value and across regeneration from the
+ *       same seed (DESIGN section 14) — the corpus-smoke CI job diffs
+ *       two independent generations to hold this.
+ *   classes
+ *       print the bug-class taxonomy with the matching detector lens
+ *
+ * Exit status: 0 = ok, 1 = generation findings, 2 = usage/I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hh"
+#include "corpus/generate.hh"
+#include "corpus/mine.hh"
+#include "trace/io.hh"
+
+namespace act::corpus
+{
+namespace
+{
+
+constexpr int kExitOk = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: actgen <command> [flags]\n"
+        "  list                 print the slice's variant names\n"
+        "  gen --out DIR        materialise catalogs (+ traces) into"
+        " DIR\n"
+        "  classes              print the bug-class taxonomy\n"
+        "flags:\n"
+        "  --seed S             master seed (default 0x%llx)\n"
+        "  --count N            variants in the slice (default 32)\n"
+        "  --bases a,b,...      restrict base kernels (default: all)\n"
+        "  --jobs N             generation threads (default 1)\n"
+        "  --traces             also write failing traces (gen only)\n",
+        static_cast<unsigned long long>(kCorpusMasterSeed));
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (const char c : list) {
+        if (c == ',') {
+            if (!current.empty())
+                out.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        out.push_back(current);
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return false;
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), file);
+    return std::fclose(file) == 0 && written == content.size();
+}
+
+int
+cmdList(const GenerateOptions &options)
+{
+    const auto slice =
+        corpusSlice(options.master_seed, options.count, options.bases);
+    for (const CorpusVariantDesc &desc : slice)
+        std::printf("%s\n", corpusName(desc).c_str());
+    return kExitOk;
+}
+
+int
+cmdClasses()
+{
+    for (std::size_t c = 0; c < kCorpusBugClassCount; ++c) {
+        const auto bug_class = static_cast<CorpusBugClass>(c);
+        std::printf("%-24s lens=%s\n", corpusBugClassName(bug_class),
+                    corpusLensName(bug_class));
+    }
+    std::printf("bases:");
+    for (const std::string &base : corpusBaseNames())
+        std::printf(" %s", base.c_str());
+    std::printf("\n");
+    return kExitOk;
+}
+
+int
+cmdGen(const GenerateOptions &options, const std::string &out_dir)
+{
+    if (out_dir.empty()) {
+        usage();
+        return kExitUsage;
+    }
+    const GenerateResult result = generateCorpus(options);
+    for (const Finding &finding : result.findings)
+        std::fprintf(stderr, "%s\n", finding.toString().c_str());
+
+    for (std::size_t i = 0; i < result.variants.size(); ++i) {
+        char index[32];
+        std::snprintf(index, sizeof(index), "%04zu", i);
+        const GeneratedVariant &variant = result.variants[i];
+        const std::string catalog_path =
+            out_dir + "/catalog-" + index + ".json";
+        if (!writeFile(catalog_path, variant.catalog_json)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         catalog_path.c_str());
+            return kExitUsage;
+        }
+        if (options.traces) {
+            const std::string trace_path =
+                out_dir + "/variant-" + index + ".trc";
+            if (!writeTrace(variant.failing, trace_path)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_path.c_str());
+                return kExitUsage;
+            }
+        }
+    }
+    if (!writeFile(out_dir + "/manifest.json", result.manifest_json)) {
+        std::fprintf(stderr, "cannot write %s/manifest.json\n",
+                     out_dir.c_str());
+        return kExitUsage;
+    }
+    std::printf("%zu variant(s) -> %s (%s traces), %zu finding(s)\n",
+                result.variants.size(), out_dir.c_str(),
+                options.traces ? "with" : "no",
+                result.findings.size());
+    return result.ok() ? kExitOk : kExitFindings;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return kExitUsage;
+    }
+    const std::string command = argv[1];
+
+    GenerateOptions options;
+    std::string out_dir;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            options.master_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--count" && i + 1 < argc) {
+            options.count = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--bases" && i + 1 < argc) {
+            options.bases = splitCommas(argv[++i]);
+        } else if (arg == "--traces") {
+            options.traces = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return kExitUsage;
+        }
+    }
+
+    if (command == "list")
+        return cmdList(options);
+    if (command == "classes")
+        return cmdClasses();
+    if (command == "gen")
+        return cmdGen(options, out_dir);
+    usage();
+    return kExitUsage;
+}
+
+} // namespace
+} // namespace act::corpus
+
+int
+main(int argc, char **argv)
+{
+    return act::corpus::run(argc, argv);
+}

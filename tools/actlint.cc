@@ -39,6 +39,11 @@
  *                            sequential bugs must produce no findings
  *                            [--jobs N: detector-level parallelism; the
  *                             output is byte-identical for every N]
+ *   catalog <file.json>...   validate corpus bug catalogs: JSON shape,
+ *                            schema tag, class/lens pairing, PC sanity,
+ *                            parameter ranges and name/body agreement
+ *                            (see src/corpus/catalog.hh); any error
+ *                            exits 1 — the corpus-smoke CI gate
  *   config                   validate the default ActConfig against
  *                            every built-in encoder
  *   weights <file>           validate a WeightStore blob against its
@@ -60,6 +65,7 @@
 #include "act/act_config.hh"
 #include "act/weight_store.hh"
 #include "analysis/config_check.hh"
+#include "corpus/catalog.hh"
 #include "analysis/pipeline.hh"
 #include "analysis/race_oracle.hh"
 #include "analysis/trace_lint.hh"
@@ -95,6 +101,8 @@ usage()
         " traces, or\n"
         "                                  on workload runs with"
         " bug-catalog checks\n"
+        "  catalog <file.json>...          validate corpus bug"
+        " catalogs\n"
         "  config                          validate the default"
         " ActConfig\n"
         "  weights <file>                  validate a WeightStore"
@@ -558,6 +566,33 @@ cmdAnalyze(const std::vector<std::string> &args, unsigned jobs)
 }
 
 int
+cmdCatalog(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        usage();
+        return kExitUsage;
+    }
+    std::size_t errors = 0;
+    std::size_t valid = 0;
+    for (const std::string &path : args) {
+        std::string json;
+        if (!slurp(path, json)) {
+            std::printf("%s: unreadable\n", path.c_str());
+            ++errors;
+            continue;
+        }
+        const std::vector<Finding> findings =
+            corpus::validateCatalog(json);
+        errors += emit(path, findings);
+        if (errorCount(findings) == 0)
+            ++valid;
+    }
+    std::printf("%zu catalog(s) checked, %zu valid, %zu error(s)\n",
+                args.size(), valid, errors);
+    return errors == 0 ? kExitClean : kExitFindings;
+}
+
+int
 cmdConfig()
 {
     const ActConfig config;
@@ -652,6 +687,8 @@ run(int argc, char **argv)
         return cmdStream(args, block_events);
     if (command == "analyze")
         return cmdAnalyze(args, pipeline_jobs);
+    if (command == "catalog")
+        return cmdCatalog(args);
     if (command == "config")
         return cmdConfig();
     if (command == "weights")

@@ -5,6 +5,9 @@
  * Subcommands:
  *   list                     built-in campaigns and their job counts
  *   run <campaign>           execute a campaign; write JSON+CSV reports
+ *                            (campaigns with corpus cells also write
+ *                            <out>/table6-corpus.txt — the per-bug-class
+ *                            precision/recall table with bootstrap CIs)
  *   report <dir>             pretty-print a previously written report
  *
  * Flags for `run`:
@@ -53,6 +56,7 @@
 #include "common/logging.hh"
 #include "runner/analysis_sweep.hh"
 #include "runner/campaign.hh"
+#include "runner/corpus_sweep.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
 #include "telemetry/metrics.hh"
@@ -339,6 +343,17 @@ cmdRun(const Options &options)
                     run.cache.checksum_rejects));
     std::printf("report:       %s, %s\n", json_path.c_str(),
                 csv_path.c_str());
+
+    if (campaignHasCorpus(campaign)) {
+        // Corpus campaigns get the joined per-bug-class P/R table next
+        // to the raw per-job rows. Pure function of the results, so it
+        // inherits the report's cross---jobs byte-identity.
+        const std::string table_path = out + "/table6-corpus.txt";
+        if (!writeTextFile(table_path,
+                           corpusSweepReport(campaign, run.results)))
+            ACT_FATAL("cannot write " << table_path);
+        std::printf("corpus:       %s\n", table_path.c_str());
+    }
 
     if (options.analyze) {
         if (run_options.cache_dir.empty()) {

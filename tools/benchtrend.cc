@@ -8,7 +8,7 @@
  * self-calibrating best-of-N driver, plus three coarse wall-clock
  * measurements (the smoke campaign, a reduced Figure 8 overhead run,
  * and the fleet streaming service), and writes the results as
- * machine-readable JSON (`BENCH_PR8.json` by default). The smoke
+ * machine-readable JSON (`BENCH_PR9.json` by default). The smoke
  * campaign and the fleet run execute with the telemetry registry
  * enabled and report counter-derived throughput (simulated events/s,
  * fleet ingest events/s) in the report's `telemetry` section — those
@@ -38,6 +38,8 @@
 #include "act/act_module.hh"
 #include "analysis/pipeline.hh"
 #include "bench/bench_json.hh"
+#include "corpus/catalog.hh"
+#include "corpus/corpus.hh"
 #include "fleet/service.hh"
 #include "deps/input_generator.hh"
 #include "diagnosis/pipeline.hh"
@@ -61,7 +63,7 @@ using bench::MicroResult;
 
 struct Options
 {
-    std::string out = "BENCH_PR8.json";
+    std::string out = "BENCH_PR9.json";
     std::string baseline = "bench/BENCH_BASELINE.json";
     bool check = false;
     double threshold = 0.30;
@@ -362,6 +364,25 @@ benchAnalysisPipeline(const MicroHarness &harness, const Trace &trace)
                        });
 }
 
+MicroResult
+benchCorpusGen(const MicroHarness &harness)
+{
+    // One iteration = one corpus variant's site mining + catalog
+    // serialise/parse/validate round trip — the per-variant cost
+    // `actgen gen` and `actlint catalog` pay, minus the file I/O.
+    return harness.run("corpus_gen", 1.0, [](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            const auto workload =
+                corpus::makeCorpusWorkload("corpus/lu/removed-lock/7");
+            const std::string json =
+                corpus::catalogJson(workload->catalog());
+            corpus::CorpusCatalog parsed;
+            keep(corpus::parseCatalogJson(json, parsed));
+            keep(corpus::validateCatalog(json).size());
+        }
+    });
+}
+
 // --- Wall-clock measurements ----------------------------------------
 
 double
@@ -587,6 +608,8 @@ run(const Options &options)
         add(benchOrderCheck(harness, detector_trace));
     if (wantBench(options, "analysis_pipeline"))
         add(benchAnalysisPipeline(harness, detector_trace));
+    if (wantBench(options, "corpus_gen"))
+        add(benchCorpusGen(harness));
 
     if (wantBench(options, "campaign_smoke")) {
         const auto smoke = runSmokeCampaign(report.telemetry);
