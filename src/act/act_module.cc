@@ -2,6 +2,7 @@
 
 #include "analysis/config_check.hh"
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
 #include "telemetry/spans.hh"
 
 namespace act
@@ -9,6 +10,9 @@ namespace act
 
 namespace
 {
+
+/** Quarantines of one tid before the store is distrusted for it. */
+constexpr std::uint32_t kQuarantineEscalationThreshold = 2;
 
 /**
  * Gate construction on the full configuration contract. Runs before
@@ -32,38 +36,95 @@ ActModule::ActModule(const ActConfig &config,
     : config_(checkedConfig(config, encoder)), encoder_(encoder.clone()),
       network_(config.hw, config.topology), own_arena_(config_),
       arena_(&own_arena_)
-{}
+{
+    for (std::size_t m = 1; m < config_.ensemble.members; ++m)
+        extras_.emplace_back(config_.hw, config_.topology);
+}
 
 bool
-ActModule::weightsUsable(const std::vector<double> &weights) const
+ActModule::weightsUsable(std::span<const double> weights) const
 {
     // loadWeights() quantises through an int32 cast, so NaN/Inf or
     // out-of-range values (e.g. from an injected bit flip in the
     // store) would be undefined behaviour — they must be rejected
-    // before they reach the network.
-    return clean(validateWeights(config_.topology, weights));
+    // before they reach the network. Validation runs against the
+    // network's current topology, which only diverges from the
+    // configured one after a dynamic-topology resize.
+    return clean(validateWeights(network_.topology(), weights));
+}
+
+void
+ActModule::recordQuarantine(ThreadId tid, const char *where)
+{
+    // Degradation, not death: a corrupt stored set is quarantined and
+    // the module retrains from scratch, exactly as if the store had no
+    // entry for the thread. The counter/log make the event visible
+    // beyond ActModuleStats; the per-tid tally drives escalation so a
+    // rotten store entry cannot trap the module in a silent
+    // quarantine-retrain loop.
+    ActArena &arena = *arena_;
+    ++arena.stats.quarantined_weight_sets;
+    static const telemetry::Counter quarantines =
+        telemetry::MetricsRegistry::global().counter(
+            "act.weight_quarantine");
+    quarantines.inc();
+    telemetry::SpanTracer::global().instant(
+        "weight_quarantine", "act",
+        {telemetry::arg("tid", std::uint64_t{tid})});
+    logWarnEvent("act.weight_quarantine",
+                 {logField("tid", std::uint64_t{tid}),
+                  logField("where", where)});
+    const std::uint32_t count = ++arena.quarantines_by_tid[tid];
+    if (count == kQuarantineEscalationThreshold) {
+        ++arena.stats.quarantine_escalations;
+        static const telemetry::Counter escalations =
+            telemetry::MetricsRegistry::global().counter(
+                "act.quarantine_escalations");
+        escalations.inc();
+        logWarnEvent("act.quarantine_escalation",
+                     {logField("tid", std::uint64_t{tid}),
+                      logField("quarantines", std::uint64_t{count})});
+    }
 }
 
 std::size_t
 ActModule::initThread(ThreadId tid, const WeightStore &store)
 {
-    const auto weights = store.get(tid);
-    const bool usable = weights && weightsUsable(*weights);
-    if (weights && !usable) {
-        // Degradation, not death: a corrupt stored set is quarantined
-        // and the module retrains from scratch, exactly as if the
-        // store had no entry for the thread.
-        ++arena_->stats.quarantined_weight_sets;
-        telemetry::SpanTracer::global().instant(
-            "weight_quarantine", "act",
-            {telemetry::arg("tid", std::uint64_t{tid})});
-        logWarnEvent("act.weight_quarantine",
-                     {logField("tid", std::uint64_t{tid}),
-                      logField("where", "init")});
+    ActArena &arena = *arena_;
+
+    // Escalated tids skip the store entirely: their entries already
+    // failed quarantine repeatedly, so the module goes straight to
+    // online training instead of reloading known-bad weights.
+    const auto seen = arena.quarantines_by_tid.find(tid);
+    const bool distrusted =
+        seen != arena.quarantines_by_tid.end() &&
+        seen->second >= kQuarantineEscalationThreshold;
+
+    auto weights = distrusted ? std::nullopt : store.get(tid);
+    if (weights && network_.topology().hidden != config_.topology.hidden &&
+        weights->size() != network_.weightCount()) {
+        // After a dynamic-topology resize the binary's stored sets no
+        // longer fit the network; that is a size change, not
+        // corruption, so fall back to training without quarantining.
+        weights.reset();
     }
+    if (weights && config_.protector &&
+        config_.protector->inspect(weightSetId(tid, 0), *weights)) {
+        ++arena.stats.repaired_weight_sets;
+        static const telemetry::Counter repairs =
+            telemetry::MetricsRegistry::global().counter(
+                "act.weight_repairs");
+        repairs.inc();
+        logWarnEvent("act.weight_repair",
+                     {logField("tid", std::uint64_t{tid}),
+                      logField("member", std::uint64_t{0})});
+    }
+    const bool usable = weights && weightsUsable(*weights);
+    if (weights && !usable)
+        recordQuarantine(tid, "init");
     if (usable) {
         network_.loadWeights(*weights);
-        arena_->mode = ActMode::kTesting;
+        arena.mode = ActMode::kTesting;
     } else {
         // Default weights: the all-zero network outputs 0.5 for every
         // input, classifying everything as (barely) valid until the
@@ -72,33 +133,104 @@ ActModule::initThread(ThreadId tid, const WeightStore &store)
         network_.loadWeights(zeros);
         switchMode(ActMode::kTraining);
     }
-    arena_->input.clear();
-    arena_->rate.resetInterval();
-    return network_.weightCount();
+
+    // Ensemble extras: each member loads its own stored set; a member
+    // with no (usable) set of its own falls back to member 0's, which
+    // degenerates that member to a unanimous copy instead of an
+    // always-valid zero network that would starve the quorum.
+    for (std::size_t m = 1; m < memberCount(); ++m) {
+        auto mw = distrusted ? std::nullopt : store.getMember(tid, m);
+        if (mw && mw->size() != network_.weightCount())
+            mw.reset();
+        if (mw && config_.protector &&
+            config_.protector->inspect(weightSetId(tid, m), *mw)) {
+            ++arena.stats.repaired_weight_sets;
+            static const telemetry::Counter repairs =
+                telemetry::MetricsRegistry::global().counter(
+                    "act.weight_repairs");
+            repairs.inc();
+            logWarnEvent("act.weight_repair",
+                         {logField("tid", std::uint64_t{tid}),
+                          logField("member", std::uint64_t{m})});
+        }
+        const bool musable = mw && weightsUsable(*mw);
+        if (mw && !musable)
+            recordQuarantine(tid, "init");
+        if (musable) {
+            extras_[m - 1].loadWeights(*mw);
+        } else if (usable) {
+            extras_[m - 1].loadWeights(*weights);
+        } else {
+            std::vector<double> zeros(network_.weightCount(), 0.0);
+            extras_[m - 1].loadWeights(zeros);
+        }
+    }
+
+    arena.input.clear();
+    arena.rate.resetInterval();
+    return network_.weightCount() * memberCount();
 }
 
 std::vector<double>
 ActModule::saveWeights() const
 {
-    return network_.storeWeights();
+    std::vector<double> all = network_.storeWeights();
+    for (const HwNeuralNetwork &extra : extras_) {
+        const std::vector<double> w = extra.storeWeights();
+        all.insert(all.end(), w.begin(), w.end());
+    }
+    return all;
 }
 
 void
 ActModule::restoreWeights(const std::vector<double> &weights)
 {
-    if (weightsUsable(weights)) {
-        network_.loadWeights(weights);
+    const std::size_t chunk = network_.weightCount();
+    const std::size_t members = memberCount();
+    bool usable = weights.size() == chunk * members;
+    for (std::size_t m = 0; usable && m < members; ++m) {
+        usable = weightsUsable(
+            std::span<const double>(weights).subspan(m * chunk, chunk));
+    }
+    if (usable) {
+        for (std::size_t m = 0; m < members; ++m) {
+            const auto part =
+                std::span<const double>(weights).subspan(m * chunk, chunk);
+            if (m == 0)
+                network_.loadWeights(part);
+            else
+                extras_[m - 1].loadWeights(part);
+        }
     } else {
         ++arena_->stats.quarantined_weight_sets;
+        static const telemetry::Counter quarantines =
+            telemetry::MetricsRegistry::global().counter(
+                "act.weight_quarantine");
+        quarantines.inc();
         telemetry::SpanTracer::global().instant("weight_quarantine",
                                                 "act", {});
         logWarnEvent("act.weight_quarantine",
                      {logField("where", "restore")});
-        std::vector<double> zeros(network_.weightCount(), 0.0);
+        std::vector<double> zeros(chunk, 0.0);
         network_.loadWeights(zeros);
+        for (HwNeuralNetwork &extra : extras_)
+            extra.loadWeights(zeros);
         switchMode(ActMode::kTraining);
     }
     arena_->input.clear();
+}
+
+void
+ActModule::exportWeights(WeightStore &store, ThreadId tid) const
+{
+    std::vector<double> w = network_.storeWeights();
+    if (w.size() == store.weightCount())
+        store.set(tid, std::move(w));
+    for (std::size_t m = 1; m < memberCount(); ++m) {
+        std::vector<double> mw = extras_[m - 1].storeWeights();
+        if (mw.size() == store.weightCount())
+            store.setMember(tid, m, std::move(mw));
+    }
 }
 
 void
@@ -121,6 +253,58 @@ ActModule::switchMode(ActMode next)
         {telemetry::arg("to", next == ActMode::kTraining ? "training"
                                                          : "testing")});
     arena_->rate.resetInterval();
+}
+
+void
+ActModule::resizeHidden(std::size_t hidden)
+{
+    const std::size_t before = network_.topology().hidden;
+    if (hidden == before || hidden == 0)
+        return;
+    const Topology next{config_.topology.inputs, hidden};
+    network_.setTopology(next); // zeroes the weights
+    for (HwNeuralNetwork &extra : extras_)
+        extra.setTopology(next);
+    if (hidden > before)
+        ++arena_->stats.topology_grows;
+    else
+        ++arena_->stats.topology_shrinks;
+    telemetry::SpanTracer::global().instant(
+        "topology_resize", "act",
+        {telemetry::arg("hidden", std::uint64_t{hidden})});
+    logWarnEvent("act.topology_resize",
+                 {logField("from", std::uint64_t{before}),
+                  logField("to", std::uint64_t{hidden})});
+    // Fresh zero weights classify everything as (barely) valid; the
+    // module must retrain at the new size before testing again.
+    if (arena_->mode != ActMode::kTraining)
+        switchMode(ActMode::kTraining);
+    else
+        arena_->rate.resetInterval();
+}
+
+void
+ActModule::onIntervalComplete()
+{
+    ActArena &arena = *arena_;
+    // Members share the M-neuron hardware bank, so the growth ceiling
+    // is the per-member slice of it, not the whole bank.
+    const std::size_t max_hidden =
+        config_.hw.neuron.max_inputs / memberCount();
+    const ModeDecision decision = modeControllerStep(
+        config_.controller, config_.misprediction_threshold, arena.ctl,
+        arena.mode == ActMode::kTraining, arena.rate.lastRate(),
+        network_.topology().hidden, max_hidden);
+    if (decision.dwell_suppressed)
+        ++arena.stats.dwell_suppressed_switches;
+    if (decision.switch_mode) {
+        switchMode(arena.mode == ActMode::kTesting ? ActMode::kTraining
+                                                   : ActMode::kTesting);
+    } else if (decision.grow) {
+        resizeHidden(network_.topology().hidden + 1);
+    } else if (decision.shrink) {
+        resizeHidden(network_.topology().hidden - 1);
+    }
 }
 
 ActOutcome
@@ -147,7 +331,10 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
     const DependenceSequence &sequence = arena.seq_scratch;
 
     // Timing: the load retires only once the input FIFO accepts the
-    // sequence. A full FIFO stalls it (Section III-C / IV-A).
+    // sequence. A full FIFO stalls it (Section III-C / IV-A). The
+    // ensemble shares the M-neuron bank, so one acceptance covers all
+    // members — the budget check in validateActConfig guarantees they
+    // fit side by side.
     const bool training = arena.mode == ActMode::kTraining;
     Cycle now = cycle;
     for (;;) {
@@ -170,19 +357,51 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
 
     double output = 0.0;
     double raw = 0.0;
-    if (training) {
-        // All dependences are presumed valid; the network learns the
-        // ones it would have rejected.
-        output = network_.infer(inputs);
-        if (output < 0.5) {
-            network_.train(inputs, 1.0, config_.learning_rate);
-            ++arena.stats.train_updates;
+    if (extras_.empty()) {
+        if (training) {
+            // All dependences are presumed valid; the network learns
+            // the ones it would have rejected.
+            output = network_.infer(inputs);
+            if (output < 0.5) {
+                network_.train(inputs, 1.0, config_.learning_rate);
+                ++arena.stats.train_updates;
+            }
+        } else {
+            output = network_.inferWithRaw(inputs, raw);
         }
+        outcome.predicted_invalid = output < 0.5;
     } else {
-        output = network_.inferWithRaw(inputs, raw);
+        // Ensemble: every member classifies (and, in training mode,
+        // learns) independently; the suspect flag is the quorum vote.
+        std::size_t votes = 0;
+        if (training) {
+            output = network_.infer(inputs);
+            if (output < 0.5) {
+                ++votes;
+                network_.train(inputs, 1.0, config_.learning_rate);
+                ++arena.stats.train_updates;
+            }
+            for (HwNeuralNetwork &extra : extras_) {
+                if (extra.infer(inputs) < 0.5) {
+                    ++votes;
+                    extra.train(inputs, 1.0, config_.learning_rate);
+                    ++arena.stats.train_updates;
+                }
+            }
+        } else {
+            output = network_.inferWithRaw(inputs, raw);
+            if (output < 0.5)
+                ++votes;
+            for (const HwNeuralNetwork &extra : extras_) {
+                if (extra.infer(inputs) < 0.5)
+                    ++votes;
+            }
+        }
+        outcome.predicted_invalid = votes >= quorum();
+        accountVotes(arena, votes, output < 0.5,
+                     outcome.predicted_invalid);
     }
     outcome.output = output;
-    outcome.predicted_invalid = output < 0.5;
 
     if (outcome.predicted_invalid) {
         ++arena.stats.predicted_invalid;
@@ -209,17 +428,24 @@ ActModule::onDependence(const RawDependence &dep, ThreadId tid,
     // Periodic misprediction-rate check drives the mode switches. A
     // prediction of "invalid" that the execution survives counts as a
     // misprediction (Section III-C).
-    if (arena.rate.record(outcome.predicted_invalid)) {
-        if (arena.mode == ActMode::kTesting &&
-            arena.rate.lastRate() > config_.misprediction_threshold) {
-            switchMode(ActMode::kTraining);
-        } else if (arena.mode == ActMode::kTraining &&
-                   arena.rate.lastRate() <=
-                       config_.misprediction_threshold) {
-            switchMode(ActMode::kTesting);
-        }
-    }
+    if (arena.rate.record(outcome.predicted_invalid))
+        onIntervalComplete();
     return outcome;
+}
+
+void
+ActModule::accountVotes(ActArena &arena, std::size_t votes,
+                        bool member0_invalid, bool flagged)
+{
+    const std::size_t members = memberCount();
+    const bool unanimous = votes == 0 || votes == members;
+    if (!unanimous)
+        ++arena.stats.ensemble_disagreements;
+    if (member0_invalid != flagged)
+        ++arena.stats.quorum_overrides;
+    const double beta = config_.ensemble.health_beta;
+    arena.ensemble_health = (1.0 - beta) * arena.ensemble_health +
+                            beta * (unanimous ? 1.0 : 0.0);
 }
 
 bool
@@ -273,16 +499,47 @@ ActModule::commitPrediction(const DependenceSequence &sequence,
         }
     }
 
-    if (arena.rate.record(outcome.predicted_invalid)) {
-        if (arena.mode == ActMode::kTesting &&
-            arena.rate.lastRate() > config_.misprediction_threshold) {
-            switchMode(ActMode::kTraining);
-        } else if (arena.mode == ActMode::kTraining &&
-                   arena.rate.lastRate() <=
-                       config_.misprediction_threshold) {
-            switchMode(ActMode::kTesting);
+    if (arena.rate.record(outcome.predicted_invalid))
+        onIntervalComplete();
+    return outcome;
+}
+
+StagedOutcome
+ActModule::commitEnsemble(const DependenceSequence &sequence,
+                          std::span<const double> inputs,
+                          std::span<const double> outputs, ThreadId tid)
+{
+    ACT_ASSERT(outputs.size() == memberCount());
+    if (extras_.empty())
+        return commitPrediction(sequence, inputs, outputs[0], tid);
+
+    ActArena &arena = *arena_;
+    ACT_ASSERT(arena.mode == ActMode::kTesting);
+    StagedOutcome outcome;
+    ++arena.stats.predictions;
+    std::size_t votes = 0;
+    for (const double output : outputs) {
+        if (output < 0.5)
+            ++votes;
+    }
+    outcome.predicted_invalid = votes >= quorum();
+    accountVotes(arena, votes, outputs[0] < 0.5,
+                 outcome.predicted_invalid);
+
+    if (outcome.predicted_invalid) {
+        ++arena.stats.predicted_invalid;
+        outcome.raw = network_.rawOutput(inputs);
+        if (config_.faults && config_.faults->dropDebugLog()) {
+            ++arena.stats.debug_drops_injected;
+        } else if (arena.debug.log(DebugEntry{sequence, outcome.raw,
+                                              arena.stats.predictions,
+                                              tid})) {
+            ++arena.stats.debug_buffer_overwrites;
         }
     }
+
+    if (arena.rate.record(outcome.predicted_invalid))
+        onIntervalComplete();
     return outcome;
 }
 

@@ -36,9 +36,11 @@
 
 #include <memory>
 #include <span>
+#include <unordered_map>
 
 #include "act/act_config.hh"
 #include "act/buffers.hh"
+#include "act/mode_controller.hh"
 #include "act/weight_store.hh"
 #include "common/stats.hh"
 #include "deps/encoder.hh"
@@ -75,6 +77,17 @@ struct ActModuleStats
     std::uint64_t input_drops_injected = 0;    //!< Faulted-away deps.
     std::uint64_t debug_drops_injected = 0;    //!< Faulted-away log entries.
     std::uint64_t quarantined_weight_sets = 0; //!< Corrupt sets rejected.
+
+    // Adaptivity 2.0 accounting. All of these stay zero on a dormant
+    // module (single member, legacy latch, no protector): the
+    // ensemble/controller/protection machinery never touches them.
+    std::uint64_t quorum_overrides = 0;     //!< Votes flipping member 0.
+    std::uint64_t ensemble_disagreements = 0; //!< Split member votes.
+    std::uint64_t repaired_weight_sets = 0; //!< Shadow-copy repairs.
+    std::uint64_t quarantine_escalations = 0; //!< Distrusted tids.
+    std::uint64_t dwell_suppressed_switches = 0; //!< Flaps absorbed.
+    std::uint64_t topology_grows = 0;       //!< Hidden neurons added.
+    std::uint64_t topology_shrinks = 0;     //!< Hidden neurons removed.
 };
 
 /**
@@ -97,6 +110,23 @@ struct ActArena
     IntervalRate rate;
     ActMode mode = ActMode::kTesting;
     ActModuleStats stats;
+
+    /** Self-tuning controller state (untouched under the legacy latch). */
+    ModeControllerState ctl;
+
+    /**
+     * Ensemble health: EWMA of per-prediction member agreement, 1 =
+     * unanimous always. Only updated with more than one member.
+     */
+    double ensemble_health = 1.0;
+
+    /**
+     * Quarantine escalation (per run): how often each tid's stored
+     * weights were quarantined. A tid quarantined twice is distrusted —
+     * initThread stops consulting the store for it and goes straight
+     * to training instead of silently re-entering the quarantine loop.
+     */
+    std::unordered_map<ThreadId, std::uint32_t> quarantines_by_tid;
 
     // Scratch reused across onDependence/stageDependence calls: the
     // hot loop runs once per tracked load and must not allocate per
@@ -146,6 +176,28 @@ class ActModule
     DebugBuffer &debugBuffer() { return arena_->debug; }
     const HwNeuralNetwork &network() const { return network_; }
 
+    // --- Ensemble ---------------------------------------------------
+
+    /** Member networks (1 = dormant single-network module). */
+    std::size_t memberCount() const { return 1 + extras_.size(); }
+
+    /** Member @p m's network (member 0 is the primary). */
+    const HwNeuralNetwork &
+    member(std::size_t m) const
+    {
+        return m == 0 ? network_ : extras_[m - 1];
+    }
+
+    /** Invalid votes needed to flag a sequence. */
+    std::size_t
+    quorum() const
+    {
+        return config_.ensemble.effectiveQuorum(memberCount());
+    }
+
+    /** Agreement health of the bound arena (1 = always unanimous). */
+    double ensembleHealth() const { return arena_->ensemble_health; }
+
     // --- Arena management -----------------------------------------
 
     /** A fresh arena sized for this module's configuration. */
@@ -176,11 +228,25 @@ class ActModule
      */
     std::size_t initThread(ThreadId tid, const WeightStore &store);
 
-    /** Read the current weights back (thread exit / context switch). */
+    /**
+     * Read the current weights back (thread exit / context switch).
+     * With K ensemble members the K flat sets are concatenated in
+     * member order; for K = 1 this is exactly the member-0 vector.
+     */
     std::vector<double> saveWeights() const;
 
-    /** Restore previously saved weights (context switch in). */
+    /** Restore previously saved weights (context switch in; accepts
+     *  the concatenated layout saveWeights produces). */
     void restoreWeights(const std::vector<double> &weights);
+
+    /**
+     * Write the current weights back into @p store for @p tid (thread
+     * exit, Section IV-C): member 0 into the plain per-thread slot,
+     * ensemble extras into their member slots. Sets whose size no
+     * longer matches the store's topology (after a dynamic-topology
+     * resize) are skipped — the binary cannot be patched with them.
+     */
+    void exportWeights(WeightStore &store, ThreadId tid) const;
 
     /** Flush in-flight NN inputs (context switch, Section IV-D). */
     void flushPipeline();
@@ -235,16 +301,47 @@ class ActModule
                                    std::span<const double> inputs,
                                    double output, ThreadId tid);
 
+    /**
+     * Ensemble variant of commitPrediction: @p outputs carries one
+     * activation per member (member-major, as produced by
+     * inferEnsembleFlat) for the staged sequence. The suspect flag is
+     * the quorum vote; the Debug Buffer raw value still comes from
+     * member 0. With one member this is exactly commitPrediction.
+     */
+    StagedOutcome commitEnsemble(const DependenceSequence &sequence,
+                                 std::span<const double> inputs,
+                                 std::span<const double> outputs,
+                                 ThreadId tid);
+
   private:
     void switchMode(ActMode next);
 
+    /** Run the mode controller on a just-completed interval. */
+    void onIntervalComplete();
+
+    /** Reconfigure every member to @p hidden neurons (weights zeroed,
+     *  module forced into training). */
+    void resizeHidden(std::size_t hidden);
+
+    /** Quarantine bookkeeping shared by initThread/restoreWeights. */
+    void recordQuarantine(ThreadId tid, const char *where);
+
+    /** Ensemble vote accounting: disagreements, quorum overrides and
+     *  the agreement-health EWMA. Only called with extra members. */
+    void accountVotes(ActArena &arena, std::size_t votes,
+                      bool member0_invalid, bool flagged);
+
     /** True when @p weights can be loaded without UB (finite, in the
      *  Q15.16 range, count matching the topology). */
-    bool weightsUsable(const std::vector<double> &weights) const;
+    bool weightsUsable(std::span<const double> weights) const;
 
     ActConfig config_;
     std::unique_ptr<DependenceEncoder> encoder_;
     HwNeuralNetwork network_;
+
+    /** Ensemble members 1..K-1 (empty on a dormant module). */
+    std::vector<HwNeuralNetwork> extras_;
+
     ActArena own_arena_;
     ActArena *arena_;
 };

@@ -1,0 +1,84 @@
+#include "act/mode_controller.hh"
+
+namespace act
+{
+
+ModeDecision
+modeControllerStep(const ModeControllerConfig &config,
+                   double legacy_threshold, ModeControllerState &state,
+                   bool training, double rate, std::size_t hidden,
+                   std::size_t max_hidden)
+{
+    ModeDecision decision;
+
+    if (!config.self_tuning) {
+        // The paper's raw latch, verbatim: one sample, one threshold.
+        // No state is read or written, so the dormant path carries no
+        // behavioural residue of the controller at all.
+        if (!training && rate > legacy_threshold)
+            decision.switch_mode = true;
+        else if (training && rate <= legacy_threshold)
+            decision.switch_mode = true;
+        return decision;
+    }
+
+    state.ewma = state.ewma_valid
+                     ? config.ewma_alpha * rate +
+                           (1.0 - config.ewma_alpha) * state.ewma
+                     : rate;
+    state.ewma_valid = true;
+    ++state.intervals_in_mode;
+
+    // Hysteresis: the dead band (exit_training, enter_training] never
+    // requests a switch, so rates oscillating inside it cannot flap.
+    const bool wants_switch = training
+                                  ? state.ewma <= config.exit_training
+                                  : state.ewma > config.enter_training;
+    if (wants_switch) {
+        if (state.intervals_in_mode < config.min_dwell_intervals) {
+            decision.dwell_suppressed = true;
+        } else {
+            decision.switch_mode = true;
+            state.intervals_in_mode = 0;
+            state.poor_streak = 0;
+            state.calm_streak = 0;
+            return decision;
+        }
+    }
+
+    if (!config.dynamic_topology)
+        return decision;
+
+    if (training) {
+        // Persistently poor while already retraining: the topology is
+        // too small for the workload — grow toward the budget.
+        state.calm_streak = 0;
+        if (state.ewma > config.enter_training)
+            ++state.poor_streak;
+        else
+            state.poor_streak = 0;
+        if (state.poor_streak >= config.grow_patience &&
+            hidden < max_hidden) {
+            decision.grow = true;
+            state.poor_streak = 0;
+            state.intervals_in_mode = 0;
+        }
+    } else {
+        // Persistently calm while testing: the layer is oversized —
+        // shrink to free budget (the module retrains at the new size).
+        state.poor_streak = 0;
+        if (state.ewma < config.shrink_below)
+            ++state.calm_streak;
+        else
+            state.calm_streak = 0;
+        if (state.calm_streak >= config.shrink_patience &&
+            hidden > config.min_hidden) {
+            decision.shrink = true;
+            state.calm_streak = 0;
+            state.intervals_in_mode = 0;
+        }
+    }
+    return decision;
+}
+
+} // namespace act

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The self-tuning test/train mode controller (Adaptivity 2.0).
+ *
+ * The paper drives the online testing <-> training switch with a
+ * single misprediction-rate threshold sampled once per interval
+ * (Section III-C). Under injected faults that latch flaps: one noisy
+ * interval flips the mode, the next flips it back, and every flip
+ * resets the measurement window. This controller keeps the legacy
+ * latch as the bit-identical default and adds a self-tuning policy:
+ *
+ *  - EWMA misprediction tracking: decisions follow a smoothed rate,
+ *    so one corrupted interval cannot flip the mode by itself.
+ *  - Hysteresis: separate enter-training and exit-training thresholds
+ *    open a dead band in which no switch ever happens.
+ *  - Minimum dwell: a mode holds for at least min_dwell_intervals
+ *    completed intervals, bounding the switch frequency to
+ *    1 / min_dwell regardless of the rate sequence (the property the
+ *    adversarial tests pin).
+ *  - Dynamic topology: when the EWMA stays poor through grow_patience
+ *    training intervals the hidden layer grows toward the M-neuron
+ *    hardware budget; when it stays calm through shrink_patience
+ *    testing intervals the layer shrinks toward min_hidden.
+ *
+ * The step function is pure over (config, state, inputs) — no clocks,
+ * no globals — so controller dynamics are unit-testable without an
+ * ActModule and replays are deterministic.
+ */
+
+#ifndef ACT_ACT_MODE_CONTROLLER_HH
+#define ACT_ACT_MODE_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "act/act_config.hh"
+
+namespace act
+{
+
+/** Per-arena controller state (lives in ActArena; all-zero = fresh). */
+struct ModeControllerState
+{
+    double ewma = 0.0;
+    bool ewma_valid = false;
+
+    /** Completed intervals since the last mode switch. */
+    std::uint64_t intervals_in_mode = 0;
+
+    /** Consecutive poor-EWMA training intervals (grow candidate). */
+    std::uint64_t poor_streak = 0;
+
+    /** Consecutive calm-EWMA testing intervals (shrink candidate). */
+    std::uint64_t calm_streak = 0;
+};
+
+/** What one completed interval asks the module to do. */
+struct ModeDecision
+{
+    /** Flip testing <-> training. */
+    bool switch_mode = false;
+
+    /** A switch was wanted but suppressed by the dwell bound. */
+    bool dwell_suppressed = false;
+
+    /** Grow the hidden layer by one neuron (implies retraining). */
+    bool grow = false;
+
+    /** Shrink the hidden layer by one neuron (implies retraining). */
+    bool shrink = false;
+};
+
+/**
+ * Advance the controller by one completed measurement interval.
+ *
+ * @param config           Policy knobs.
+ * @param legacy_threshold The raw-latch threshold used when
+ *                         config.self_tuning is false (the module's
+ *                         misprediction_threshold).
+ * @param state            Per-arena state, updated in place.
+ * @param training         Whether the module is in training mode.
+ * @param rate             The interval's misprediction rate.
+ * @param hidden           Current hidden-layer size.
+ * @param max_hidden       Hardware budget ceiling for the layer.
+ *
+ * With self_tuning off this reproduces the historical latch exactly
+ * (compare rate > threshold / rate <= threshold, no state touched):
+ * the dormant path stays bit-identical to the pre-controller module.
+ */
+ModeDecision modeControllerStep(const ModeControllerConfig &config,
+                                double legacy_threshold,
+                                ModeControllerState &state, bool training,
+                                double rate, std::size_t hidden,
+                                std::size_t max_hidden);
+
+} // namespace act
+
+#endif // ACT_ACT_MODE_CONTROLLER_HH

@@ -146,6 +146,65 @@ validateActConfig(const ActConfig &config, std::size_t encoder_width)
                 " outside [1, M=" +
                 std::to_string(config.hw.neuron.max_inputs) + "]");
     }
+    if (config.ensemble.members < 1)
+        bad("ensemble", "ensemble.members must be at least 1");
+    if (config.ensemble.members > 1 &&
+        config.ensemble.members * config.topology.hidden >
+            config.hw.neuron.max_inputs) {
+        // The ensemble shares the single M-neuron hardware bank, so
+        // members x hidden must fit inside it side by side.
+        bad("ensemble-budget",
+            std::to_string(config.ensemble.members) + " members x " +
+                std::to_string(config.topology.hidden) +
+                " hidden neurons exceed the hardware budget M=" +
+                std::to_string(config.hw.neuron.max_inputs));
+    }
+    if (config.ensemble.quorum > config.ensemble.members) {
+        bad("ensemble-quorum",
+            "ensemble.quorum " + std::to_string(config.ensemble.quorum) +
+                " exceeds the member count " +
+                std::to_string(config.ensemble.members));
+    }
+    if (!(config.ensemble.health_beta > 0.0) ||
+        !(config.ensemble.health_beta <= 1.0)) {
+        bad("ensemble",
+            "ensemble.health_beta " +
+                std::to_string(config.ensemble.health_beta) +
+                " outside (0, 1]");
+    }
+    if (config.controller.self_tuning) {
+        if (!(config.controller.ewma_alpha > 0.0) ||
+            !(config.controller.ewma_alpha <= 1.0)) {
+            bad("controller",
+                "controller.ewma_alpha " +
+                    std::to_string(config.controller.ewma_alpha) +
+                    " outside (0, 1]");
+        }
+        if (!(config.controller.enter_training >
+              config.controller.exit_training) ||
+            !(config.controller.exit_training >= 0.0)) {
+            // The hysteresis band must be a real band: entering and
+            // leaving training at the same rate reintroduces flapping.
+            bad("controller",
+                "controller thresholds must satisfy 0 <= exit_training (" +
+                    std::to_string(config.controller.exit_training) +
+                    ") < enter_training (" +
+                    std::to_string(config.controller.enter_training) + ")");
+        }
+        if (config.controller.min_dwell_intervals < 1) {
+            bad("controller",
+                "controller.min_dwell_intervals must be at least 1");
+        }
+    }
+    if (config.controller.dynamic_topology) {
+        if (config.controller.min_hidden < 1)
+            bad("controller", "controller.min_hidden must be at least 1");
+        if (config.controller.grow_patience < 1 ||
+            config.controller.shrink_patience < 1) {
+            bad("controller",
+                "controller grow/shrink patience must be at least 1");
+        }
+    }
     if (config.input_buffer_entries != kInputGeneratorBufferEntries &&
         config.input_buffer_entries >= config.sequence_length) {
         detail::addConfigWarning(
@@ -202,6 +261,38 @@ validateWeights(const Topology &topology, std::span<const double> weights,
     return findings;
 }
 
+/**
+ * validateWeights plus lint-grade hygiene warnings that the hot path
+ * deliberately ignores: "weight-denormal" (kWarning) for IEEE-754
+ * subnormal values and for non-zero magnitudes below the Q15.16
+ * quantum 2^-16, both of which quantise to zero in the hardware and
+ * usually indicate a truncated or bit-damaged store. Infinities and
+ * NaNs are already "weight-value" errors in the base check.
+ */
+inline std::vector<Finding>
+validateWeightsStrict(const Topology &topology,
+                      std::span<const double> weights,
+                      const std::string &label = "weights")
+{
+    std::vector<Finding> findings = validateWeights(topology, weights, label);
+    if (!clean(findings))
+        return findings;
+    constexpr double kQ16Quantum = 1.0 / 65536.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i];
+        if (w != 0.0 &&
+            (std::fpclassify(w) == FP_SUBNORMAL ||
+             std::fabs(w) < kQ16Quantum)) {
+            findings.push_back(makeFinding(
+                "weights", "weight-denormal", Severity::kWarning,
+                label + ": weight register " + std::to_string(i) +
+                    " value " + std::to_string(w) +
+                    " quantises to zero in Q15.16 (|w| < 2^-16)"));
+        }
+    }
+    return findings;
+}
+
 class WeightStore;
 
 /**
@@ -211,6 +302,16 @@ class WeightStore;
  * thread id).
  */
 std::vector<Finding> validateWeightStore(const WeightStore &store);
+
+/**
+ * Ensemble-aware store audit (actlint weights --ensemble): everything
+ * validateWeightStore checks plus, per stored ensemble member set,
+ * strict value hygiene and cross-member consistency — a member entry
+ * whose thread has no member-0 set ("ensemble-orphan", kError) or a
+ * gap in the member indices for one thread ("ensemble-gap", kError)
+ * means the store cannot initialise the ensemble it claims to hold.
+ */
+std::vector<Finding> validateWeightStoreEnsemble(const WeightStore &store);
 
 } // namespace act
 

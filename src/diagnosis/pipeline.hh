@@ -13,6 +13,7 @@
 
 #include "act/weight_store.hh"
 #include "diagnosis/postprocess.hh"
+#include "faults/weight_guard.hh"
 #include "nn/trainer.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
@@ -59,6 +60,16 @@ struct OfflineTrainingConfig
     /** Fine-tuning epochs per thread when per_thread_weights is set. */
     std::size_t per_thread_epochs = 40;
 
+    /**
+     * Ensemble members to train (K). 1 — the default — trains the
+     * single network the paper describes. With K > 1, members 1..K-1
+     * are trained on the same dataset from independent seeds (their
+     * own weight initialisation and example order), producing the
+     * diverse-but-agreeing voters the online quorum needs. The online
+     * module must be configured with the same member count.
+     */
+    std::size_t ensemble_members = 1;
+
     /** Trace source for the training runs (empty = record directly). */
     TraceProvider trace_provider;
 };
@@ -74,6 +85,12 @@ struct TrainedModel
 
     /** Per-thread specialised weights (per_thread_weights only). */
     std::unordered_map<ThreadId, std::vector<double>> per_thread;
+
+    /**
+     * Extra ensemble member weights (index 0 = member 1), trained from
+     * independent seeds. Empty when ensemble_members is 1.
+     */
+    std::vector<std::vector<double>> member_weights;
 };
 
 /**
@@ -126,6 +143,16 @@ struct DiagnosisSetup
      * Modules must quarantine what comes out.
      */
     std::function<void(WeightStore &)> weight_store_hook;
+
+    /**
+     * Selective weight protection. When enabled, a WeightGuard is
+     * built from the *clean* store — after training, before
+     * weight_store_hook corrupts it, mirroring a deployment that
+     * computes checksums at patch time — and wired into the production
+     * run's modules so flipped stored bits are repaired at thread
+     * start instead of quarantined.
+     */
+    WeightProtectionConfig protection;
 };
 
 /** Outcome of a full diagnosis. */

@@ -126,34 +126,81 @@ std::size_t
 FaultInjector::corruptWeightStore(WeightStore &store, std::uint64_t stream)
 {
     const std::size_t before = log_.size();
-    for (const ThreadId tid : store.tids()) {
-        const auto weights = store.get(tid);
-        if (!weights)
-            continue;
-        std::vector<double> damaged = *weights;
+
+    // Damage one register vector under both weight rates. @p key feeds
+    // the decision hashes — hashCombine(stream, tid-or-set-id), the
+    // exact pre-refactor streams, so historical per-register corruption
+    // sequences are bit-identical — and @p rec_stream labels the
+    // injection records.
+    const auto damage = [this](std::vector<double> &weights,
+                               std::uint64_t key,
+                               std::uint64_t rec_stream) {
         bool touched = false;
-        for (std::size_t i = 0; i < damaged.size(); ++i) {
+        for (std::size_t i = 0; i < weights.size(); ++i) {
             if (!decide(FaultSite::kWeightBitflip,
-                        plan_.weight_bitflip_rate,
-                        hashCombine(stream, tid), i)) {
+                        plan_.weight_bitflip_rate, key, i)) {
                 continue;
             }
             // Flip one bit of the stored IEEE-754 representation: a
             // mantissa flip is a small perturbation, an exponent or
             // sign flip a wild value, an all-ones exponent a NaN/Inf —
             // the full spectrum the quarantine layer must absorb.
-            const std::uint64_t h = hash3(
-                plan_.seed ^ 0x3efb17u, hashCombine(stream, tid), i);
+            const std::uint64_t h = hash3(plan_.seed ^ 0x3efb17u, key, i);
             const std::uint64_t bit = h % 64;
             std::uint64_t raw = 0;
-            std::memcpy(&raw, &damaged[i], sizeof(raw));
+            std::memcpy(&raw, &weights[i], sizeof(raw));
             raw ^= 1ULL << bit;
-            std::memcpy(&damaged[i], &raw, sizeof(raw));
-            record(FaultSite::kWeightBitflip, tid, i, bit);
+            std::memcpy(&weights[i], &raw, sizeof(raw));
+            record(FaultSite::kWeightBitflip, rec_stream, i, bit);
             touched = true;
         }
-        if (touched)
+        if (plan_.weight_bit_rate > 0.0) {
+            // FIT-style damage: every stored bit is its own coin, so
+            // one register can take several flips in one experiment.
+            for (std::size_t i = 0; i < weights.size(); ++i) {
+                std::uint64_t raw = 0;
+                std::memcpy(&raw, &weights[i], sizeof(raw));
+                const std::uint64_t original = raw;
+                for (std::uint64_t bit = 0; bit < 64; ++bit) {
+                    if (!decide(FaultSite::kWeightBitflip,
+                                plan_.weight_bit_rate,
+                                hashCombine(key, 0x5b17u),
+                                (static_cast<std::uint64_t>(i) << 6) |
+                                    bit)) {
+                        continue;
+                    }
+                    raw ^= 1ULL << bit;
+                    record(FaultSite::kWeightBitflip, rec_stream, i, bit);
+                    touched = true;
+                }
+                if (raw != original)
+                    std::memcpy(&weights[i], &raw, sizeof(raw));
+            }
+        }
+        return touched;
+    };
+
+    for (const ThreadId tid : store.tids()) {
+        const auto weights = store.get(tid);
+        if (!weights)
+            continue;
+        std::vector<double> damaged = *weights;
+        if (damage(damaged, hashCombine(stream, tid), tid))
             store.set(tid, std::move(damaged));
+    }
+    // Ensemble member sets (absent entirely from single-member stores,
+    // keeping pre-ensemble corruption streams bit-identical) are
+    // damaged under the same rates, keyed by their full 64-bit set id
+    // so members of one thread fault independently.
+    for (const std::uint64_t id : store.memberIds()) {
+        const auto tid = static_cast<ThreadId>(id & 0xffffffffu);
+        const auto member = static_cast<std::size_t>(id >> 32);
+        const auto weights = store.getMember(tid, member);
+        if (!weights)
+            continue;
+        std::vector<double> damaged = *weights;
+        if (damage(damaged, hashCombine(stream, id), id))
+            store.setMember(tid, member, std::move(damaged));
     }
     return log_.size() - before;
 }

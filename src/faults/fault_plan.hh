@@ -37,6 +37,16 @@ struct FaultPlan
     /** Per-register probability of flipping one stored-weight bit. */
     double weight_bitflip_rate = 0.0;
 
+    /**
+     * Per-*bit* flip probability over every stored weight register —
+     * the FIT-style formulation radiation experiments sweep. At rate r
+     * each of a register's 64 bits flips independently, so small rates
+     * already produce multi-bit damage per set (64r expected flips per
+     * register). The adaptivity sweep uses this; uniform() leaves it
+     * zero, keeping every pre-existing corruption stream bit-identical.
+     */
+    double weight_bit_rate = 0.0;
+
     // --- Coherence metadata faults (sim/memsys piggybacking) --------
     /** Per-transfer probability of losing the last-writer metadata. */
     double writer_drop_rate = 0.0;
@@ -55,9 +65,9 @@ struct FaultPlan
     {
         return trace_bitflip_rate > 0.0 || trace_drop_rate > 0.0 ||
                trace_dup_rate > 0.0 || trace_truncate_fraction > 0.0 ||
-               weight_bitflip_rate > 0.0 || writer_drop_rate > 0.0 ||
-               writer_stale_rate > 0.0 || input_drop_rate > 0.0 ||
-               debug_drop_rate > 0.0;
+               weight_bitflip_rate > 0.0 || weight_bit_rate > 0.0 ||
+               writer_drop_rate > 0.0 || writer_stale_rate > 0.0 ||
+               input_drop_rate > 0.0 || debug_drop_rate > 0.0;
     }
 
     /**
@@ -78,6 +88,24 @@ struct FaultPlan
         plan.writer_stale_rate = rate;
         plan.input_drop_rate = rate;
         plan.debug_drop_rate = rate;
+        return plan;
+    }
+
+    /**
+     * The sweep shape `table-adaptivity` uses: all of the fault mass
+     * on the stored weight sets — per stored *bit*, so the sweep walks
+     * from pristine through silently-perturbed into grossly-corrupt
+     * registers — and everything else pristine. This isolates exactly
+     * the failure class ensembles and selective weight protection are
+     * built to absorb, so accuracy deltas in the sweep measure those
+     * mechanisms and not trace damage.
+     */
+    static FaultPlan
+    weightsOnly(double rate, std::uint64_t seed)
+    {
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.weight_bit_rate = rate;
         return plan;
     }
 };

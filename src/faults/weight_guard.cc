@@ -1,0 +1,112 @@
+#include "faults/weight_guard.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "act/weight_store.hh"
+#include "analysis/config_check.hh"
+#include "common/logging.hh"
+#include "telemetry/metrics.hh"
+
+namespace act
+{
+
+std::uint64_t
+weightChecksum(const std::vector<double> &weights)
+{
+    // FNV-1a over the stored bit patterns: any single flipped bit —
+    // including ones that keep the value finite and in range, which
+    // validateWeights cannot see — changes the digest.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const double w : weights) {
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, &w, sizeof(raw));
+        for (std::size_t byte = 0; byte < sizeof(raw); ++byte) {
+            h ^= (raw >> (8 * byte)) & 0xffu;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+WeightGuard
+WeightGuard::build(const WeightStore &store,
+                   const WeightProtectionConfig &config)
+{
+    WeightGuard guard;
+    if (!config.enabled)
+        return guard;
+
+    // Probe every stored set: member-0 sets first (tid order), then
+    // the ensemble extras (set-id order) — a deterministic enumeration
+    // so the ranking replays from the configuration alone.
+    for (const ThreadId tid : store.tids()) {
+        const auto weights = store.get(tid);
+        if (!weights)
+            continue;
+        guard.ranking_.push_back(probeWeightSensitivity(
+            weightSetId(tid, 0), *weights, config.probes,
+            config.probe_seed, kHwWeightLimit));
+    }
+    for (const std::uint64_t id : store.memberIds()) {
+        const auto tid = static_cast<ThreadId>(id & 0xffffffffu);
+        const auto member = static_cast<std::size_t>(id >> 32);
+        const auto weights = store.getMember(tid, member);
+        if (!weights)
+            continue;
+        guard.ranking_.push_back(probeWeightSensitivity(
+            id, *weights, config.probes, config.probe_seed,
+            kHwWeightLimit));
+    }
+
+    // Most silent damage first; ties broken by set id so the guarded
+    // subset is stable across runs and platforms.
+    std::sort(guard.ranking_.begin(), guard.ranking_.end(),
+              [](const WeightSensitivity &a, const WeightSensitivity &b) {
+                  if (a.silent_damage != b.silent_damage)
+                      return a.silent_damage > b.silent_damage;
+                  return a.set_id < b.set_id;
+              });
+
+    const auto budget = static_cast<std::size_t>(std::ceil(
+        config.protect_fraction *
+        static_cast<double>(guard.ranking_.size())));
+    for (std::size_t i = 0; i < guard.ranking_.size() && i < budget; ++i) {
+        const std::uint64_t id = guard.ranking_[i].set_id;
+        const auto tid = static_cast<ThreadId>(id & 0xffffffffu);
+        const auto member = static_cast<std::size_t>(id >> 32);
+        const auto weights = store.getMember(tid, member);
+        if (!weights)
+            continue;
+        Guard g;
+        g.checksum = weightChecksum(*weights);
+        g.shadow = *weights;
+        guard.guards_.emplace(id, std::move(g));
+    }
+    return guard;
+}
+
+bool
+WeightGuard::inspect(std::uint64_t set_id,
+                     std::vector<double> &weights) const
+{
+    const auto it = guards_.find(set_id);
+    if (it == guards_.end())
+        return false;
+    if (weightChecksum(weights) == it->second.checksum)
+        return false;
+    // Checksum mismatch: a stored bit flipped since the guard was
+    // built. Restore the shadow copy — the caller keeps its trained
+    // weights instead of quarantining into a from-scratch retrain.
+    weights = it->second.shadow;
+    static const telemetry::Counter repairs =
+        telemetry::MetricsRegistry::global().counter(
+            "faults.weight_repairs");
+    repairs.inc();
+    logWarnEvent("faults.weight_repair",
+                 {logField("set", set_id)});
+    return true;
+}
+
+} // namespace act

@@ -304,13 +304,72 @@ table6CorpusCampaign()
     return campaign;
 }
 
+/**
+ * table-adaptivity: fault-hardening sweep for the Adaptivity 2.0
+ * machinery. Three configurations — baseline (single network, legacy
+ * latch), ensemble (K=3 voters over a shared neuron budget with the
+ * self-tuning controller) and ensemble+protection (the same plus
+ * selective weight shadowing) — each swept over a weight-concentrated
+ * bit-flip rate. Knobs mirror the smoke diagnosis cell, so the
+ * baseline rate-0 row doubles as the smoke cell's fault-free numbers.
+ * The acceptance bar: at the top rates the hardened configuration
+ * loses strictly less `accuracy` than the baseline.
+ */
+Campaign
+tableAdaptivityCampaign()
+{
+    Campaign campaign;
+    campaign.name = "table-adaptivity";
+    campaign.description =
+        "Adaptivity: diagnosis accuracy vs stored-weight fault rate, "
+        "baseline vs ensemble vs ensemble+protection";
+    struct Config
+    {
+        std::size_t members;
+        bool protect;
+        bool self_tune;
+    };
+    const Config configs[] = {
+        {1, false, false}, // Baseline: the paper's module, untouched.
+        {3, false, true},  // Quorum voting + self-tuning controller.
+        {3, true, true},   // ... plus selective weight protection.
+    };
+    for (const Config &config : configs) {
+        for (const double rate : {0.0, 0.002, 0.01, 0.05}) {
+            JobSpec job;
+            job.id = static_cast<std::uint32_t>(campaign.jobs.size());
+            job.kind = JobKind::kAdaptivity;
+            job.scheme = Scheme::kAct;
+            job.workload = "pbzip2";
+            // Mirror the smoke diagnosis cell so rate 0 is its baseline.
+            job.knobs.train_traces = 3;
+            job.knobs.diagnosis_epochs = 60;
+            job.knobs.diagnosis_max_examples = 6000;
+            job.knobs.postmortem_traces = 4;
+            job.knobs.fault_rate = rate;
+            job.knobs.fault_seed = 0xada97;
+            job.knobs.ensemble_members = config.members;
+            job.knobs.self_tune = config.self_tune;
+            job.knobs.protect_weights = config.protect;
+            if (config.members > 1) {
+                // K members share the M = 10 neuron bank: shrink the
+                // per-member hidden layer so the budget check passes.
+                job.knobs.hidden_neurons = 3;
+            }
+            campaign.jobs.push_back(std::move(job));
+        }
+    }
+    return campaign;
+}
+
 } // namespace
 
 std::vector<std::string>
 campaignNames()
 {
     return {"fig7a", "table4", "table4-ablation", "table5",
-            "table6-corpus", "table-resilience", "smoke"};
+            "table6-corpus", "table-resilience", "table-adaptivity",
+            "smoke"};
 }
 
 bool
@@ -338,6 +397,8 @@ makeCampaign(const std::string &name)
         return table6CorpusCampaign();
     if (name == "table-resilience")
         return resilienceCampaign();
+    if (name == "table-adaptivity")
+        return tableAdaptivityCampaign();
     if (name == "smoke")
         return smokeCampaign();
     ACT_FATAL("unknown campaign: " << name);

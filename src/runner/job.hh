@@ -35,7 +35,9 @@ enum class JobKind : std::uint8_t
     kDiagnoseAviso, //!< Table V Aviso column.
     kDiagnosePbi,  //!< Table V PBI column.
     kResilience,   //!< Diagnose-act under an injected fault plan.
-    kCorpus        //!< table6-corpus cell: one injected-bug variant.
+    kCorpus,       //!< table6-corpus cell: one injected-bug variant.
+    kAdaptivity    //!< table-adaptivity cell: ensembles + protection
+                   //!< under a weight-concentrated fault plan.
 };
 
 /** Why a job's result slot carries no trustworthy numbers. */
@@ -132,6 +134,16 @@ struct JobKnobs
     InjectedFault inject_fault = InjectedFault::kNone;
     std::uint32_t inject_fail_attempts = 0; //!< kTransient: throwing attempts.
     std::uint64_t deadline_ms = 0;  //!< Per-job deadline; 0 = run default.
+
+    // Adaptivity jobs (kAdaptivity). The defaults keep every knob
+    // dormant: a diagnose-act cell with these untouched is bit-
+    // identical to the pre-adaptivity runner.
+    std::size_t ensemble_members = 1;  //!< Member networks (K).
+    std::size_t ensemble_quorum = 0;   //!< Votes to flag (0 = majority).
+    bool protect_weights = false;      //!< Selective weight protection.
+    double protect_fraction = 0.5;     //!< Fraction of sets shadowed.
+    bool self_tune = false;            //!< Hysteresis mode controller.
+    std::size_t hidden_neurons = 0;    //!< Per-member h (0 = default).
 };
 
 /** One experiment cell. */

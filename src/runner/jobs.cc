@@ -244,11 +244,17 @@ runInvalidDeps(const JobSpec &spec, TraceCache &cache, JobResult &result)
  * With a non-null @p inject, every offline artefact and online hook
  * site runs under the injector's plan; with a null injector (or an
  * all-zero plan) the computation is bit-identical to the fault-free
- * path — the resilience table's rate-0 row depends on this.
+ * path — the resilience table's rate-0 row depends on this. The
+ * adaptivity knobs (ensemble_members, protect_weights, self_tune,
+ * hidden_neurons) are applied only when set off their dormant
+ * defaults, so every pre-existing cell is untouched. @p am_out, when
+ * non-null, receives the run's ActModuleStats so a caller can emit
+ * extra metrics without widening the shared metric set here.
  */
 void
 runDiagnoseActImpl(const JobSpec &spec, TraceCache &cache,
-                   JobResult &result, FaultInjector *inject)
+                   JobResult &result, FaultInjector *inject,
+                   ActModuleStats *am_out = nullptr)
 {
     const JobKnobs &knobs = spec.knobs;
     const auto workload = makeWorkload(spec.workload);
@@ -281,6 +287,24 @@ runDiagnoseActImpl(const JobSpec &spec, TraceCache &cache,
     setup.failure_seed = knobs.failure_seed;
     if (knobs.debug_buffer_entries > 0)
         setup.system.act.debug_buffer_entries = knobs.debug_buffer_entries;
+
+    // Adaptivity knobs, each dormant at its default. hidden_neurons
+    // shrinks the per-member layer so K members fit the M-neuron bank.
+    if (knobs.hidden_neurons > 0)
+        setup.training.hidden_neurons = knobs.hidden_neurons;
+    if (knobs.ensemble_members > 1) {
+        setup.training.ensemble_members = knobs.ensemble_members;
+        setup.system.act.ensemble.quorum = knobs.ensemble_quorum;
+    }
+    if (knobs.self_tune) {
+        setup.system.act.controller.self_tuning = true;
+        setup.system.act.controller.dynamic_topology = true;
+    }
+    if (knobs.protect_weights) {
+        setup.protection.enabled = true;
+        setup.protection.protect_fraction = knobs.protect_fraction;
+    }
+
     if (inject != nullptr) {
         setup.weight_store_hook = [inject](WeightStore &store) {
             inject->corruptWeightStore(store, 0);
@@ -290,6 +314,8 @@ runDiagnoseActImpl(const JobSpec &spec, TraceCache &cache,
     }
 
     const DiagnosisResult act = diagnoseFailure(*workload, setup);
+    if (am_out != nullptr)
+        *am_out = act.run_stats.act;
 
     // Score ACT's ranked candidates against the vector-clock race
     // oracle on the same failing trace the run consumed (a cache hit).
@@ -467,6 +493,66 @@ runResilience(const JobSpec &spec, TraceCache &cache, JobResult &result)
         FaultPlan::uniform(spec.knobs.fault_rate, spec.knobs.fault_seed));
     runDiagnoseActImpl(spec, cache, result, &inject);
     result.metrics["fault_rate"] = spec.knobs.fault_rate;
+}
+
+/**
+ * table-adaptivity cell: diagnose-act with the ensemble / controller /
+ * protection knobs from the spec, under a fault plan that concentrates
+ * its whole budget on stored weights — the hazard the tentpole
+ * machinery is built against. Rate 0 passes a *null* injector, so the
+ * baseline cell is byte-comparable to a plain fault-free diagnose-act
+ * run with the same knobs. The scalar `accuracy` in [0, 1] folds the
+ * headline outcomes — was the bug diagnosed, was the root logged, how
+ * precise were the ranked candidates, and how clean was the online
+ * monitoring signal (the fraction of logged suspects that survive
+ * postmortem pruning: silently corrupt weights flood the Debug Buffer
+ * with junk, which this term charges even when pruning rescues the
+ * final verdict) — into one sweepable number; the sweep report charts
+ * its degradation per configuration as the rate climbs.
+ */
+void
+runAdaptivity(const JobSpec &spec, TraceCache &cache, JobResult &result)
+{
+    ActModuleStats am;
+    if (spec.knobs.fault_rate > 0.0) {
+        FaultInjector inject(FaultPlan::weightsOnly(spec.knobs.fault_rate,
+                                                    spec.knobs.fault_seed));
+        runDiagnoseActImpl(spec, cache, result, &inject, &am);
+    } else {
+        runDiagnoseActImpl(spec, cache, result, nullptr, &am);
+    }
+
+    result.metrics["fault_rate"] = spec.knobs.fault_rate;
+    result.metrics["ensemble_members"] =
+        static_cast<double>(spec.knobs.ensemble_members);
+    result.metrics["protected"] = spec.knobs.protect_weights ? 1.0 : 0.0;
+    result.metrics["repaired_weight_sets"] =
+        static_cast<double>(am.repaired_weight_sets);
+    result.metrics["quarantined_weight_sets"] =
+        static_cast<double>(am.quarantined_weight_sets);
+    result.metrics["quorum_overrides"] =
+        static_cast<double>(am.quorum_overrides);
+    result.metrics["ensemble_disagreements"] =
+        static_cast<double>(am.ensemble_disagreements);
+    result.metrics["quarantine_escalations"] =
+        static_cast<double>(am.quarantine_escalations);
+    result.metrics["dwell_suppressed"] =
+        static_cast<double>(am.dwell_suppressed_switches);
+    result.metrics["mode_switches"] =
+        static_cast<double>(am.mode_switches);
+
+    const double log_precision = 1.0 - result.metrics["filter_fraction"];
+    result.metrics["log_precision"] = log_precision;
+    const double accuracy = (result.metrics["diagnosed"] +
+                             result.metrics["root_logged"] +
+                             result.metrics["oracle_precision"] +
+                             log_precision) /
+                            4.0;
+    result.metrics["accuracy"] = accuracy;
+    result.labels["config"] =
+        spec.knobs.ensemble_members > 1
+            ? (spec.knobs.protect_weights ? "ens+prot" : "ensemble")
+            : "baseline";
 }
 
 /** Table V Aviso column: failing runs fed one at a time. */
@@ -687,6 +773,7 @@ jobKindName(JobKind kind)
       case JobKind::kDiagnosePbi: return "diagnose-pbi";
       case JobKind::kResilience: return "resilience";
       case JobKind::kCorpus: return "corpus";
+      case JobKind::kAdaptivity: return "adaptivity";
     }
     return "?";
 }
@@ -772,6 +859,9 @@ runJob(const JobSpec &spec, TraceCache &cache, const JobContext &context)
         break;
       case JobKind::kCorpus:
         runCorpus(spec, cache, result);
+        break;
+      case JobKind::kAdaptivity:
+        runAdaptivity(spec, cache, result);
         break;
     }
     result.ok = true;

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the self-tuning mode controller: legacy-latch equivalence,
+ * hysteresis dead band, the dwell bound on switch frequency under
+ * adversarial rate sequences, and dynamic topology selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "act/mode_controller.hh"
+#include "common/rng.hh"
+
+namespace act
+{
+namespace
+{
+
+ModeControllerConfig
+tuningConfig()
+{
+    ModeControllerConfig config;
+    config.self_tuning = true;
+    return config;
+}
+
+TEST(ModeController, DormantPathReproducesTheRawLatch)
+{
+    const ModeControllerConfig config; // self_tuning = false
+    ModeControllerState state;
+    Rng rng(71);
+    for (int i = 0; i < 2000; ++i) {
+        const bool training = (rng.next(2) != 0);
+        const double rate =
+            static_cast<double>(rng.next(1000)) / 1000.0;
+        const ModeDecision decision = modeControllerStep(
+            config, 0.05, state, training, rate, 10, 10);
+        const bool latch = training ? rate <= 0.05 : rate > 0.05;
+        EXPECT_EQ(decision.switch_mode, latch);
+        EXPECT_FALSE(decision.dwell_suppressed);
+        EXPECT_FALSE(decision.grow);
+        EXPECT_FALSE(decision.shrink);
+    }
+    // The dormant path never touches state: a later self-tuning run
+    // starts from scratch exactly as if the latch had never stepped.
+    EXPECT_FALSE(state.ewma_valid);
+    EXPECT_EQ(state.intervals_in_mode, 0u);
+}
+
+TEST(ModeController, HysteresisDeadBandNeverSwitches)
+{
+    const ModeControllerConfig config = tuningConfig();
+    ModeControllerState state;
+    Rng rng(72);
+    bool training = false;
+    // Rates drawn strictly inside (exit_training, enter_training]: the
+    // EWMA is a convex combination, so it stays in the band, and the
+    // band requests no switch in either mode.
+    for (int i = 0; i < 5000; ++i) {
+        const double span = config.enter_training - config.exit_training;
+        const double rate = config.exit_training +
+                            span * (1.0 + rng.next(1000)) / 1001.0;
+        const ModeDecision decision = modeControllerStep(
+            config, 0.05, state, training, rate, 10, 10);
+        EXPECT_FALSE(decision.switch_mode);
+    }
+}
+
+TEST(ModeController, DwellBoundsSwitchesUnderAdversarialRates)
+{
+    ModeControllerConfig config = tuningConfig();
+    config.ewma_alpha = 1.0; // Raw rates: the worst case for flapping.
+    config.min_dwell_intervals = 5;
+    const std::uint64_t intervals = 10000;
+
+    // Adversarial sequences: alternating extremes, random extremes,
+    // and a random walk — each trying to flip the mode every interval.
+    for (const std::uint64_t variant : {0u, 1u, 2u}) {
+        ModeControllerState state;
+        Rng rng(100 + variant);
+        bool training = false;
+        std::uint64_t switches = 0;
+        double walk = 0.05;
+        for (std::uint64_t i = 0; i < intervals; ++i) {
+            double rate = 0.0;
+            switch (variant) {
+            case 0: rate = (i % 2 == 0) ? 1.0 : 0.0; break;
+            case 1: rate = (rng.next(2) != 0) ? 1.0 : 0.0; break;
+            default:
+                walk += (static_cast<double>(rng.next(2001)) - 1000.0) /
+                        10000.0;
+                walk = walk < 0.0 ? 0.0 : (walk > 1.0 ? 1.0 : walk);
+                rate = walk;
+                break;
+            }
+            const ModeDecision decision = modeControllerStep(
+                config, 0.05, state, training, rate, 10, 10);
+            if (decision.switch_mode) {
+                training = !training;
+                ++switches;
+            }
+        }
+        // The dwell property: at most one switch per min_dwell
+        // completed intervals, whatever the rate sequence does.
+        EXPECT_LE(switches, intervals / config.min_dwell_intervals)
+            << "variant " << variant;
+        EXPECT_GT(switches, 0u) << "variant " << variant;
+    }
+}
+
+TEST(ModeController, DwellSuppressionIsReported)
+{
+    ModeControllerConfig config = tuningConfig();
+    config.ewma_alpha = 1.0;
+    config.min_dwell_intervals = 4;
+    ModeControllerState state;
+
+    // Land in training, then demand an immediate exit: the first
+    // post-switch intervals must be suppressed, not switched.
+    ModeDecision decision =
+        modeControllerStep(config, 0.05, state, false, 1.0, 10, 10);
+    // A fresh state has no dwell history; the first switch may need a
+    // few intervals. Step until it happens.
+    bool training = false;
+    for (int i = 0; i < 10 && !decision.switch_mode; ++i)
+        decision = modeControllerStep(config, 0.05, state, training, 1.0,
+                                      10, 10);
+    ASSERT_TRUE(decision.switch_mode);
+    training = true;
+
+    std::uint64_t suppressed = 0;
+    for (std::uint64_t i = 0; i + 1 < config.min_dwell_intervals; ++i) {
+        decision = modeControllerStep(config, 0.05, state, training, 0.0,
+                                      10, 10);
+        EXPECT_FALSE(decision.switch_mode);
+        suppressed += decision.dwell_suppressed ? 1 : 0;
+    }
+    EXPECT_EQ(suppressed, config.min_dwell_intervals - 1);
+    decision = modeControllerStep(config, 0.05, state, training, 0.0, 10,
+                                  10);
+    EXPECT_TRUE(decision.switch_mode);
+}
+
+TEST(ModeController, EwmaAbsorbsASingleCorruptInterval)
+{
+    ModeControllerConfig config = tuningConfig();
+    // Smoothing absorbs a lone spike only when one sample cannot carry
+    // the EWMA past the enter threshold: alpha <= enter_training.
+    config.ewma_alpha = 0.05;
+    config.min_dwell_intervals = 1;
+    ModeControllerState state;
+
+    // A long clean testing history, then one 100%-misprediction
+    // interval: the smoothed rate must stay under the enter threshold.
+    for (int i = 0; i < 50; ++i) {
+        const ModeDecision decision = modeControllerStep(
+            config, 0.05, state, false, 0.0, 10, 10);
+        EXPECT_FALSE(decision.switch_mode);
+    }
+    const ModeDecision spike =
+        modeControllerStep(config, 0.05, state, false, 1.0, 10, 10);
+    EXPECT_FALSE(spike.switch_mode);
+    // The raw latch would have flipped on the same sample.
+    const ModeControllerConfig latch;
+    ModeControllerState none;
+    EXPECT_TRUE(modeControllerStep(latch, 0.05, none, false, 1.0, 10, 10)
+                    .switch_mode);
+}
+
+TEST(ModeController, GrowsOnlyAfterPatienceAndWithinBudget)
+{
+    ModeControllerConfig config = tuningConfig();
+    config.dynamic_topology = true;
+    config.ewma_alpha = 1.0;
+    config.min_dwell_intervals = 1000000; // Isolate the topology logic.
+    ModeControllerState state;
+
+    std::size_t hidden = 9;
+    std::uint64_t grows = 0;
+    for (std::uint64_t i = 0; i < 3 * config.grow_patience; ++i) {
+        const ModeDecision decision = modeControllerStep(
+            config, 0.05, state, true, 1.0, hidden, 10);
+        if (decision.grow) {
+            ++grows;
+            ++hidden;
+        }
+    }
+    // 9 -> 10 after grow_patience poor intervals; at the budget the
+    // controller must stop asking.
+    EXPECT_EQ(grows, 1u);
+    EXPECT_EQ(hidden, 10u);
+}
+
+TEST(ModeController, ShrinksOnlyWhenCalmAndAboveTheFloor)
+{
+    ModeControllerConfig config = tuningConfig();
+    config.dynamic_topology = true;
+    config.ewma_alpha = 1.0;
+    config.min_dwell_intervals = 1000000;
+    ModeControllerState state;
+
+    std::size_t hidden = config.min_hidden + 1;
+    std::uint64_t shrinks = 0;
+    for (std::uint64_t i = 0; i < 3 * config.shrink_patience; ++i) {
+        const ModeDecision decision = modeControllerStep(
+            config, 0.05, state, false, 0.0, hidden, 10);
+        if (decision.shrink) {
+            ++shrinks;
+            --hidden;
+        }
+    }
+    EXPECT_EQ(shrinks, 1u);
+    EXPECT_EQ(hidden, config.min_hidden);
+
+    // A noisy interval resets the calm streak: no shrink for another
+    // full patience window afterwards even above the floor.
+    state = ModeControllerState{};
+    hidden = 8;
+    for (std::uint64_t i = 0; i + 1 < config.shrink_patience; ++i) {
+        EXPECT_FALSE(modeControllerStep(config, 0.05, state, false, 0.0,
+                                        hidden, 10)
+                         .shrink);
+    }
+    EXPECT_FALSE(modeControllerStep(config, 0.05, state, false, 0.5,
+                                    hidden, 10)
+                     .shrink); // Noise: streak resets.
+    for (std::uint64_t i = 0; i + 1 < config.shrink_patience; ++i) {
+        EXPECT_FALSE(modeControllerStep(config, 0.05, state, false, 0.0,
+                                        hidden, 10)
+                         .shrink);
+    }
+    EXPECT_TRUE(modeControllerStep(config, 0.05, state, false, 0.0,
+                                   hidden, 10)
+                    .shrink);
+}
+
+} // namespace
+} // namespace act

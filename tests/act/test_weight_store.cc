@@ -80,5 +80,82 @@ TEST(WeightStore, LoadMissingFileFails)
     EXPECT_FALSE(store.load("/nonexistent/weights.bin"));
 }
 
+TEST(WeightStore, MemberZeroAliasesThePlainSet)
+{
+    WeightStore store(Topology{3, 4});
+    std::vector<double> weights(store.weightCount(), 0.125);
+    store.set(1, weights);
+    EXPECT_TRUE(store.hasMember(1, 0));
+    EXPECT_EQ(store.getMember(1, 0), store.get(1));
+    EXPECT_EQ(store.memberCountFor(1), 1u);
+    EXPECT_TRUE(store.memberIds().empty());
+}
+
+TEST(WeightStore, MemberSetAndGetRoundTrip)
+{
+    WeightStore store(Topology{3, 4});
+    std::vector<double> w0(store.weightCount(), 0.1);
+    std::vector<double> w1(store.weightCount(), 0.2);
+    std::vector<double> w2(store.weightCount(), 0.3);
+    store.set(5, w0);
+    store.setMember(5, 1, w1);
+    store.setMember(5, 2, w2);
+
+    EXPECT_EQ(store.memberCountFor(5), 3u);
+    EXPECT_EQ(store.getMember(5, 1), w1);
+    EXPECT_EQ(store.getMember(5, 2), w2);
+    EXPECT_FALSE(store.getMember(5, 3).has_value());
+    EXPECT_FALSE(store.getMember(4, 1).has_value());
+
+    // Ids are (member << 32 | tid), sorted for audits.
+    const std::vector<std::uint64_t> ids = store.memberIds();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], weightSetId(5, 1));
+    EXPECT_EQ(ids[1], weightSetId(5, 2));
+    EXPECT_LT(ids[0], ids[1]);
+}
+
+TEST(WeightStore, SaveLoadCarriesEnsembleMembers)
+{
+    WeightStore store(Topology{4, 6});
+    std::vector<double> w0(store.weightCount());
+    std::vector<double> m1(store.weightCount());
+    for (std::size_t i = 0; i < w0.size(); ++i) {
+        w0[i] = 0.01 * static_cast<double>(i);
+        m1[i] = -0.03 * static_cast<double>(i);
+    }
+    store.set(0, w0);
+    store.setMember(0, 1, m1);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "weights_members.bin";
+    ASSERT_TRUE(store.save(path));
+    WeightStore loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.get(0), w0);
+    EXPECT_EQ(loaded.getMember(0, 1), m1);
+    EXPECT_EQ(loaded.memberCountFor(0), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(WeightStore, SingleMemberSaveStaysInThePreEnsembleFormat)
+{
+    // A store with no ensemble extras must serialise byte-identically
+    // to the pre-ensemble writer, so old tooling keeps reading new
+    // files (and vice versa).
+    WeightStore store(Topology{4, 6});
+    std::vector<double> w0(store.weightCount(), 0.5);
+    store.set(0, w0);
+
+    const std::string plain =
+        std::string(::testing::TempDir()) + "weights_plain.bin";
+    ASSERT_TRUE(store.save(plain));
+    WeightStore loaded;
+    ASSERT_TRUE(loaded.load(plain));
+    EXPECT_TRUE(loaded.memberIds().empty());
+    EXPECT_EQ(loaded.get(0), w0);
+    std::remove(plain.c_str());
+}
+
 } // namespace
 } // namespace act

@@ -215,6 +215,75 @@ TEST(FaultInjector, WeightBitflipsPerturbTheStore)
     EXPECT_NE(store.get(0), store.get(1));
 }
 
+TEST(FaultInjector, PerBitRateDamagesEveryStoredBitIndependently)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.weight_bit_rate = 1.0; // Every stored bit flips.
+    ASSERT_TRUE(plan.enabled());
+    FaultInjector inject(plan);
+    WeightStore store = makeStore(1);
+    const std::vector<double> before = *store.get(0);
+
+    const std::size_t injected = inject.corruptWeightStore(store, 0);
+    EXPECT_EQ(injected, store.weightCount() * 64);
+    const std::vector<double> after = *store.get(0);
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        std::uint64_t was = 0, now = 0;
+        std::memcpy(&was, &before[i], sizeof(was));
+        std::memcpy(&now, &after[i], sizeof(now));
+        EXPECT_EQ(was ^ now, ~std::uint64_t{0}) << "register " << i;
+    }
+}
+
+TEST(FaultInjector, WeightsOnlyPlanUsesThePerBitModel)
+{
+    const FaultPlan plan = FaultPlan::weightsOnly(0.01, 7);
+    EXPECT_EQ(plan.weight_bit_rate, 0.01);
+    EXPECT_EQ(plan.weight_bitflip_rate, 0.0);
+    EXPECT_EQ(plan.trace_bitflip_rate, 0.0);
+    EXPECT_EQ(plan.input_drop_rate, 0.0);
+    EXPECT_TRUE(plan.enabled());
+
+    // And the historical uniform plan never turns it on, so the
+    // table-resilience corruption streams stay bit-identical.
+    EXPECT_EQ(FaultPlan::uniform(0.05, 42).weight_bit_rate, 0.0);
+}
+
+TEST(FaultInjector, PerBitDamageCoversEnsembleMemberSets)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.weight_bit_rate = 0.05;
+    FaultInjector inject(plan);
+
+    WeightStore store = makeStore(1);
+    std::vector<double> member(store.weightCount(), 0.5);
+    store.setMember(0, 1, member);
+    const std::vector<double> tid_before = *store.get(0);
+
+    inject.corruptWeightStore(store, 3);
+    // With ~0.05 x 64 = 3 expected flips per register both sets take
+    // damage, and member 1's pattern differs from the tid set's — the
+    // decision stream is keyed by the full 64-bit set id.
+    EXPECT_NE(*store.get(0), tid_before);
+    EXPECT_NE(*store.getMember(0, 1), member);
+    std::vector<double> tid_delta, member_delta;
+    for (std::size_t i = 0; i < store.weightCount(); ++i) {
+        tid_delta.push_back((*store.get(0))[i] - tid_before[i]);
+        member_delta.push_back((*store.getMember(0, 1))[i] - member[i]);
+    }
+    EXPECT_NE(tid_delta, member_delta);
+
+    // The same plan over a fresh copy replays bit-identically.
+    FaultInjector replay(plan);
+    WeightStore again = makeStore(1);
+    again.setMember(0, 1, member);
+    replay.corruptWeightStore(again, 3);
+    EXPECT_EQ(again.get(0), store.get(0));
+    EXPECT_EQ(again.getMember(0, 1), store.getMember(0, 1));
+}
+
 TEST(FaultInjector, HooksFireAtRateOne)
 {
     FaultPlan plan;

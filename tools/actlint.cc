@@ -47,7 +47,12 @@
  *   config                   validate the default ActConfig against
  *                            every built-in encoder
  *   weights <file>           validate a WeightStore blob against its
- *                            topology and the Q15.16 register range
+ *                            topology and the Q15.16 register range,
+ *                            plus denormal/underflow hygiene warnings
+ *                            [--ensemble: also check per-member set
+ *                             consistency — every member set needs its
+ *                             thread's member-0 set, member indices
+ *                             must be contiguous]
  *
  * Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
  */
@@ -105,8 +110,11 @@ usage()
         " catalogs\n"
         "  config                          validate the default"
         " ActConfig\n"
-        "  weights <file>                  validate a WeightStore"
-        " blob\n");
+        "  weights <file> [--ensemble]     validate a WeightStore blob"
+        " (with\n"
+        "                                  per-member consistency checks"
+        " under\n"
+        "                                  --ensemble)\n");
 }
 
 /** Print findings under a heading; returns the number of errors. */
@@ -621,7 +629,7 @@ cmdConfig()
 }
 
 int
-cmdWeights(const std::vector<std::string> &args)
+cmdWeights(const std::vector<std::string> &args, bool ensemble)
 {
     if (args.size() != 1) {
         usage();
@@ -633,11 +641,30 @@ cmdWeights(const std::vector<std::string> &args)
         std::printf("%s: unreadable weight store\n", path.c_str());
         return kExitUsage;
     }
-    const std::size_t errors = emit(path, validateWeightStore(store));
-    std::printf("%s: %zu thread weight set(s), topology %zux%zu, %zu "
-                "error(s)\n",
-                path.c_str(), store.size(), store.topology().inputs,
-                store.topology().hidden, errors);
+    std::vector<Finding> findings =
+        ensemble ? validateWeightStoreEnsemble(store)
+                 : validateWeightStore(store);
+    // Hygiene pass over the member-0 sets: denormal / Q15.16-underflow
+    // warnings the hot path tolerates but a deployment should notice.
+    // (The ensemble path already runs the strict checks on the member
+    // sets; strict repeats the base errors, so keep only its warnings.)
+    for (const ThreadId tid : store.tids()) {
+        const auto weights = store.get(tid);
+        if (!weights)
+            continue;
+        for (const Finding &finding :
+             validateWeightsStrict(store.topology(), *weights,
+                                   "tid " + std::to_string(tid))) {
+            if (finding.severity == Severity::kWarning)
+                findings.push_back(finding);
+        }
+    }
+    const std::size_t errors = emit(path, findings);
+    std::printf("%s: %zu thread weight set(s), %zu ensemble member "
+                "set(s), topology %zux%zu, %zu error(s)\n",
+                path.c_str(), store.size(), store.memberIds().size(),
+                store.topology().inputs, store.topology().hidden,
+                errors);
     return errors == 0 ? kExitClean : kExitFindings;
 }
 
@@ -651,6 +678,7 @@ run(int argc, char **argv)
     const std::string command = argv[1];
 
     bool show_races = false;
+    bool ensemble = false;
     std::string cache_dir;
     std::size_t block_events = 512;
     unsigned pipeline_jobs = 1;
@@ -659,6 +687,8 @@ run(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--races") {
             show_races = true;
+        } else if (arg == "--ensemble") {
+            ensemble = true;
         } else if (arg == "--cache" && i + 1 < argc) {
             cache_dir = argv[++i];
         } else if (arg == "--block" && i + 1 < argc) {
@@ -692,7 +722,7 @@ run(int argc, char **argv)
     if (command == "config")
         return cmdConfig();
     if (command == "weights")
-        return cmdWeights(args);
+        return cmdWeights(args, ensemble);
     usage();
     return kExitUsage;
 }

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runner/adaptivity_sweep.hh"
 #include "runner/analysis_sweep.hh"
 #include "runner/campaign.hh"
 #include "runner/corpus_sweep.hh"
@@ -353,6 +354,17 @@ cmdRun(const Options &options)
                            corpusSweepReport(campaign, run.results)))
             ACT_FATAL("cannot write " << table_path);
         std::printf("corpus:       %s\n", table_path.c_str());
+    }
+
+    if (campaignHasAdaptivity(campaign)) {
+        // Adaptivity campaigns get the per-configuration degradation
+        // table next to the raw rows. Pure function of the results, so
+        // it inherits the report's cross---jobs byte-identity.
+        const std::string table_path = out + "/table-adaptivity.txt";
+        if (!writeTextFile(table_path,
+                           adaptivitySweepReport(campaign, run.results)))
+            ACT_FATAL("cannot write " << table_path);
+        std::printf("adaptivity:   %s\n", table_path.c_str());
     }
 
     if (options.analyze) {

@@ -8,7 +8,7 @@
  * self-calibrating best-of-N driver, plus three coarse wall-clock
  * measurements (the smoke campaign, a reduced Figure 8 overhead run,
  * and the fleet streaming service), and writes the results as
- * machine-readable JSON (`BENCH_PR9.json` by default). The smoke
+ * machine-readable JSON (`BENCH_PR10.json` by default). The smoke
  * campaign and the fleet run execute with the telemetry registry
  * enabled and report counter-derived throughput (simulated events/s,
  * fleet ingest events/s) in the report's `telemetry` section — those
@@ -63,7 +63,7 @@ using bench::MicroResult;
 
 struct Options
 {
-    std::string out = "BENCH_PR9.json";
+    std::string out = "BENCH_PR10.json";
     std::string baseline = "bench/BENCH_BASELINE.json";
     bool check = false;
     double threshold = 0.30;
@@ -248,6 +248,37 @@ benchActModule(const MicroHarness &harness)
             ActConfig config;
             config.sequence_length = 3;
             config.topology = Topology{6, 10};
+            PairEncoder encoder;
+            ActModule module(config, encoder);
+            WeightStore store(config.topology);
+            store.set(0,
+                      std::vector<double>(store.weightCount(), 0.1));
+            module.initThread(0, store);
+            Rng rng(4);
+            Cycle cycle = 0;
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                const Pc load = 0x401004 + rng.next(64) * 8;
+                auto outcome = module.onDependence(
+                    RawDependence{load - 4, load, false}, 0,
+                    cycle += 50);
+                keep(outcome.output);
+            }
+        });
+}
+
+MicroResult
+benchEnsembleInfer(const MicroHarness &harness)
+{
+    // The Adaptivity 2.0 hot path: a K=3 ensemble module classifying
+    // in testing mode. Each onDependence runs three member forward
+    // passes plus the quorum vote, so events/s here against
+    // act_on_dependence directly prices the ensemble multiplier.
+    return harness.run(
+        "ensemble_infer", 1.0, [](std::uint64_t iters) {
+            ActConfig config;
+            config.sequence_length = 3;
+            config.topology = Topology{6, 3}; // K=3 x h=3 <= M=10.
+            config.ensemble.members = 3;
             PairEncoder encoder;
             ActModule module(config, encoder);
             WeightStore store(config.topology);
@@ -594,6 +625,8 @@ run(const Options &options)
         add(benchHwInfer(harness));
     if (wantBench(options, "act_on_dependence"))
         add(benchActModule(harness));
+    if (wantBench(options, "ensemble_infer"))
+        add(benchEnsembleInfer(harness));
     if (wantBench(options, "trace_io_roundtrip"))
         add(benchTraceIo(harness, synthetic));
 
